@@ -1,0 +1,209 @@
+//! Programmatic checks of the paper's six characteristics (Section III).
+//!
+//! Each check evaluates the exact claim of the paper against a set of
+//! traces (normally the 18 reconstructed individual traces) and reports the
+//! supporting counts, so the `repro characteristics` experiment can print a
+//! pass/fail table with evidence.
+
+use hps_trace::{small_request_fraction, SizeStats, TimingStats, Trace};
+
+/// Outcome of one characteristic's check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CharacteristicCheck {
+    /// Characteristic number (1–6).
+    pub number: u8,
+    /// The claim, as stated by the paper.
+    pub claim: &'static str,
+    /// What was measured.
+    pub evidence: String,
+    /// Whether the reconstructed traces support the claim.
+    pub holds: bool,
+}
+
+/// The six checks together.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CharacteristicsReport {
+    /// Individual check outcomes, ordered 1–6.
+    pub checks: Vec<CharacteristicCheck>,
+}
+
+impl CharacteristicsReport {
+    /// `true` when every characteristic holds.
+    pub fn all_hold(&self) -> bool {
+        self.checks.iter().all(|c| c.holds)
+    }
+}
+
+/// Runs all six checks over the given traces (expected: the 18 individual
+/// traces in table order). Characteristics 3 and 4 need *replayed* traces;
+/// on raw traces they are evaluated from arrival statistics only.
+pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
+    let size_stats: Vec<SizeStats> = traces.iter().map(SizeStats::from_trace).collect();
+    let timing: Vec<TimingStats> = traces.iter().map(TimingStats::from_trace).collect();
+    let n = traces.len().max(1);
+
+    let mut checks = Vec::new();
+
+    // Characteristic 1: most applications are write-dominant; >90% for 6.
+    let dominant = size_stats.iter().filter(|s| s.write_req_pct > 50.0).count();
+    let extreme = size_stats.iter().filter(|s| s.write_req_pct > 90.0).count();
+    checks.push(CharacteristicCheck {
+        number: 1,
+        claim: "Most smartphone applications are write-dominant (15/18; 6 above 90%)",
+        evidence: format!("{dominant}/{n} write-dominant, {extreme} above 90%"),
+        holds: dominant * 100 >= n * 75 && extreme * 100 >= n * 25,
+    });
+
+    // Characteristic 2: small (4 KiB) requests are the majority bucket in
+    // most traces (44.9%–57.4% in 15/18).
+    let in_band = traces
+        .iter()
+        .filter(|t| {
+            let f = small_request_fraction(t);
+            (0.40..=0.62).contains(&f)
+        })
+        .count();
+    checks.push(CharacteristicCheck {
+        number: 2,
+        claim: "Small single-page requests are the majority in most traces (44.9%-57.4%)",
+        evidence: format!("{in_band}/{n} traces with 4 KiB share in the 40-62% band"),
+        holds: in_band * 100 >= n * 70,
+    });
+
+    // Characteristic 3: most requests are served immediately (NoWait).
+    let replayed: Vec<&TimingStats> =
+        timing.iter().filter(|s| s.mean_response_ms > 0.0).collect();
+    let high_nowait = replayed.iter().filter(|s| s.nowait_pct >= 63.0).count();
+    let c3_holds = if replayed.is_empty() {
+        false
+    } else {
+        high_nowait * 100 >= replayed.len() * 75
+    };
+    checks.push(CharacteristicCheck {
+        number: 3,
+        claim: "Most requests can be served immediately once they arrive",
+        evidence: format!("{high_nowait}/{} replayed traces with NoWait >= 63%", replayed.len()),
+        holds: c3_holds,
+    });
+
+    // Characteristic 4: low-arrival-rate applications show inflated service
+    // times (the low-power warm-up effect).
+    let c4 = {
+        // Compare sparse apps against *comparable* busy apps — the paper's
+        // own comparison set ("e.g., Music, Email, Facebook") excludes the
+        // data-intensive outliers whose service times are dominated by
+        // sheer transfer volume, not power state.
+        let slow_apps: Vec<&TimingStats> =
+            replayed.iter().filter(|s| s.arrival_rate < 1.0).copied().collect();
+        let fast_apps: Vec<&TimingStats> = replayed
+            .iter()
+            .filter(|s| s.arrival_rate >= 1.0 && s.access_rate_kib_s < 500.0)
+            .copied()
+            .collect();
+        if slow_apps.is_empty() || fast_apps.is_empty() {
+            (String::from("insufficient replayed traces"), false)
+        } else {
+            let mean = |v: &[&TimingStats]| {
+                v.iter().map(|s| s.mean_service_ms).sum::<f64>() / v.len() as f64
+            };
+            let slow = mean(&slow_apps);
+            let fast = mean(&fast_apps);
+            (
+                format!("mean service {slow:.2} ms (sparse apps) vs {fast:.2} ms (busy apps)"),
+                slow > fast,
+            )
+        }
+    };
+    checks.push(CharacteristicCheck {
+        number: 4,
+        claim: "Idle-mode switching inflates response times of sparse applications",
+        evidence: c4.0,
+        holds: c4.1,
+    });
+
+    // Characteristic 5: localities are weak; spatial below temporal.
+    let weak_spatial = timing.iter().filter(|s| s.spatial_locality_pct < 48.0).count();
+    let spatial_below_temporal =
+        timing.iter().filter(|s| s.spatial_locality_pct < s.temporal_locality_pct).count();
+    checks.push(CharacteristicCheck {
+        number: 5,
+        claim: "Localities are generally weak; spatial lower than temporal",
+        evidence: format!(
+            "{weak_spatial}/{n} spatial < 48%; {spatial_below_temporal}/{n} spatial < temporal"
+        ),
+        holds: weak_spatial == n && spatial_below_temporal * 100 >= n * 60,
+    });
+
+    // Characteristic 6: inter-arrival times are long (>=200 ms average in
+    // 13/18; >20% of gaps above 16 ms in 10/18).
+    let long_mean = timing.iter().filter(|s| s.mean_interarrival_ms >= 200.0).count();
+    let heavy_tail = traces
+        .iter()
+        .filter(|t| {
+            let h = hps_trace::interarrival_histogram(t);
+            if h.total() == 0 {
+                return false;
+            }
+            1.0 - h.cumulative_fraction(2) > 0.20 // above 16 ms
+        })
+        .count();
+    checks.push(CharacteristicCheck {
+        number: 6,
+        claim: "Average inter-arrival times are long (>=200 ms in 13/18)",
+        evidence: format!(
+            "{long_mean}/{n} with mean gap >= 200 ms; {heavy_tail}/{n} with >20% gaps > 16 ms"
+        ),
+        holds: long_mean * 100 >= n * 60 && heavy_tail * 100 >= n * 50,
+    });
+
+    CharacteristicsReport { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::{Bytes, Direction, IoRequest, SimTime};
+
+    /// A synthetic "smartphone-like" trace that satisfies the claims.
+    fn phone_like(name: &str, seed: u64) -> Trace {
+        let mut t = Trace::new(name);
+        let mut lba = seed * 1_000_000;
+        for i in 0..200u64 {
+            let dir = if i % 20 < 19 { Direction::Write } else { Direction::Read };
+            let kib = if i % 2 == 0 { 4 } else { 16 };
+            // 300 ms gaps, weakly local addresses.
+            lba = if i % 3 == 0 { lba } else { lba + 81920 };
+            t.push_request(IoRequest::new(
+                i,
+                SimTime::from_ms(i * 300),
+                dir,
+                Bytes::kib(kib),
+                lba,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn characteristics_1_2_6_hold_on_phone_like_traces() {
+        let traces: Vec<Trace> = (0..4).map(|i| phone_like(&format!("t{i}"), i)).collect();
+        let report = check_characteristics(&traces);
+        assert!(report.checks[0].holds, "c1: {}", report.checks[0].evidence);
+        assert!(report.checks[1].holds, "c2: {}", report.checks[1].evidence);
+        assert!(report.checks[5].holds, "c6: {}", report.checks[5].evidence);
+    }
+
+    #[test]
+    fn c3_requires_replay() {
+        let traces = vec![phone_like("raw", 0)];
+        let report = check_characteristics(&traces);
+        assert!(!report.checks[2].holds, "raw traces cannot confirm NoWait");
+    }
+
+    #[test]
+    fn report_all_hold_is_conjunction() {
+        let traces = vec![phone_like("x", 0)];
+        let report = check_characteristics(&traces);
+        assert_eq!(report.all_hold(), report.checks.iter().all(|c| c.holds));
+    }
+}

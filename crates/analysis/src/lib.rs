@@ -1,0 +1,26 @@
+//! Trace characterization and experiment orchestration.
+//!
+//! This crate computes everything the paper's evaluation section reports:
+//!
+//! * [`report`] — plain-text/Markdown table rendering used by every
+//!   experiment binary;
+//! * [`tables`] — Tables III and IV over any set of traces;
+//! * [`figures`] — the distribution figures (4, 5, 6, 7) in the paper's
+//!   bucketing;
+//! * [`throughput`] — the Fig. 3 request-size → throughput sweep;
+//! * [`characteristics`] — programmatic checks of the paper's six observed
+//!   characteristics;
+//! * [`casestudy`] — the Section V case study: Fig. 8 (mean response time
+//!   of 4PS/8PS/HPS) and Fig. 9 (space utilization).
+
+pub mod casestudy;
+pub mod characteristics;
+pub mod figures;
+pub mod report;
+pub mod tables;
+pub mod throughput;
+
+pub use casestudy::{run_case_study, CaseStudyRow};
+pub use characteristics::{check_characteristics, CharacteristicsReport};
+pub use report::Table;
+pub use throughput::{throughput_sweep, ThroughputPoint};

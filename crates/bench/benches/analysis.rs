@@ -1,0 +1,38 @@
+//! Analysis-side benchmarks: the Table III/IV and Fig. 4/5/6 computations
+//! that every experiment run performs per trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hps_analysis::figures::{fig4_size_distributions, fig6_interarrival_distributions};
+use hps_analysis::tables::{table_iii, table_iv};
+use hps_bench::runner::{trace_by_name, truncate_trace};
+use std::hint::black_box;
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    let trace = truncate_trace(&trace_by_name("Twitter"), 10_000);
+    let traces = vec![trace];
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.bench_function("table3", |b| b.iter(|| black_box(table_iii(&traces))));
+    group.bench_function("table4", |b| b.iter(|| black_box(table_iv(&traces))));
+    group.bench_function("fig4", |b| b.iter(|| black_box(fig4_size_distributions(&traces))));
+    group.bench_function("fig6", |b| {
+        b.iter(|| black_box(fig6_interarrival_distributions(&traces)))
+    });
+    group.finish();
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let trace = truncate_trace(&trace_by_name("GoogleMaps"), 10_000);
+    let mut group = c.benchmark_group("locality");
+    group.sample_size(20);
+    group.bench_function("spatial", |b| {
+        b.iter(|| black_box(hps_trace::stats::spatial_locality(&trace)))
+    });
+    group.bench_function("temporal", |b| {
+        b.iter(|| black_box(hps_trace::stats::temporal_locality(&trace)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables_and_figures, bench_locality);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! The Fig. 8 / Fig. 9 experiment as a Criterion benchmark: replaying a
+//! representative trace prefix on each Table V scheme. The full-length
+//! regeneration (all 18 traces, exact tables) is `repro fig8 fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_analysis::casestudy::case_study_device;
+use hps_bench::runner::{trace_by_name, truncate_trace};
+use hps_emmc::SchemeKind;
+use std::hint::black_box;
+
+fn bench_case_study_replays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9_replay");
+    group.sample_size(10);
+    for (trace_name, n) in [("Twitter", 2_000usize), ("Booting", 1_000), ("Music", 2_000)] {
+        let trace = truncate_trace(&trace_by_name(trace_name), n);
+        for scheme in SchemeKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(trace_name, scheme.label()),
+                &scheme,
+                |b, &scheme| {
+                    b.iter(|| {
+                        let mut dev = case_study_device(scheme).unwrap();
+                        let mut run = trace.clone();
+                        run.reset_replay();
+                        black_box(dev.replay(&mut run).unwrap())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study_replays);
+criterion_main!(benches);

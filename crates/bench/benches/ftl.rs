@@ -1,0 +1,70 @@
+//! FTL micro-benchmarks: write-path cost with and without GC pressure, and
+//! the threshold-vs-idle trigger comparison that backs the GC ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_core::Bytes;
+use hps_ftl::gc::GcTrigger;
+use hps_ftl::{Ftl, FtlConfig, Lpn};
+use hps_nand::Geometry;
+use std::hint::black_box;
+
+fn config(trigger: GcTrigger) -> FtlConfig {
+    FtlConfig {
+        geometry: Geometry::new(1, 1, 1, 2).unwrap(),
+        pools: vec![(Bytes::kib(4), 16)],
+        pages_per_block: 32,
+        gc_trigger: trigger,
+    }
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_write");
+    group.sample_size(20);
+
+    group.bench_function("sequential_no_gc", |b| {
+        // Fresh device, distinct LPNs: the allocator fast path.
+        let mut ftl = Ftl::new(config(GcTrigger::default())).unwrap();
+        let capacity = 2 * 16 * 32 - 64; // leave a reserve
+        let mut lpn = 0u64;
+        b.iter(|| {
+            if lpn >= capacity {
+                ftl = Ftl::new(config(GcTrigger::default())).unwrap();
+                lpn = 0;
+            }
+            let plane = (lpn % 2) as usize;
+            let ops = ftl
+                .write_chunk(plane, Bytes::kib(4), &[Lpn(lpn)], Bytes::kib(4))
+                .unwrap();
+            lpn += 1;
+            black_box(ops)
+        });
+    });
+
+    for (label, trigger) in [
+        ("hot_overwrite_threshold_gc", GcTrigger::Threshold { min_free_blocks: 2 }),
+        (
+            "hot_overwrite_idle_gc",
+            GcTrigger::Idle { min_free_blocks: 2, min_invalid_pages: 16 },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &trigger, |b, &trigger| {
+            // Hot overwrites force steady-state GC.
+            let mut ftl = Ftl::new(config(trigger)).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                let lpn = Lpn(i % 48);
+                let plane = (i % 2) as usize;
+                i += 1;
+                let ops = ftl.write_chunk(plane, Bytes::kib(4), &[lpn], Bytes::kib(4)).unwrap();
+                if trigger.collects_when_idle() && i % 16 == 0 {
+                    black_box(ftl.idle_gc().unwrap());
+                }
+                black_box(ops)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Workload-generation throughput: how fast the Table III/IV trace
+//! reconstruction runs (the input side of every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hps_workloads::{by_name, generate};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for name in ["Twitter", "Movie", "CameraVideo", "Music/WB"] {
+        let profile = by_name(name).unwrap();
+        group.throughput(criterion::Throughput::Elements(profile.num_reqs));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| black_box(generate(p, 42)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_construction(c: &mut Criterion) {
+    c.bench_function("calibrate_size_model", |b| {
+        b.iter(|| {
+            black_box(hps_workloads::size::SizeModel::calibrated(
+                black_box(0.5),
+                black_box(13.5),
+                black_box(2216),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_model_construction);
+criterion_main!(benches);

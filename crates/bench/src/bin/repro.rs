@@ -1,0 +1,116 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--out DIR]
+//!
+//! experiments:
+//!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!   overhead characteristics
+//!   ablate-gc ablate-ratio ablate-power ablate-channels
+//!   implication3 implication5 endurance stack
+//!   all            run everything
+//! ```
+//!
+//! Output goes to stdout and, with `--out DIR` (default `experiments/`),
+//! to `DIR/<experiment>.txt`.
+
+use hps_bench::ablations::{ablate_channels, ablate_gc, ablate_power, ablate_ratio};
+use hps_bench::implications::{endurance, implication3_read_cache, implication5_slc, stack_pipeline};
+use hps_bench::experiments::{
+    exp_characteristics, exp_fig3, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fig8, exp_fig9,
+    exp_overhead, exp_table3, exp_table4, exp_table5, run_full_case_study,
+};
+use std::io::Write as _;
+use std::path::Path;
+
+const EXPERIMENTS: [&str; 20] = [
+    "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "overhead", "characteristics", "ablate-gc", "ablate-ratio", "ablate-power",
+    "ablate-channels", "implication3", "implication5", "endurance", "stack",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from("experiments");
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = dir,
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    // fig8 and fig9 share one expensive case-study run.
+    let needs_case_study = targets.iter().any(|t| t == "fig8" || t == "fig9");
+    let case_rows = if needs_case_study {
+        eprintln!("[repro] running the 18-trace x 3-scheme case study...");
+        Some(run_full_case_study())
+    } else {
+        None
+    };
+
+    for target in &targets {
+        eprintln!("[repro] {target}");
+        let output = match target.as_str() {
+            "table3" => exp_table3(),
+            "table4" => exp_table4(),
+            "table5" => exp_table5(),
+            "fig3" => exp_fig3(),
+            "fig4" => exp_fig4(),
+            "fig5" => exp_fig5(),
+            "fig6" => exp_fig6(),
+            "fig7" => exp_fig7(),
+            "fig8" => exp_fig8(case_rows.as_ref().expect("precomputed")),
+            "fig9" => exp_fig9(case_rows.as_ref().expect("precomputed")),
+            "overhead" => exp_overhead(),
+            "characteristics" => exp_characteristics(),
+            "ablate-gc" => ablate_gc(),
+            "ablate-ratio" => ablate_ratio(),
+            "ablate-power" => ablate_power(),
+            "ablate-channels" => ablate_channels(),
+            "implication3" => implication3_read_cache(),
+            "implication5" => implication5_slc(),
+            "endurance" => endurance(),
+            "stack" => stack_pipeline(),
+            unknown => {
+                eprintln!("unknown experiment '{unknown}'");
+                print_usage();
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+        if let Err(e) = write_output(&out_dir, target, &output) {
+            eprintln!("warning: could not write {out_dir}/{target}.txt: {e}");
+        }
+    }
+}
+
+fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = Path::new(dir).join(format!("{name}.txt"));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(content.as_bytes())
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <experiment>... [--out DIR]");
+    eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+}

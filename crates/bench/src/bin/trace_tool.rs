@@ -1,0 +1,109 @@
+//! `trace-tool` — generate, inspect, and replay trace files.
+//!
+//! ```text
+//! trace-tool gen <Workload> [--seed N] [--out FILE]    generate a trace CSV
+//! trace-tool stats <FILE>                              Table III/IV rows
+//! trace-tool head <FILE> [N]                           first N records
+//! trace-tool replay <FILE> <4PS|8PS|HPS>               replay and report
+//! trace-tool list                                      list the 25 workloads
+//! ```
+
+use hps_analysis::tables::{table_iii, table_iv};
+use hps_core::Bytes;
+use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
+use hps_trace::io::{read_trace, write_trace};
+use hps_trace::Trace;
+use hps_workloads::{by_name, generate, COMBO_NAMES, INDIVIDUAL_NAMES};
+use std::fs::File;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("head") => cmd_head(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("list") => {
+            println!("individual: {}", INDIVIDUAL_NAMES.join(", "));
+            println!("combos:     {}", COMBO_NAMES.join(", "));
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: trace-tool <gen|stats|head|replay|list> ...\n\
+                 run with a subcommand; see the module docs"
+            );
+            exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let name = args.first().ok_or("gen needs a workload name")?;
+    let mut seed = 42u64;
+    let mut out = format!("{}.trace.csv", name.replace('/', "_"));
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => seed = iter.next().ok_or("--seed needs a value")?.parse()?,
+            "--out" => out = iter.next().ok_or("--out needs a path")?.clone(),
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let profile = by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let trace = generate(&profile, seed);
+    write_trace(&trace, File::create(&out)?)?;
+    println!("wrote {} ({} records) to {out}", trace.name(), trace.len());
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    Ok(read_trace(File::open(path)?, path)?)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("stats needs a file")?;
+    let trace = load(path)?;
+    let traces = [trace];
+    println!("{}", table_iii(&traces).render());
+    println!("{}", table_iv(&traces).render());
+    Ok(())
+}
+
+fn cmd_head(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("head needs a file")?;
+    let n: usize = args.get(1).map_or(Ok(10), |s| s.parse())?;
+    let trace = load(path)?;
+    for record in trace.records().iter().take(n) {
+        println!("{record}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("replay needs a file")?;
+    let scheme = match args.get(1).map(String::as_str) {
+        Some("4PS") | Some("4ps") => SchemeKind::Ps4,
+        Some("8PS") | Some("8ps") => SchemeKind::Ps8,
+        Some("HPS") | Some("hps") | None => SchemeKind::Hps,
+        Some(other) => return Err(format!("unknown scheme '{other}'").into()),
+    };
+    let mut trace = load(path)?;
+    let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
+    cfg.channel_mode = ChannelMode::Interleaved;
+    let mut dev = EmmcDevice::new(cfg)?;
+    let metrics = dev.replay(&mut trace)?;
+    println!("{metrics}");
+    println!(
+        "p50={:.3}ms p99={:.3}ms write_amp={:.3}",
+        metrics.p50_response_ms(),
+        metrics.p99_response_ms(),
+        metrics.ftl.write_amplification()
+    );
+    Ok(())
+}

@@ -1,0 +1,298 @@
+//! One function per table/figure of the paper's evaluation.
+
+use crate::runner::{combo_traces, individual_traces, replay_on, MASTER_SEED};
+use hps_analysis::casestudy::{
+    average_mrt_reduction, average_util_gain, fig8_table, fig9_table, run_case_study,
+    CaseStudyRow,
+};
+use hps_analysis::figures::{
+    fig4_size_distributions, fig5_response_distributions, fig6_interarrival_distributions,
+    fig7_combo_views,
+};
+use hps_analysis::report::{fnum, Table};
+use hps_analysis::tables::{comparison_table, table_iii, table_iv};
+use hps_analysis::{check_characteristics, throughput_sweep};
+use hps_emmc::SchemeKind;
+use hps_iostack::biotracer::measure_overhead;
+use hps_trace::Trace;
+use hps_workloads::{all_combos, all_individual};
+
+fn all_25_traces() -> Vec<Trace> {
+    let mut traces = individual_traces();
+    traces.extend(combo_traces());
+    traces
+}
+
+/// Table III: size-related characteristics of all 25 reconstructed traces,
+/// plus a measured-vs-paper comparison of the write-request percentage.
+pub fn exp_table3() -> String {
+    let traces = all_25_traces();
+    let mut out = String::from("Table III: size-related characteristics (reconstructed traces)\n\n");
+    out.push_str(&table_iii(&traces).render());
+
+    let profiles: Vec<_> = all_individual().into_iter().chain(all_combos()).collect();
+    let rows: Vec<(String, f64, f64)> = profiles
+        .iter()
+        .zip(&traces)
+        .map(|(p, t)| {
+            let s = hps_trace::SizeStats::from_trace(t);
+            (p.name.to_string(), p.write_req_pct, s.write_req_pct)
+        })
+        .collect();
+    out.push_str("\nWrite Reqs. Pct: paper vs reconstruction\n\n");
+    out.push_str(&comparison_table("Reconstructed", &rows).render());
+    out
+}
+
+/// Table IV: timing statistics of all 25 traces, replayed on the 4PS
+/// device (the stock eMMC stand-in) so service/response/NoWait columns are
+/// populated.
+pub fn exp_table4() -> String {
+    let mut traces = all_25_traces();
+    for trace in &mut traces {
+        replay_on(trace, SchemeKind::Ps4).expect("Table V capacity fits every trace");
+    }
+    let mut out =
+        String::from("Table IV: timing statistics (reconstructed traces replayed on 4PS)\n\n");
+    out.push_str(&table_iv(&traces).render());
+
+    let profiles: Vec<_> = all_individual().into_iter().chain(all_combos()).collect();
+    let rows: Vec<(String, f64, f64)> = profiles
+        .iter()
+        .zip(&traces)
+        .map(|(p, t)| {
+            let s = hps_trace::TimingStats::from_trace(t);
+            (p.name.to_string(), p.spatial_pct, s.spatial_locality_pct)
+        })
+        .collect();
+    out.push_str("\nSpatial locality: paper vs reconstruction\n\n");
+    out.push_str(&comparison_table("Reconstructed", &rows).render());
+    out
+}
+
+/// Fig. 3: request size vs throughput on the simulated device.
+pub fn exp_fig3() -> String {
+    let points = throughput_sweep();
+    let mut t = Table::new(&["Request size", "Read (MB/s)", "Write (MB/s)"]);
+    for p in &points {
+        t.row(vec![format!("{}", p.size), fnum(p.read_mbs, 2), fnum(p.write_mbs, 2)]);
+    }
+    let mut out = String::from(
+        "Fig. 3: impact of request size on throughput (simulated device; the paper's \
+         hardware reaches 13.9-99.7 MB/s read and 5.2-56.2 MB/s write — shape, not \
+         absolute values, is the reproduction target)\n\n",
+    );
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 4: request-size distributions of the 18 individual traces.
+pub fn exp_fig4() -> String {
+    let traces = individual_traces();
+    let mut out = String::from("Fig. 4: request size distributions (percent per bucket)\n\n");
+    out.push_str(&fig4_size_distributions(&traces).render());
+    out
+}
+
+/// Fig. 5: response-time distributions of the 18 traces replayed on 4PS.
+pub fn exp_fig5() -> String {
+    let mut traces = individual_traces();
+    for trace in &mut traces {
+        replay_on(trace, SchemeKind::Ps4).expect("replay");
+    }
+    let mut out = String::from("Fig. 5: response time distributions (percent per bucket)\n\n");
+    out.push_str(&fig5_response_distributions(&traces).render());
+    out
+}
+
+/// Fig. 6: inter-arrival-time distributions of the 18 individual traces.
+pub fn exp_fig6() -> String {
+    let traces = individual_traces();
+    let mut out = String::from("Fig. 6: inter-arrival time distributions (percent per bucket)\n\n");
+    out.push_str(&fig6_interarrival_distributions(&traces).render());
+    out
+}
+
+/// Fig. 7: the combo traces' size, response-time, and inter-arrival views.
+pub fn exp_fig7() -> String {
+    let mut combos = combo_traces();
+    for trace in &mut combos {
+        replay_on(trace, SchemeKind::Ps4).expect("replay");
+    }
+    let (sizes, responses, gaps) = fig7_combo_views(&combos);
+    format!(
+        "Fig. 7a: combo request size distributions\n\n{}\n\
+         Fig. 7b: combo response time distributions\n\n{}\n\
+         Fig. 7c: combo inter-arrival time distributions\n\n{}",
+        sizes.render(),
+        responses.render(),
+        gaps.render()
+    )
+}
+
+/// Table V: the three scheme configurations.
+pub fn exp_table5() -> String {
+    let mut t = Table::new(&["", "4PS", "8PS", "HPS"]);
+    t.row(vec![
+        "Page read latency (us)".into(),
+        "160".into(),
+        "244".into(),
+        "160 / 244".into(),
+    ]);
+    t.row(vec![
+        "Page write latency (us)".into(),
+        "1385".into(),
+        "1491".into(),
+        "1385 / 1491".into(),
+    ]);
+    t.row(vec![
+        "Block erase latency (us)".into(),
+        "3800".into(),
+        "3800".into(),
+        "3800".into(),
+    ]);
+    t.row(vec![
+        "Channel x chip x die x plane".into(),
+        "2x1x2x2".into(),
+        "2x1x2x2".into(),
+        "2x1x2x2".into(),
+    ]);
+    let pools = |s: SchemeKind| -> String {
+        s.pools()
+            .iter()
+            .map(|(size, n)| format!("{n} {}KB-page blks", size.as_kib()))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    };
+    t.row(vec![
+        "Blocks per plane".into(),
+        pools(SchemeKind::Ps4),
+        pools(SchemeKind::Ps8),
+        pools(SchemeKind::Hps),
+    ]);
+    t.row(vec!["Pages per block".into(), "1024".into(), "1024".into(), "1024".into()]);
+    let capacity = |s: SchemeKind| {
+        format!("{} GB", s.table_v_ftl().physical_capacity().as_u64() >> 30)
+    };
+    t.row(vec![
+        "Total capacity".into(),
+        capacity(SchemeKind::Ps4),
+        capacity(SchemeKind::Ps8),
+        capacity(SchemeKind::Hps),
+    ]);
+    format!("Table V: configurations of the three eMMC devices\n\n{}", t.render())
+}
+
+/// Runs the Section V case study over all 18 individual traces: each trace
+/// replayed on fresh 4PS, 8PS, and HPS devices.
+pub fn run_full_case_study() -> Vec<CaseStudyRow> {
+    individual_traces()
+        .iter()
+        .map(|t| run_case_study(t).expect("Table V capacity fits every trace"))
+        .collect()
+}
+
+/// Fig. 8: mean response times of the three schemes.
+pub fn exp_fig8(rows: &[CaseStudyRow]) -> String {
+    let mut out = String::from(
+        "Fig. 8: MRT comparison among 4PS, 8PS, HPS (paper: HPS up to 86% better than \
+         4PS on Booting, at least 24% on Movie, 61.9% on average; 8PS ~= HPS)\n\n",
+    );
+    out.push_str(&fig8_table(rows).render());
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.hps_mrt_reduction_pct().total_cmp(&b.hps_mrt_reduction_pct()));
+    let worst = rows
+        .iter()
+        .min_by(|a, b| a.hps_mrt_reduction_pct().total_cmp(&b.hps_mrt_reduction_pct()));
+    if let (Some(best), Some(worst)) = (best, worst) {
+        out.push_str(&format!(
+            "\nBest HPS reduction: {} ({:.1}%)\nWorst HPS reduction: {} ({:.1}%)\nAverage: {:.1}%\n",
+            best.trace,
+            best.hps_mrt_reduction_pct(),
+            worst.trace,
+            worst.hps_mrt_reduction_pct(),
+            average_mrt_reduction(rows)
+        ));
+    }
+    out
+}
+
+/// Fig. 9: space utilization normalized to 4PS.
+pub fn exp_fig9(rows: &[CaseStudyRow]) -> String {
+    let mut out = String::from(
+        "Fig. 9: space utilization, normalized to 4PS (paper: HPS up to 24.2% better \
+         than 8PS on Music, 13.1% on average; HPS always equals 4PS)\n\n",
+    );
+    out.push_str(&fig9_table(rows).render());
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.hps_util_gain_pct().total_cmp(&b.hps_util_gain_pct()));
+    if let Some(best) = best {
+        out.push_str(&format!(
+            "\nBest HPS utilization gain vs 8PS: {} ({:.1}%)\nAverage: {:.1}%\n",
+            best.trace,
+            best.hps_util_gain_pct(),
+            average_util_gain(rows)
+        ));
+    }
+    out
+}
+
+/// Section II-C: BIOtracer overhead analysis.
+pub fn exp_overhead() -> String {
+    let report = measure_overhead(30_000, MASTER_SEED);
+    format!(
+        "Section II-C: BIOtracer overhead\n\n\
+         recorded requests: {}\nbuffer flushes:    {}\nextra I/Os:        {}\n\
+         overhead:          {:.2}% (paper: ~2%)\n",
+        report.recorded,
+        report.flushes,
+        report.extra_ios,
+        report.overhead_pct()
+    )
+}
+
+/// Section III: verifies the six characteristics on the reconstruction.
+pub fn exp_characteristics() -> String {
+    let mut traces = individual_traces();
+    for trace in &mut traces {
+        replay_on(trace, SchemeKind::Ps4).expect("replay");
+    }
+    let report = check_characteristics(&traces);
+    let mut t = Table::new(&["#", "Claim", "Evidence", "Holds"]);
+    for c in &report.checks {
+        t.row(vec![
+            c.number.to_string(),
+            c.claim.to_string(),
+            c.evidence.clone(),
+            if c.holds { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "Section III: the six characteristics on the reconstructed traces\n\n{}\nall hold: {}\n",
+        t.render(),
+        report.all_hold()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_renders_paper_values() {
+        let out = exp_table5();
+        assert!(out.contains("1385"));
+        assert!(out.contains("512 4KB-page blks + 256 8KB-page blks"));
+        assert!(out.contains("32 GB"));
+    }
+
+    #[test]
+    fn overhead_is_about_two_percent() {
+        let out = exp_overhead();
+        assert!(out.contains("overhead"));
+        let report = measure_overhead(30_000, MASTER_SEED);
+        assert!((1.5..=2.5).contains(&report.overhead_pct()));
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared plumbing for the experiment functions: trace generation and
+//! replay with fixed seeds.
+
+use hps_core::Result;
+use hps_emmc::{DeviceConfig, EmmcDevice, ReplayMetrics, SchemeKind};
+use hps_trace::Trace;
+use hps_workloads::{all_combos, all_individual, by_name, generate};
+
+/// The master seed every experiment uses; re-running any experiment
+/// regenerates identical traces and identical numbers.
+pub const MASTER_SEED: u64 = 201_501_104; // IISWC 2015
+
+/// Generates the 18 individual traces in table order.
+pub fn individual_traces() -> Vec<Trace> {
+    all_individual().iter().map(|p| generate(p, MASTER_SEED)).collect()
+}
+
+/// Generates the 7 combo traces in table order.
+pub fn combo_traces() -> Vec<Trace> {
+    all_combos().iter().map(|p| generate(p, MASTER_SEED)).collect()
+}
+
+/// Generates one trace by its paper name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn trace_by_name(name: &str) -> Trace {
+    let profile = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    generate(&profile, MASTER_SEED)
+}
+
+/// Replays a trace on a fresh Table V device of the given scheme with
+/// *real-device semantics* — RAM write buffer and power model enabled, as
+/// on the Nexus 5 whose behaviour Tables IV and Figs. 5/7 characterize.
+/// (The Section V case study instead uses
+/// [`hps_analysis::casestudy::case_study_device`], which disables both,
+/// matching the paper's simulator setup.)
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn replay_on(trace: &mut Trace, scheme: SchemeKind) -> Result<ReplayMetrics> {
+    let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(hps_core::Bytes::kib(512));
+    // Real eMMC controllers pipeline operations across dies (that is how
+    // the Nexus 5 part reaches ~100 MB/s sequential reads in Fig. 3).
+    cfg.channel_mode = hps_emmc::ChannelMode::Interleaved;
+    let mut dev = EmmcDevice::new(cfg)?;
+    trace.reset_replay();
+    dev.replay(trace)
+}
+
+/// A truncated version of a trace (first `n` records), for fast benches.
+pub fn truncate_trace(trace: &Trace, n: usize) -> Trace {
+    let records: Vec<_> = trace.records().iter().take(n).copied().collect();
+    Trace::from_records(trace.name().to_string(), records).expect("prefix stays sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_by_name_matches_direct_generation() {
+        let a = trace_by_name("Email");
+        let b = generate(&by_name("Email").unwrap(), MASTER_SEED);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let t = trace_by_name("YouTube");
+        let p = truncate_trace(&t, 100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.records()[..], t.records()[..100]);
+    }
+
+    #[test]
+    fn replay_on_fills_timestamps() {
+        let mut t = truncate_trace(&trace_by_name("Email"), 50);
+        let m = replay_on(&mut t, SchemeKind::Hps).unwrap();
+        assert!(t.is_replayed());
+        assert_eq!(m.total_requests, 50);
+        assert_eq!(m.scheme, "HPS");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        let _ = trace_by_name("NotAnApp");
+    }
+}

@@ -1,0 +1,94 @@
+//! Workspace-wide error type.
+//!
+//! Most simulator components enforce their invariants statically or by
+//! panicking on programmer error; [`Error`] covers the recoverable cases —
+//! malformed trace files, invalid configurations, and device-capacity
+//! exhaustion — that callers are expected to handle.
+
+use core::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Recoverable errors surfaced by the public APIs of the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A trace file line could not be parsed.
+    ParseTrace {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A configuration was rejected.
+    InvalidConfig(String),
+    /// The simulated device ran out of free blocks even after garbage
+    /// collection — the workload exceeds the device's logical capacity.
+    CapacityExhausted {
+        /// Human-readable location, e.g. `"plane 3 (4 KiB pool)"`.
+        location: String,
+    },
+    /// An address outside the device's logical range was accessed.
+    AddressOutOfRange {
+        /// The offending logical byte address.
+        lba: u64,
+        /// The device's logical capacity in bytes.
+        capacity: u64,
+    },
+    /// An I/O error wrapped from the filesystem while reading or writing a
+    /// trace file (stringified to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParseTrace { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::CapacityExhausted { location } => {
+                write!(f, "flash capacity exhausted at {location}")
+            }
+            Error::AddressOutOfRange { lba, capacity } => {
+                write!(f, "logical address {lba} outside device capacity {capacity}")
+            }
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = Error::ParseTrace { line: 3, reason: "bad direction".into() };
+        assert_eq!(e.to_string(), "trace parse error at line 3: bad direction");
+        let e = Error::AddressOutOfRange { lba: 10, capacity: 5 };
+        assert!(e.to_string().contains("outside device capacity"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

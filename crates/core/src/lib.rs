@@ -1,0 +1,38 @@
+//! Foundation types shared by every crate in the HPS eMMC reproduction.
+//!
+//! This crate provides the vocabulary the rest of the workspace speaks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//!   the clock of the discrete-event eMMC simulator.
+//! * [`Bytes`] — a byte-count newtype with `KiB`/`MiB` helpers; all request
+//!   and page sizes in the workspace are expressed in it.
+//! * [`IoRequest`] and [`Direction`] — the block-level request model that
+//!   traces, workload generators, and the device simulator exchange.
+//! * [`rng`] — deterministic random sampling (the whole reproduction is
+//!   seeded; re-running any experiment yields identical numbers).
+//! * [`stats`] — running summary statistics and histograms used to compute
+//!   the paper's tables and figures.
+//!
+//! # Example
+//!
+//! ```
+//! use hps_core::{Bytes, Direction, IoRequest, SimTime};
+//!
+//! let req = IoRequest::new(0, SimTime::from_ms(5), Direction::Write, Bytes::kib(16), 4096);
+//! assert_eq!(req.size.as_kib(), 16);
+//! assert_eq!(req.page_span(Bytes::kib(4)), 4);
+//! ```
+
+pub mod error;
+pub mod request;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use error::{Error, Result};
+pub use request::{Direction, IoRequest, RequestId};
+pub use rng::SimRng;
+pub use stats::{Histogram, RunningStats};
+pub use time::{SimDuration, SimTime};
+pub use units::Bytes;

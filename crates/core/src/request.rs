@@ -1,0 +1,187 @@
+//! The block-level I/O request model.
+//!
+//! A request is what the Android block layer hands to the eMMC driver:
+//! a direction, a starting logical byte address (4 KiB-aligned in practice,
+//! because Ext4 aligns everything to the flash page size), and a size.
+//! Requests flow from the workload generators through the I/O-stack
+//! simulation into the device simulator, which annotates them with the
+//! BIOtracer timestamps (arrival, service start, finish).
+
+use crate::time::SimTime;
+use crate::units::Bytes;
+use core::fmt;
+
+/// Monotonic identifier assigned to each request at creation.
+pub type RequestId = u64;
+
+/// Whether a request reads from or writes to the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// A read request.
+    Read,
+    /// A write request.
+    Write,
+}
+
+impl Direction {
+    /// `true` for [`Direction::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, Direction::Write)
+    }
+
+    /// `true` for [`Direction::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, Direction::Read)
+    }
+
+    /// One-letter code used by the trace CSV format (`R`/`W`).
+    pub const fn code(self) -> char {
+        match self {
+            Direction::Read => 'R',
+            Direction::Write => 'W',
+        }
+    }
+
+    /// Parses the one-letter code; `None` for anything else.
+    pub fn from_code(c: char) -> Option<Direction> {
+        match c {
+            'R' | 'r' => Some(Direction::Read),
+            'W' | 'w' => Some(Direction::Write),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::Read => "read",
+            Direction::Write => "write",
+        })
+    }
+}
+
+/// A block-level I/O request as observed at the block layer (BIOtracer
+/// step 1 in Fig. 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use hps_core::{Bytes, Direction, IoRequest, SimTime};
+///
+/// let r = IoRequest::new(7, SimTime::from_ms(1), Direction::Read, Bytes::kib(12), 8192);
+/// assert_eq!(r.end_lba(), 8192 + 12 * 1024);
+/// assert_eq!(r.page_span(Bytes::kib(4)), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Monotonic request identifier.
+    pub id: RequestId,
+    /// When the request was created at the block layer.
+    pub arrival: SimTime,
+    /// Read or write.
+    pub direction: Direction,
+    /// Request payload size (a multiple of 4 KiB in well-formed traces).
+    pub size: Bytes,
+    /// Starting logical byte address.
+    pub lba: u64,
+}
+
+impl IoRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero — zero-length block requests do not exist at
+    /// the eMMC driver layer.
+    pub fn new(id: RequestId, arrival: SimTime, direction: Direction, size: Bytes, lba: u64) -> Self {
+        assert!(!size.is_zero(), "request size must be non-zero");
+        IoRequest { id, arrival, direction, size, lba }
+    }
+
+    /// First byte address past the end of the request.
+    pub fn end_lba(&self) -> u64 {
+        self.lba + self.size.as_u64()
+    }
+
+    /// Number of `page_size` pages the request spans, rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn page_span(&self, page_size: Bytes) -> u64 {
+        self.size.div_ceil(page_size)
+    }
+
+    /// `true` if `other` starts exactly where `self` ends — the paper's
+    /// definition of a sequential access pair (spatial locality).
+    pub fn is_sequential_predecessor_of(&self, other: &IoRequest) -> bool {
+        self.end_lba() == other.lba
+    }
+
+    /// `true` if the request is a single 4 KiB page — the paper's "small
+    /// request" (Characteristic 2).
+    pub fn is_small(&self) -> bool {
+        self.size == Bytes::kib(4)
+    }
+}
+
+impl fmt::Display for IoRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} {} @ {} lba={}",
+            self.id,
+            self.direction.code(),
+            self.size,
+            self.arrival,
+            self.lba
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(size_kib: u64, lba: u64) -> IoRequest {
+        IoRequest::new(0, SimTime::ZERO, Direction::Write, Bytes::kib(size_kib), lba)
+    }
+
+    #[test]
+    fn direction_codes_round_trip() {
+        for d in [Direction::Read, Direction::Write] {
+            assert_eq!(Direction::from_code(d.code()), Some(d));
+        }
+        assert_eq!(Direction::from_code('x'), None);
+    }
+
+    #[test]
+    fn end_lba_and_span() {
+        let r = req(20, 4096);
+        assert_eq!(r.end_lba(), 4096 + 20 * 1024);
+        assert_eq!(r.page_span(Bytes::kib(4)), 5);
+        assert_eq!(r.page_span(Bytes::kib(8)), 3);
+    }
+
+    #[test]
+    fn sequentiality() {
+        let a = req(4, 0);
+        let b = req(4, 4096);
+        let c = req(4, 8192);
+        assert!(a.is_sequential_predecessor_of(&b));
+        assert!(!a.is_sequential_predecessor_of(&c));
+    }
+
+    #[test]
+    fn smallness_is_exactly_4k() {
+        assert!(req(4, 0).is_small());
+        assert!(!req(8, 0).is_small());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = IoRequest::new(0, SimTime::ZERO, Direction::Read, Bytes::ZERO, 0);
+    }
+}

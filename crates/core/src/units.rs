@@ -1,0 +1,243 @@
+//! Byte-count units.
+//!
+//! Every size in the workspace — request sizes, flash page sizes, plane
+//! capacities — is a [`Bytes`] value. The newtype prevents accidentally mixing
+//! byte counts with page counts or LBAs, and centralizes the `KiB`/`MiB`
+//! formatting used by the report renderers.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A non-negative byte count.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+///
+/// let page = Bytes::kib(4);
+/// let req = Bytes::kib(20);
+/// assert_eq!(req.div_ceil(page), 5);
+/// assert_eq!(format!("{}", Bytes::mib(2)), "2048.0 KiB");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// `n` kibibytes (1024-byte units; the paper's "KB").
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * 1024)
+    }
+
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The count in whole KiB (truncating).
+    pub const fn as_kib(self) -> u64 {
+        self.0 / 1024
+    }
+
+    /// The count in fractional KiB.
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// The count in fractional MiB.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// `true` if this is zero bytes.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// How many `unit`-sized pieces are needed to cover `self`, rounding up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is zero.
+    pub fn div_ceil(self, unit: Bytes) -> u64 {
+        assert!(!unit.is_zero(), "division by zero-sized unit");
+        self.0.div_ceil(unit.0)
+    }
+
+    /// `self` rounded up to the next multiple of `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is zero.
+    pub fn round_up_to(self, unit: Bytes) -> Bytes {
+        Bytes(self.div_ceil(unit) * unit.0)
+    }
+
+    /// `true` if `self` is an exact multiple of `unit` (zero-sized units are
+    /// never multiples).
+    pub fn is_multiple_of(self, unit: Bytes) -> bool {
+        !unit.is_zero() && self.0.is_multiple_of(unit.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two counts.
+    pub fn min(self, other: Bytes) -> Bytes {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two counts.
+    pub fn max(self, other: Bytes) -> Bytes {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Rem<Bytes> for Bytes {
+    type Output = Bytes;
+    fn rem(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1024 {
+            write!(f, "{} B", self.0)
+        } else {
+            write!(f, "{:.1} KiB", self.as_kib_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::kib(4).as_u64(), 4096);
+        assert_eq!(Bytes::mib(1).as_kib(), 1024);
+        assert_eq!(Bytes::gib(1).as_mib_f64(), 1024.0);
+    }
+
+    #[test]
+    fn div_ceil_covers_partial_units() {
+        let page = Bytes::kib(8);
+        assert_eq!(Bytes::kib(20).div_ceil(page), 3);
+        assert_eq!(Bytes::kib(16).div_ceil(page), 2);
+        assert_eq!(Bytes::ZERO.div_ceil(page), 0);
+    }
+
+    #[test]
+    fn round_up_to_unit() {
+        assert_eq!(Bytes::kib(20).round_up_to(Bytes::kib(8)), Bytes::kib(24));
+        assert_eq!(Bytes::kib(16).round_up_to(Bytes::kib(8)), Bytes::kib(16));
+    }
+
+    #[test]
+    fn multiples() {
+        assert!(Bytes::kib(20).is_multiple_of(Bytes::kib(4)));
+        assert!(!Bytes::kib(20).is_multiple_of(Bytes::kib(8)));
+        assert!(!Bytes::kib(20).is_multiple_of(Bytes::ZERO));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bytes::kib(12);
+        let b = Bytes::kib(4);
+        assert_eq!(a + b, Bytes::kib(16));
+        assert_eq!(a - b, Bytes::kib(8));
+        assert_eq!(b * 3, Bytes::kib(12));
+        assert_eq!(a / 3, Bytes::new(4096));
+        assert_eq!(a % Bytes::kib(8), Bytes::kib(4));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bytes::new(100)), "100 B");
+        assert_eq!(format!("{}", Bytes::kib(4)), "4.0 KiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized unit")]
+    fn div_ceil_by_zero_panics() {
+        let _ = Bytes::kib(4).div_ceil(Bytes::ZERO);
+    }
+}

@@ -1,0 +1,762 @@
+//! The eMMC device: FIFO request service over the scheme, FTL, and
+//! resource schedule.
+//!
+//! eMMC 4.5 has no command queueing, so the device serves requests strictly
+//! in arrival order — which is why the paper's *NoWait Req. Ratio* (the
+//! fraction of requests that find the device idle) is such a telling
+//! statistic. Within a request, sub-operations parallelize across the two
+//! channels and four dies.
+
+use crate::cache::WriteCache;
+use crate::distributor::{split_lpn_run, split_request};
+use crate::readcache::ReadCache;
+use crate::slc::{SlcBuffer, SlcConfig};
+use crate::metrics::ReplayMetrics;
+use crate::power::{PowerConfig, PowerModel};
+use crate::schedule::{ChannelMode, ResourceSchedule};
+use crate::scheme::SchemeKind;
+use hps_core::{Bytes, Direction, Error, IoRequest, Result, SimDuration, SimTime};
+use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn};
+use hps_nand::NandTiming;
+use hps_trace::Trace;
+
+/// Full configuration of a simulated eMMC device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Page-size scheme (decides the distributor policy and block pools).
+    pub scheme: SchemeKind,
+    /// FTL/flash-array configuration.
+    pub ftl: FtlConfig,
+    /// NAND latencies.
+    pub timing: NandTiming,
+    /// Low-power-mode behaviour.
+    pub power: PowerConfig,
+    /// Fixed controller overhead charged once per request (command decode,
+    /// mapping lookup).
+    pub cmd_overhead: SimDuration,
+    /// Minimum idle gap before the device attempts idle-time GC
+    /// (Implication 2); only effective with an idle GC trigger.
+    pub idle_gc_min_gap: SimDuration,
+    /// Channel semantics: eMMC-style held channel (default) or ONFI
+    /// interleaving (the parallelism ablation).
+    pub channel_mode: ChannelMode,
+    /// RAM write buffer capacity; `None` disables it (the paper's case
+    /// study: "The RAM buffer layer of the simulator is disabled"). With a
+    /// buffer, writes are acknowledged once their data is transferred and
+    /// buffered, and NAND programming drains in the background.
+    pub write_cache: Option<Bytes>,
+    /// Extra controller latency on cached write acknowledgements (FTL
+    /// metadata, command handling — the millisecond-scale floor real eMMC
+    /// parts show even for buffered 4 KiB writes).
+    pub cache_write_overhead: SimDuration,
+    /// Optional SLC-mode region absorbing small writes (Implication 5);
+    /// `None` for a plain MLC device.
+    pub slc: Option<SlcConfig>,
+    /// Optional RAM read cache (Implication 3's subject); `None` disables.
+    pub read_cache: Option<Bytes>,
+}
+
+impl DeviceConfig {
+    /// The paper's Table V device for the given scheme: 32 GiB, 2×1×2×2
+    /// geometry, Micron latencies, Nexus 5 power model.
+    pub fn table_v(scheme: SchemeKind) -> Self {
+        DeviceConfig {
+            scheme,
+            ftl: scheme.table_v_ftl(),
+            timing: NandTiming::TABLE_V,
+            power: PowerConfig::NEXUS5,
+            cmd_overhead: SimDuration::from_us(100),
+            idle_gc_min_gap: SimDuration::from_ms(200),
+            channel_mode: ChannelMode::Legacy,
+            write_cache: None,
+            cache_write_overhead: SimDuration::from_ms(1),
+            slc: None,
+            read_cache: None,
+        }
+    }
+
+    /// Enables an SLC-mode write region (Implication 5).
+    pub fn with_slc(mut self, slc: SlcConfig) -> Self {
+        self.slc = Some(slc);
+        self
+    }
+
+    /// Enables a RAM read cache of the given capacity (Implication 3).
+    pub fn with_read_cache(mut self, capacity: Bytes) -> Self {
+        self.read_cache = Some(capacity);
+        self
+    }
+
+    /// Enables the RAM write buffer (real-device semantics; used by the
+    /// Table IV characterization replays). The paper's case study keeps it
+    /// disabled.
+    pub fn with_write_cache(mut self, capacity: Bytes) -> Self {
+        self.write_cache = Some(capacity);
+        self
+    }
+
+    /// A scaled-down device (same shape, tiny capacity) for tests and
+    /// GC-pressure experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_4k_equiv` is not a positive multiple of 4.
+    pub fn scaled(scheme: SchemeKind, blocks_4k_equiv: usize, pages_per_block: usize) -> Self {
+        let mut cfg = Self::table_v(scheme);
+        cfg.ftl = scheme.scaled_ftl(blocks_4k_equiv, pages_per_block);
+        cfg
+    }
+}
+
+/// Timestamps of one served request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// When the device accepted the request (end of any queueing).
+    pub service_start: SimTime,
+    /// When the last flash operation finished.
+    pub finish: SimTime,
+    /// Wake-up penalty this request paid (zero if the device was awake).
+    pub wakeup: SimDuration,
+}
+
+/// A simulated eMMC device replaying block-level requests.
+pub struct EmmcDevice {
+    config: DeviceConfig,
+    ftl: Ftl,
+    sched: ResourceSchedule,
+    power: PowerModel,
+    /// FIFO device interface: when the previous request finished.
+    busy_until: SimTime,
+    /// Plane placement order (channel-striped, then die-striped) and the
+    /// round-robin cursor into it.
+    plane_order: Vec<usize>,
+    next_plane: usize,
+    idle_gc_passes: u64,
+    logical_pages: u64,
+    cache: Option<WriteCache>,
+    slc: Option<SlcBuffer>,
+    read_cache: Option<ReadCache>,
+    /// Chunks that could not be placed in their preferred pool and spilled
+    /// into the other page size (HPS under pool-capacity pressure).
+    pool_spills: u64,
+}
+
+impl EmmcDevice {
+    /// Builds a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hps_core::Error::InvalidConfig`] if the FTL configuration
+    /// is invalid.
+    pub fn new(config: DeviceConfig) -> Result<Self> {
+        let ftl = Ftl::new(config.ftl.clone())?;
+        let sched =
+            ResourceSchedule::new(config.ftl.geometry, config.timing, config.channel_mode);
+        let logical_pages = ftl.logical_capacity().as_u64() / 4096;
+        let plane_order = striped_plane_order(config.ftl.geometry);
+        let cache = config.write_cache.map(WriteCache::new);
+        let slc = config.slc.map(SlcBuffer::new);
+        let read_cache = config.read_cache.map(ReadCache::new);
+        Ok(EmmcDevice {
+            power: PowerModel::new(config.power),
+            config,
+            ftl,
+            sched,
+            busy_until: SimTime::ZERO,
+            plane_order,
+            next_plane: 0,
+            idle_gc_passes: 0,
+            logical_pages,
+            cache,
+            slc,
+            read_cache,
+            pool_spills: 0,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The device's FTL (read-only view for inspection).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// When the device becomes idle after everything submitted so far.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Serves one request. Requests must be submitted in non-decreasing
+    /// arrival order (the FIFO interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hps_core::Error::CapacityExhausted`] when the workload
+    /// overflows the device even after garbage collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if requests arrive out of order.
+    pub fn submit(&mut self, request: &IoRequest) -> Result<Completion> {
+        let arrival = request.arrival;
+
+        // Idle-time GC (Implication 2): if the gap since the device went
+        // idle is long, reclaim garbage invisibly before the request lands.
+        if self.config.ftl.gc_trigger.collects_when_idle()
+            && arrival.saturating_since(self.busy_until) >= self.config.idle_gc_min_gap
+        {
+            let ops = self.ftl.idle_gc()?;
+            if !ops.is_empty() {
+                self.idle_gc_passes += 1;
+                let gc_finish = self.sched.schedule_batch(&ops, self.busy_until);
+                self.busy_until = self.busy_until.max(gc_finish);
+            }
+        }
+
+        let wakeup = self.power.wakeup_penalty(arrival);
+        let service_start = arrival.max(self.busy_until);
+        let start = service_start + wakeup + self.config.cmd_overhead;
+
+        let ops = self.build_ops(request)?;
+        let flash_finish = self.sched.schedule_batch(&ops, start).max(start);
+
+        // SLC-mode region (Implication 5): small writes are acknowledged
+        // after the fast SLC program; the MLC programs already scheduled on
+        // the resources model the background migration drain.
+        let slc_finish = match (&mut self.slc, request.direction) {
+            (Some(slc), Direction::Write) if slc.absorbs(request.size) => {
+                let space_ready = slc.admit(start, request.size, flash_finish);
+                let host_xfer = SimDuration::from_ns(
+                    request.size.as_u64() * self.config.timing.transfer_ns_per_byte,
+                );
+                Some(start.max(space_ready) + host_xfer + slc.program_time(request.size))
+            }
+            _ => None,
+        };
+        if let Some(finish) = slc_finish {
+            self.busy_until = finish;
+            self.power.note_activity(flash_finish.max(finish));
+            return Ok(Completion { service_start, finish, wakeup });
+        }
+
+        // With the RAM buffer enabled, writes are acknowledged once the
+        // data is transferred into the buffer; programming drains in the
+        // background (its resource reservations are already in `sched`, so
+        // later requests contend with the drain naturally).
+        let finish = match (&mut self.cache, request.direction) {
+            (Some(cache), Direction::Write) => {
+                match cache.admit(start, request.size, flash_finish) {
+                    Some(space_ready) => {
+                        let host_xfer = SimDuration::from_ns(
+                            request.size.as_u64() * self.config.timing.transfer_ns_per_byte,
+                        );
+                        start.max(space_ready) + self.config.cache_write_overhead + host_xfer
+                    }
+                    None => flash_finish, // larger than the buffer: write-through
+                }
+            }
+            _ => flash_finish,
+        };
+
+        self.busy_until = finish;
+        self.power.note_activity(flash_finish.max(finish));
+        Ok(Completion { service_start, finish, wakeup })
+    }
+
+    /// Replays a whole trace, filling in each record's service-start and
+    /// finish timestamps, and returns the replay's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error a submission raises.
+    pub fn replay(&mut self, trace: &mut Trace) -> Result<ReplayMetrics> {
+        let mut metrics = ReplayMetrics {
+            trace_name: trace.name().to_string(),
+            scheme: self.config.scheme.label().to_string(),
+            ..ReplayMetrics::default()
+        };
+        for record in trace.records_mut() {
+            let completion = self.submit(&record.request)?;
+            *record = record
+                .with_service_start(completion.service_start)
+                .with_finish(completion.finish);
+            metrics.total_requests += 1;
+            match record.request.direction {
+                Direction::Read => metrics.reads += 1,
+                Direction::Write => metrics.writes += 1,
+            }
+            let response_ms = record.response_time().expect("just completed").as_ms_f64();
+            metrics.response_ms.push(response_ms);
+            metrics.response_samples_ms.push(response_ms);
+            metrics
+                .service_ms
+                .push(record.service_time().expect("just completed").as_ms_f64());
+            if record.served_immediately() {
+                metrics.nowait_requests += 1;
+            }
+        }
+        metrics.ftl = self.ftl.stats();
+        metrics.space = self.ftl.space();
+        metrics.wear = self.ftl.wear();
+        metrics.mode_switches = self.power.mode_switches();
+        metrics.time_asleep = self.power.time_asleep();
+        metrics.idle_gc_passes = self.idle_gc_passes;
+        metrics.pool_spills = self.pool_spills;
+        Ok(metrics)
+    }
+
+    /// Builds the flash operations for a request (including any GC the FTL
+    /// performs inline for writes).
+    fn build_ops(&mut self, request: &IoRequest) -> Result<Vec<FlashOp>> {
+        let request = self.clamp_to_capacity(request);
+        match request.direction {
+            Direction::Write => {
+                let chunks = split_request(&request, self.config.scheme);
+                // Write-allocate into the read cache: recently written data
+                // is the likeliest to be re-read.
+                if let Some(cache) = &mut self.read_cache {
+                    for chunk in &chunks {
+                        for &lpn in &chunk.lpns {
+                            cache.insert(lpn);
+                        }
+                    }
+                }
+                let mut ops = Vec::with_capacity(chunks.len());
+                for chunk in chunks {
+                    let plane = self.pick_plane();
+                    match self.ftl.write_chunk(plane, chunk.page_size, &chunk.lpns, chunk.data)
+                    {
+                        Ok(chunk_ops) => ops.extend(chunk_ops),
+                        Err(Error::CapacityExhausted { .. }) => {
+                            ops.extend(self.spill_chunk(plane, &chunk)?);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(ops)
+            }
+            Direction::Read => {
+                let first = Lpn::from_lba(request.lba);
+                let pages = request.size.div_ceil(Bytes::kib(4));
+                let mut lpns: Vec<Lpn> = (0..pages).map(|i| Lpn(first.0 + i)).collect();
+                // RAM read cache (Implication 3): cached pages cost no
+                // flash operation.
+                if let Some(cache) = &mut self.read_cache {
+                    lpns.retain(|&lpn| !cache.lookup(lpn));
+                }
+                let (mut ops, unmapped) = self.ftl.read_ops(&lpns);
+                // Never-written LPNs model pre-existing data (the trace was
+                // captured on a device with a populated filesystem): charge
+                // the reads the scheme would perform, page-sized like writes.
+                for run in consecutive_runs(&unmapped) {
+                    for chunk in split_lpn_run(run.0, run.1, self.config.scheme) {
+                        let plane = self.pick_plane();
+                        ops.push(FlashOp::read(plane, chunk.page_size));
+                    }
+                }
+                Ok(ops)
+            }
+        }
+    }
+
+    /// Wraps a request so it fits inside the logical capacity.
+    fn clamp_to_capacity(&self, request: &IoRequest) -> IoRequest {
+        let pages = request.size.div_ceil(Bytes::kib(4)).max(1);
+        let max_start = self.logical_pages.saturating_sub(pages);
+        let lpn = (request.lba / 4096).min(max_start) % self.logical_pages.max(1);
+        let mut clamped = *request;
+        clamped.lba = lpn * 4096;
+        clamped
+    }
+
+    /// Places a chunk whose preferred pool is exhausted into the *other*
+    /// page size (HPS only): an 8 KiB pair becomes two 4 KiB pages; a lone
+    /// 4 KiB chunk pads into an 8 KiB page (half wasted). Without an
+    /// alternative pool the original exhaustion propagates.
+    fn spill_chunk(&mut self, plane: usize, chunk: &crate::distributor::Chunk) -> Result<Vec<FlashOp>> {
+        let k4 = Bytes::kib(4);
+        let k8 = Bytes::kib(8);
+        let exhausted = || Error::CapacityExhausted {
+            location: format!("plane {plane} (both pools, spill failed)"),
+        };
+        let mut ops = Vec::new();
+        if chunk.page_size == k8 && self.config.scheme.has_4k() {
+            for &lpn in &chunk.lpns {
+                let plane = self.pick_plane();
+                ops.extend(
+                    self.ftl
+                        .write_chunk(plane, k4, &[lpn], k4)
+                        .map_err(|_| exhausted())?,
+                );
+            }
+        } else if chunk.page_size == k4 && self.config.scheme.has_8k() {
+            ops.extend(
+                self.ftl
+                    .write_chunk(plane, k8, &chunk.lpns, chunk.data)
+                    .map_err(|_| exhausted())?,
+            );
+        } else {
+            return Err(exhausted());
+        }
+        self.pool_spills += 1;
+        Ok(ops)
+    }
+
+    /// Chunks spilled across pools so far (see [`Self::spill_chunk`]).
+    pub fn pool_spills(&self) -> u64 {
+        self.pool_spills
+    }
+
+    /// The SLC region's runtime state, when configured.
+    pub fn slc(&self) -> Option<&SlcBuffer> {
+        self.slc.as_ref()
+    }
+
+    /// The read cache's runtime state, when configured.
+    pub fn read_cache(&self) -> Option<&ReadCache> {
+        self.read_cache.as_ref()
+    }
+
+    /// Round-robin plane placement for writes and synthetic reads — the
+    /// dynamic allocation strategy. The order stripes channels first and
+    /// dies second, so consecutive chunks exploit the device's parallelism.
+    fn pick_plane(&mut self) -> usize {
+        let plane = self.plane_order[self.next_plane];
+        self.next_plane = (self.next_plane + 1) % self.plane_order.len();
+        plane
+    }
+}
+
+/// Plane placement order that alternates channels first, then dies within
+/// a channel, then planes within a die — consecutive sub-requests land on
+/// independent resources.
+fn striped_plane_order(geometry: hps_nand::Geometry) -> Vec<usize> {
+    let mut order = Vec::with_capacity(geometry.planes_total());
+    let dies_per_channel = geometry.chips_per_channel * geometry.dies_per_chip;
+    for plane_in_die in 0..geometry.planes_per_die {
+        for die_in_channel in 0..dies_per_channel {
+            for channel in 0..geometry.channels {
+                let die_flat = channel * dies_per_channel + die_in_channel;
+                order.push(die_flat * geometry.planes_per_die + plane_in_die);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), geometry.planes_total());
+    order
+}
+
+impl core::fmt::Debug for EmmcDevice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EmmcDevice")
+            .field("scheme", &self.config.scheme)
+            .field("busy_until", &self.busy_until)
+            .field("ftl", &self.ftl)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Groups sorted LPNs into `(start, length)` runs of consecutive values.
+fn consecutive_runs(lpns: &[Lpn]) -> Vec<(Lpn, u64)> {
+    let mut runs = Vec::new();
+    let mut iter = lpns.iter();
+    let Some(&first) = iter.next() else {
+        return runs;
+    };
+    let mut start = first;
+    let mut len = 1u64;
+    for &lpn in iter {
+        if lpn.0 == start.0 + len {
+            len += 1;
+        } else {
+            runs.push((start, len));
+            start = lpn;
+            len = 1;
+        }
+    }
+    runs.push((start, len));
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::Direction;
+
+    fn device(scheme: SchemeKind) -> EmmcDevice {
+        let mut cfg = DeviceConfig::scaled(scheme, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        EmmcDevice::new(cfg).unwrap()
+    }
+
+    fn req(id: u64, ms: u64, dir: Direction, kib: u64, lba: u64) -> IoRequest {
+        IoRequest::new(id, SimTime::from_ms(ms), dir, Bytes::kib(kib), lba)
+    }
+
+    #[test]
+    fn consecutive_runs_grouping() {
+        let lpns = [Lpn(1), Lpn(2), Lpn(3), Lpn(7), Lpn(9), Lpn(10)];
+        assert_eq!(consecutive_runs(&lpns), vec![(Lpn(1), 3), (Lpn(7), 1), (Lpn(9), 2)]);
+        assert!(consecutive_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_write_completes_after_program() {
+        let mut dev = device(SchemeKind::Ps4);
+        let c = dev.submit(&req(0, 10, Direction::Write, 4, 0)).unwrap();
+        assert_eq!(c.service_start, SimTime::from_ms(10));
+        let t = NandTiming::TABLE_V;
+        let expected = SimTime::from_ms(10)
+            + SimDuration::from_us(100)
+            + t.transfer(Bytes::kib(4))
+            + t.page_4k.program;
+        assert_eq!(c.finish, expected);
+    }
+
+    #[test]
+    fn fifo_queueing_delays_back_to_back_requests() {
+        let mut dev = device(SchemeKind::Ps4);
+        let c0 = dev.submit(&req(0, 0, Direction::Write, 4, 0)).unwrap();
+        let c1 = dev.submit(&req(1, 0, Direction::Write, 4, 8192)).unwrap();
+        assert_eq!(c1.service_start, c0.finish, "second request waits");
+        assert!(c1.finish > c0.finish);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_wait() {
+        let mut dev = device(SchemeKind::Ps4);
+        dev.submit(&req(0, 0, Direction::Write, 4, 0)).unwrap();
+        let c1 = dev.submit(&req(1, 500, Direction::Write, 4, 8192)).unwrap();
+        assert_eq!(c1.service_start, SimTime::from_ms(500), "device was idle");
+    }
+
+    #[test]
+    fn hps_beats_4ps_on_large_writes() {
+        let big = req(0, 0, Direction::Write, 256, 0);
+        let mut d4 = device(SchemeKind::Ps4);
+        let mut dh = device(SchemeKind::Hps);
+        let f4 = d4.submit(&big).unwrap().finish;
+        let fh = dh.submit(&big).unwrap().finish;
+        assert!(
+            fh < f4,
+            "HPS large write ({fh}) must beat 4PS ({f4})"
+        );
+    }
+
+    #[test]
+    fn hps_beats_8ps_on_small_writes() {
+        let small = req(0, 0, Direction::Write, 4, 0);
+        let mut d8 = device(SchemeKind::Ps8);
+        let mut dh = device(SchemeKind::Hps);
+        let f8 = d8.submit(&small).unwrap().finish;
+        let fh = dh.submit(&small).unwrap().finish;
+        assert!(fh < f8, "HPS 4K write ({fh}) must beat 8PS ({f8})");
+    }
+
+    #[test]
+    fn read_after_write_uses_mapping() {
+        let mut dev = device(SchemeKind::Hps);
+        dev.submit(&req(0, 0, Direction::Write, 16, 0)).unwrap();
+        let c = dev.submit(&req(1, 1000, Direction::Read, 16, 0)).unwrap();
+        assert!(c.finish > c.service_start);
+    }
+
+    #[test]
+    fn unmapped_reads_still_cost_time() {
+        let mut dev = device(SchemeKind::Ps4);
+        let c = dev.submit(&req(0, 0, Direction::Read, 64, 0)).unwrap();
+        let t = NandTiming::TABLE_V;
+        // 16 synthetic page reads cannot be free.
+        assert!(c.finish - c.service_start >= t.page_4k.read);
+    }
+
+    #[test]
+    fn replay_fills_timestamps_and_metrics() {
+        let mut trace = Trace::new("unit");
+        for i in 0..10u64 {
+            trace.push_request(req(i, i * 100, Direction::Write, 4, i * 4096));
+        }
+        let mut dev = device(SchemeKind::Ps4);
+        let metrics = dev.replay(&mut trace).unwrap();
+        assert!(trace.is_replayed());
+        assert_eq!(metrics.total_requests, 10);
+        assert_eq!(metrics.writes, 10);
+        assert_eq!(metrics.nowait_pct(), 100.0, "100ms gaps dwarf service times");
+        assert!(metrics.mean_response_ms() > 0.0);
+        assert!(metrics.space_utilization() > 0.99);
+    }
+
+    #[test]
+    fn wakeup_penalty_visible_in_service_time() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+        cfg.power = PowerConfig::NEXUS5;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        dev.submit(&req(0, 0, Direction::Write, 4, 0)).unwrap();
+        // 2 s gap → doze → wake penalty.
+        let c = dev.submit(&req(1, 2_000, Direction::Write, 4, 8192)).unwrap();
+        assert_eq!(c.wakeup, SimDuration::from_ms(5));
+        assert!(c.finish - c.service_start >= SimDuration::from_ms(5));
+    }
+
+    #[test]
+    fn lba_clamp_keeps_requests_in_range() {
+        let mut dev = device(SchemeKind::Ps4);
+        // Device capacity is 64 × 16 × 4 KiB × 8 planes = 32 MiB; aim beyond.
+        let c = dev.submit(&req(0, 0, Direction::Write, 4, 1 << 40)).unwrap();
+        assert!(c.finish > c.service_start);
+    }
+
+    #[test]
+    fn cached_write_acks_at_buffer_speed() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        cfg.write_cache = Some(Bytes::kib(512));
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        let c = dev.submit(&req(0, 0, Direction::Write, 4, 0)).unwrap();
+        // Ack = cmd overhead + cache overhead + host transfer, far below
+        // the 1.385 ms NAND program.
+        let t = NandTiming::TABLE_V;
+        let expected = SimTime::ZERO
+            + SimDuration::from_us(100)
+            + SimDuration::from_ms(1)
+            + t.transfer(Bytes::kib(4));
+        assert_eq!(c.finish, expected);
+        assert!(c.finish - c.service_start < t.page_4k.program + SimDuration::from_ms(1));
+    }
+
+    #[test]
+    fn cache_backpressure_slows_sustained_writes() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        cfg.write_cache = Some(Bytes::kib(16));
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        // Hammer 32 x 8 KiB writes back-to-back: the 16 KiB buffer must
+        // stall on NAND drain, so late acks approach NAND speed.
+        let mut last = SimTime::ZERO;
+        for i in 0..32u64 {
+            last = dev
+                .submit(&req(i, 0, Direction::Write, 8, i * 8192))
+                .unwrap()
+                .finish;
+        }
+        let t = NandTiming::TABLE_V;
+        // 32 x 8 KiB = 64 pages; even perfectly parallel across 2 channels
+        // that is >= 32 program slots of drain time.
+        assert!(
+            last >= SimTime::ZERO + t.page_4k.program * 16,
+            "backpressure must surface NAND speed, finished at {last}"
+        );
+    }
+
+    #[test]
+    fn oversized_write_bypasses_cache() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        cfg.write_cache = Some(Bytes::kib(16));
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        let c = dev.submit(&req(0, 0, Direction::Write, 64, 0)).unwrap();
+        let t = NandTiming::TABLE_V;
+        assert!(c.finish - c.service_start >= t.page_4k.program, "write-through path");
+    }
+
+    #[test]
+    fn ps8_wastes_space_on_4k_writes_hps_does_not() {
+        let mut d8 = device(SchemeKind::Ps8);
+        let mut dh = device(SchemeKind::Hps);
+        for i in 0..8u64 {
+            let r = req(i, i * 10, Direction::Write, 4, i * 4096);
+            d8.submit(&r).unwrap();
+            dh.submit(&r).unwrap();
+        }
+        assert!((d8.ftl().space().utilization() - 0.5).abs() < 1e-9);
+        assert!((dh.ftl().space().utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_cache_eliminates_repeat_flash_reads() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16)
+            .with_read_cache(Bytes::mib(1));
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        dev.submit(&req(0, 0, Direction::Write, 16, 0)).unwrap();
+        let cold = dev.submit(&req(1, 100, Direction::Read, 16, 0)).unwrap();
+        // The write write-allocated the pages, so even the first read hits.
+        let t = NandTiming::TABLE_V;
+        assert!(cold.finish - cold.service_start < t.page_4k.read);
+        let rc = dev.read_cache().unwrap();
+        assert_eq!(rc.misses(), 0);
+        assert_eq!(rc.hits(), 4);
+    }
+
+    #[test]
+    fn read_cache_hit_rate_tracks_reuse() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16)
+            .with_read_cache(Bytes::kib(64));
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        // Stream of never-reused reads: hit rate ~0.
+        for i in 0..50u64 {
+            dev.submit(&req(i, i * 10, Direction::Read, 4, (1000 + i * 64) * 4096)).unwrap();
+        }
+        assert!(dev.read_cache().unwrap().hit_rate() < 0.05);
+    }
+
+    #[test]
+    fn slc_region_accelerates_small_writes() {
+        let mut plain = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+        plain.power = PowerConfig::DISABLED;
+        let slc_cfg = plain.clone().with_slc(crate::slc::SlcConfig {
+            capacity: Bytes::mib(1),
+            program: SimDuration::from_us(450),
+            max_request: Bytes::kib(8),
+        });
+
+        let r = req(0, 0, Direction::Write, 4, 0);
+        let mlc = EmmcDevice::new(plain).unwrap().submit(&r).unwrap();
+        let slc = EmmcDevice::new(slc_cfg).unwrap().submit(&r).unwrap();
+        let t = NandTiming::TABLE_V;
+        assert!(
+            slc.finish < mlc.finish,
+            "SLC ack {} must beat MLC {}",
+            slc.finish,
+            mlc.finish
+        );
+        assert!(slc.finish - slc.service_start < t.page_4k.program);
+    }
+
+    #[test]
+    fn slc_region_ignores_large_writes() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(
+            crate::slc::SlcConfig {
+                capacity: Bytes::mib(1),
+                program: SimDuration::from_us(450),
+                max_request: Bytes::kib(8),
+            },
+        );
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        let c = dev.submit(&req(0, 0, Direction::Write, 64, 0)).unwrap();
+        let t = NandTiming::TABLE_V;
+        assert!(c.finish - c.service_start >= t.page_4k.program, "MLC path for bulk");
+        assert_eq!(dev.slc().unwrap().absorbed(), 0);
+    }
+
+    #[test]
+    fn slc_backpressure_degrades_to_drain_speed() {
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(
+            crate::slc::SlcConfig {
+                capacity: Bytes::kib(16),
+                program: SimDuration::from_us(450),
+                max_request: Bytes::kib(8),
+            },
+        );
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        for i in 0..32u64 {
+            dev.submit(&req(i, 0, Direction::Write, 8, i * 8192)).unwrap();
+        }
+        assert!(dev.slc().unwrap().stalls() > 0, "tiny region must backpressure");
+    }
+}

@@ -1,0 +1,46 @@
+//! Event-driven eMMC device simulator — the paper's case-study platform.
+//!
+//! This crate is the reproduction's core: an SSDsim-style eMMC model that
+//! replays block-level traces against the three page-size schemes of the
+//! paper's Section V:
+//!
+//! * **4PS** — every block has 4 KiB pages (the conventional baseline);
+//! * **8PS** — every block has 8 KiB pages (the large-page design);
+//! * **HPS** — the paper's contribution: every die mixes 512 four-KiB-page
+//!   blocks and 256 eight-KiB-page blocks per plane, and a **request
+//!   distributor** splits each request so bulk data lands in 8 KiB pages
+//!   while 4 KiB tails land in 4 KiB pages — fast large requests *and* no
+//!   padding waste.
+//!
+//! Module map:
+//!
+//! * [`scheme`] — Table V configurations and the [`SchemeKind`] enum.
+//! * [`distributor`] — request splitting into page-sized chunks.
+//! * [`power`] — the low-power mode of Characteristic 4 (idle devices sleep
+//!   and pay a wake-up latency).
+//! * [`schedule`] — channel/die occupancy: the resource model that turns
+//!   [`hps_ftl::FlashOp`]s into simulated time.
+//! * [`device`] — the device itself: FIFO request service (eMMC 4.5 has no
+//!   command queue), trace replay, idle-time GC.
+//! * [`metrics`] — per-replay measurements (mean response time, NoWait
+//!   ratio, GC stalls, space utilization).
+
+pub mod cache;
+pub mod device;
+pub mod distributor;
+pub mod metrics;
+pub mod power;
+pub mod readcache;
+pub mod schedule;
+pub mod slc;
+pub mod scheme;
+
+pub use cache::WriteCache;
+pub use device::{DeviceConfig, EmmcDevice};
+pub use distributor::{split_request, Chunk};
+pub use metrics::ReplayMetrics;
+pub use power::{PowerConfig, PowerModel};
+pub use schedule::{ChannelMode, ResourceSchedule};
+pub use scheme::SchemeKind;
+pub use readcache::ReadCache;
+pub use slc::{SlcBuffer, SlcConfig};

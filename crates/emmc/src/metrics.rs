@@ -1,0 +1,185 @@
+//! Measurements collected over one trace replay.
+
+use hps_core::{RunningStats, SimDuration};
+use hps_ftl::{FtlStats, SpaceAccounting};
+use hps_nand::WearStats;
+use core::fmt;
+
+/// Everything the paper's evaluation reports about one (trace, scheme)
+/// replay: mean response time (Fig. 8), space utilization (Fig. 9), the
+/// NoWait ratio and service times (Table IV), and the GC/wear/power
+/// counters used by the ablations.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayMetrics {
+    /// Trace that was replayed.
+    pub trace_name: String,
+    /// Scheme label (`"4PS"`, `"8PS"`, `"HPS"`).
+    pub scheme: String,
+    /// Response times in milliseconds (finish − arrival).
+    pub response_ms: RunningStats,
+    /// Service times in milliseconds (finish − service start).
+    pub service_ms: RunningStats,
+    /// Requests that found the device idle on arrival.
+    pub nowait_requests: u64,
+    /// Total requests replayed.
+    pub total_requests: u64,
+    /// Read requests replayed.
+    pub reads: u64,
+    /// Write requests replayed.
+    pub writes: u64,
+    /// FTL operation counters at the end of the replay.
+    pub ftl: FtlStats,
+    /// Space utilization accounting (Fig. 9's metric).
+    pub space: SpaceAccounting,
+    /// Erase-count distribution at the end of the replay.
+    pub wear: WearStats,
+    /// Times the device entered low-power mode.
+    pub mode_switches: u64,
+    /// Simulated time spent asleep.
+    pub time_asleep: SimDuration,
+    /// Idle-time GC passes performed between requests.
+    pub idle_gc_passes: u64,
+    /// Write chunks that spilled into the other page-size pool under
+    /// capacity pressure (HPS only).
+    pub pool_spills: u64,
+    /// Raw response-time samples in milliseconds (for percentiles and the
+    /// Fig. 5 distributions); same order as the replayed records.
+    pub response_samples_ms: Vec<f64>,
+}
+
+impl ReplayMetrics {
+    /// Mean response time in milliseconds — the Fig. 8 metric.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response_ms.mean()
+    }
+
+    /// Mean service time in milliseconds.
+    pub fn mean_service_ms(&self) -> f64 {
+        self.service_ms.mean()
+    }
+
+    /// Fraction of requests served without waiting, in percent
+    /// (Table IV's *NoWait Req. Ratio*).
+    pub fn nowait_pct(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            100.0 * self.nowait_requests as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Space utilization in `[0, 1]` — the Fig. 9 metric.
+    pub fn space_utilization(&self) -> f64 {
+        self.space.utilization()
+    }
+
+    /// Response-time percentile in milliseconds (`q` in `[0, 1]`); `None`
+    /// before any request completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn response_percentile_ms(&self, q: f64) -> Option<f64> {
+        let mut samples = self.response_samples_ms.clone();
+        hps_core::stats::quantile(&mut samples, q)
+    }
+
+    /// Median (p50) response time in milliseconds; `0.0` when empty.
+    pub fn p50_response_ms(&self) -> f64 {
+        self.response_percentile_ms(0.5).unwrap_or(0.0)
+    }
+
+    /// Tail (p99) response time in milliseconds; `0.0` when empty.
+    pub fn p99_response_ms(&self) -> f64 {
+        self.response_percentile_ms(0.99).unwrap_or(0.0)
+    }
+
+    /// Relative mean-response-time reduction versus a baseline, in percent:
+    /// `100 × (base − self) / base`. Positive means this replay is faster.
+    pub fn mrt_reduction_vs(&self, baseline: &ReplayMetrics) -> f64 {
+        let base = baseline.mean_response_ms();
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * (base - self.mean_response_ms()) / base
+        }
+    }
+
+    /// Relative space-utilization improvement versus a baseline, in percent.
+    pub fn utilization_gain_vs(&self, baseline: &ReplayMetrics) -> f64 {
+        let base = baseline.space_utilization();
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.space_utilization() - base) / base
+        }
+    }
+}
+
+impl fmt::Display for ReplayMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: MRT={:.3}ms serv={:.3}ms nowait={:.0}% util={:.1}% gc_runs={}",
+            self.trace_name,
+            self.scheme,
+            self.mean_response_ms(),
+            self.mean_service_ms(),
+            self.nowait_pct(),
+            self.space_utilization() * 100.0,
+            self.ftl.gc_runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_responses(values: &[f64]) -> ReplayMetrics {
+        let mut m = ReplayMetrics::default();
+        for &v in values {
+            m.response_ms.push(v);
+        }
+        m.total_requests = values.len() as u64;
+        m
+    }
+
+    #[test]
+    fn nowait_pct() {
+        let mut m = with_responses(&[1.0, 2.0, 3.0, 4.0]);
+        m.nowait_requests = 3;
+        assert!((m.nowait_pct() - 75.0).abs() < 1e-12);
+        assert_eq!(ReplayMetrics::default().nowait_pct(), 0.0);
+    }
+
+    #[test]
+    fn mrt_reduction() {
+        let fast = with_responses(&[1.0]);
+        let slow = with_responses(&[4.0]);
+        assert!((fast.mrt_reduction_vs(&slow) - 75.0).abs() < 1e-12);
+        assert!((slow.mrt_reduction_vs(&fast) + 300.0).abs() < 1e-12);
+        assert_eq!(fast.mrt_reduction_vs(&ReplayMetrics::default()), 0.0);
+    }
+
+    #[test]
+    fn percentiles_from_samples() {
+        let mut m = ReplayMetrics::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            m.response_samples_ms.push(v);
+        }
+        assert_eq!(m.p50_response_ms(), 3.0);
+        assert!(m.p99_response_ms() > 4.0);
+        assert_eq!(ReplayMetrics::default().p50_response_ms(), 0.0);
+    }
+
+    #[test]
+    fn utilization_gain() {
+        let mut a = ReplayMetrics::default();
+        a.space.record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(20));
+        let mut b = ReplayMetrics::default();
+        b.space.record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(24));
+        // a: 100%, b: 83.3% -> a is 20% better than b.
+        assert!((a.utilization_gain_vs(&b) - 20.0).abs() < 1e-9);
+    }
+}

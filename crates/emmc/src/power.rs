@@ -1,0 +1,183 @@
+//! The eMMC low-power mode (Characteristic 4).
+//!
+//! An eMMC device enters a low-power state when no request arrives for a
+//! power-saving threshold; the next request then pays a wake-up latency.
+//! The paper observes exactly this in the traces: applications with request
+//! inter-arrival times longer than the threshold (Idle, CallIn, CallOut,
+//! YouTube, WebBrowsing) show elevated mean service times because the
+//! device keeps dozing off between their sparse requests.
+
+use hps_core::{SimDuration, SimTime};
+
+/// Parameters of the power-saving behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerConfig {
+    /// Idle time after which the device enters low-power mode.
+    pub idle_threshold: SimDuration,
+    /// Extra latency the first request after a doze must pay.
+    pub wakeup_latency: SimDuration,
+    /// Master switch; `false` models a device that never sleeps.
+    pub enabled: bool,
+}
+
+impl PowerConfig {
+    /// Defaults calibrated to the Nexus 5 observations: doze after 500 ms
+    /// idle, wake in 5 ms.
+    pub const NEXUS5: PowerConfig = PowerConfig {
+        idle_threshold: SimDuration::from_ms(500),
+        wakeup_latency: SimDuration::from_ms(5),
+        enabled: true,
+    };
+
+    /// A configuration with power saving switched off.
+    pub const DISABLED: PowerConfig = PowerConfig {
+        idle_threshold: SimDuration::ZERO,
+        wakeup_latency: SimDuration::ZERO,
+        enabled: false,
+    };
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig::NEXUS5
+    }
+}
+
+/// Tracks device activity and answers "does this request pay a wake-up?".
+///
+/// # Example
+///
+/// ```
+/// use hps_core::{SimDuration, SimTime};
+/// use hps_emmc::{PowerConfig, PowerModel};
+///
+/// let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+/// pm.note_activity(SimTime::from_ms(0));
+/// // 600 ms of silence exceeds the 500 ms threshold: the device dozed.
+/// let penalty = pm.wakeup_penalty(SimTime::from_ms(600));
+/// assert_eq!(penalty, SimDuration::from_ms(5));
+/// assert_eq!(pm.mode_switches(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PowerModel {
+    config: PowerConfig,
+    last_activity: Option<SimTime>,
+    mode_switches: u64,
+    time_asleep: SimDuration,
+}
+
+impl PowerModel {
+    /// Creates a model for a device that has never been touched (awake at
+    /// power-on, as after the paper's per-trace reboot).
+    pub fn new(config: PowerConfig) -> Self {
+        PowerModel { config, last_activity: None, mode_switches: 0, time_asleep: SimDuration::ZERO }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> PowerConfig {
+        self.config
+    }
+
+    /// Called when a request arrives at `now`: returns the wake-up penalty
+    /// (zero if the device was still awake) and accounts the doze.
+    pub fn wakeup_penalty(&mut self, now: SimTime) -> SimDuration {
+        if !self.config.enabled {
+            return SimDuration::ZERO;
+        }
+        let Some(last) = self.last_activity else {
+            return SimDuration::ZERO;
+        };
+        let idle = now.saturating_since(last);
+        if idle > self.config.idle_threshold {
+            self.mode_switches += 1;
+            self.time_asleep += idle - self.config.idle_threshold;
+            self.config.wakeup_latency
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Records that the device finished work at `t` (arms the idle timer).
+    pub fn note_activity(&mut self, t: SimTime) {
+        self.last_activity = Some(self.last_activity.map_or(t, |prev| prev.max(t)));
+    }
+
+    /// How often the device entered low-power mode.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
+    /// Total simulated time spent in low-power mode.
+    pub fn time_asleep(&self) -> SimDuration {
+        self.time_asleep
+    }
+
+    /// `true` if the device would currently be asleep at `now`.
+    pub fn is_asleep_at(&self, now: SimTime) -> bool {
+        self.config.enabled
+            && self
+                .last_activity
+                .is_some_and(|last| now.saturating_since(last) > self.config.idle_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_pays_nothing() {
+        let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(100)), SimDuration::ZERO);
+        assert_eq!(pm.mode_switches(), 0);
+    }
+
+    #[test]
+    fn short_gaps_stay_awake() {
+        let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+        pm.note_activity(SimTime::from_ms(0));
+        assert_eq!(pm.wakeup_penalty(SimTime::from_ms(400)), SimDuration::ZERO);
+        assert!(!pm.is_asleep_at(SimTime::from_ms(400)));
+    }
+
+    #[test]
+    fn long_gaps_doze_and_pay() {
+        let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+        pm.note_activity(SimTime::from_ms(0));
+        assert!(pm.is_asleep_at(SimTime::from_secs(2)));
+        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(2)), SimDuration::from_ms(5));
+        assert_eq!(pm.mode_switches(), 1);
+        assert_eq!(pm.time_asleep(), SimDuration::from_ms(1_500));
+    }
+
+    #[test]
+    fn repeated_sparse_requests_keep_switching() {
+        let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+        let mut t = SimTime::ZERO;
+        pm.note_activity(t);
+        for _ in 0..5 {
+            t = t + SimDuration::from_secs(1);
+            pm.wakeup_penalty(t);
+            pm.note_activity(t);
+        }
+        assert_eq!(pm.mode_switches(), 5);
+    }
+
+    #[test]
+    fn disabled_never_sleeps() {
+        let mut pm = PowerModel::new(PowerConfig::DISABLED);
+        pm.note_activity(SimTime::ZERO);
+        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(3600)), SimDuration::ZERO);
+        assert!(!pm.is_asleep_at(SimTime::from_secs(3600)));
+        assert_eq!(pm.mode_switches(), 0);
+    }
+
+    #[test]
+    fn note_activity_keeps_latest() {
+        let mut pm = PowerModel::new(PowerConfig::NEXUS5);
+        pm.note_activity(SimTime::from_ms(100));
+        pm.note_activity(SimTime::from_ms(50)); // out-of-order completion
+        assert!(!pm.is_asleep_at(SimTime::from_ms(400)));
+        assert!(pm.is_asleep_at(SimTime::from_ms(700)));
+    }
+}

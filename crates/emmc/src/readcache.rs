@@ -1,0 +1,207 @@
+//! Device RAM read cache — the subject of Implication 3.
+//!
+//! "Both the temporal locality and spatial locality are weak in almost all
+//! traces … Therefore, a large size RAM buffer inside an eMMC device may
+//! not be beneficial for performance optimization because of a low hit
+//! rate."
+//!
+//! [`ReadCache`] is an LRU cache of 4 KiB logical pages, write-allocated
+//! (recent writes are cached too, as in real controller buffers). The
+//! `implication3` experiment sweeps its size across workloads and shows
+//! the hit rate tracking the traces' weak temporal locality — the paper's
+//! argument, quantified.
+
+use hps_core::Bytes;
+use hps_ftl::Lpn;
+use std::collections::{HashMap, VecDeque};
+
+/// An LRU cache over 4 KiB logical pages with lazy queue invalidation.
+#[derive(Clone, Debug)]
+pub struct ReadCache {
+    capacity_pages: usize,
+    /// LPN → last-use stamp.
+    map: HashMap<Lpn, u64>,
+    /// Access history, oldest first; stale entries (stamp mismatch) are
+    /// skipped during eviction.
+    queue: VecDeque<(Lpn, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReadCache {
+    /// Creates an empty cache of the given byte capacity (whole 4 KiB
+    /// pages; at least one page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: Bytes) -> Self {
+        assert!(!capacity.is_zero(), "read cache capacity must be non-zero");
+        ReadCache {
+            capacity_pages: (capacity.as_u64() / 4096).max(1) as usize,
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Looks one page up on the read path: returns `true` on a hit (and
+    /// refreshes recency); on a miss the caller fetches from flash and the
+    /// page is inserted.
+    pub fn lookup(&mut self, lpn: Lpn) -> bool {
+        if self.map.contains_key(&lpn) {
+            self.hits += 1;
+            self.touch(lpn);
+            true
+        } else {
+            self.misses += 1;
+            self.insert(lpn);
+            false
+        }
+    }
+
+    /// Write-allocates a page (writes refresh the cache without counting
+    /// toward the read hit rate).
+    pub fn insert(&mut self, lpn: Lpn) {
+        self.touch(lpn);
+        self.evict_to_capacity();
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Read lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Read lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all read lookups, in `[0, 1]`; `0.0` before any.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn touch(&mut self, lpn: Lpn) {
+        self.clock += 1;
+        self.map.insert(lpn, self.clock);
+        self.queue.push_back((lpn, self.clock));
+        // Bound the lazy queue: compact when it far outgrows the map.
+        if self.queue.len() > 4 * self.capacity_pages + 16 {
+            self.compact();
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() > self.capacity_pages {
+            match self.queue.pop_front() {
+                Some((lpn, stamp)) => {
+                    if self.map.get(&lpn) == Some(&stamp) {
+                        self.map.remove(&lpn);
+                    }
+                    // else: stale entry, skip.
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.queue.retain(|(lpn, stamp)| map.get(lpn) == Some(stamp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(pages: u64) -> ReadCache {
+        ReadCache::new(Bytes::kib(4 * pages))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(4);
+        assert!(!c.lookup(Lpn(1)), "cold miss");
+        assert!(c.lookup(Lpn(1)), "now cached");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = cache(2);
+        c.lookup(Lpn(1));
+        c.lookup(Lpn(2));
+        c.lookup(Lpn(3)); // evicts 1
+        assert_eq!(c.len(), 2);
+        assert!(!c.lookup(Lpn(1)), "1 was evicted");
+        assert!(c.lookup(Lpn(3)));
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_pages() {
+        let mut c = cache(2);
+        c.lookup(Lpn(1));
+        c.lookup(Lpn(2));
+        c.lookup(Lpn(1)); // refresh 1 → 2 is now the LRU
+        c.lookup(Lpn(3)); // evicts 2
+        assert!(c.lookup(Lpn(1)), "hot page survived");
+        assert!(!c.lookup(Lpn(2)), "cold page evicted");
+    }
+
+    #[test]
+    fn write_allocate_counts_no_read_stats() {
+        let mut c = cache(4);
+        c.insert(Lpn(9));
+        assert_eq!(c.hits() + c.misses(), 0);
+        assert!(c.lookup(Lpn(9)), "write-allocated page hits");
+    }
+
+    #[test]
+    fn queue_compaction_keeps_cache_correct() {
+        let mut c = cache(8);
+        for round in 0..100u64 {
+            for i in 0..8 {
+                c.lookup(Lpn(i));
+            }
+            let _ = round;
+        }
+        assert_eq!(c.len(), 8);
+        assert!(c.queue.len() <= 4 * c.capacity_pages + 16);
+        for i in 0..8 {
+            assert!(c.lookup(Lpn(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ReadCache::new(Bytes::ZERO);
+    }
+}

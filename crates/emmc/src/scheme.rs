@@ -1,0 +1,155 @@
+//! The three page-size schemes of Table V.
+
+use hps_core::Bytes;
+use hps_ftl::FtlConfig;
+use hps_ftl::gc::GcTrigger;
+use hps_nand::Geometry;
+use core::fmt;
+
+/// Which page-size organization the device uses (Table V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Pure 4 KiB pages: 1024 blocks per plane.
+    Ps4,
+    /// Pure 8 KiB pages: 512 blocks per plane.
+    Ps8,
+    /// Hybrid: 512 four-KiB blocks + 256 eight-KiB blocks per plane.
+    Hps,
+}
+
+impl SchemeKind {
+    /// All three schemes, in the paper's presentation order.
+    pub const ALL: [SchemeKind; 3] = [SchemeKind::Ps4, SchemeKind::Ps8, SchemeKind::Hps];
+
+    /// The paper's label for the scheme.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Ps4 => "4PS",
+            SchemeKind::Ps8 => "8PS",
+            SchemeKind::Hps => "HPS",
+        }
+    }
+
+    /// Per-plane block pools, Table V row "Blocks per plane".
+    pub fn pools(self) -> Vec<(Bytes, usize)> {
+        match self {
+            SchemeKind::Ps4 => vec![(Bytes::kib(4), 1024)],
+            SchemeKind::Ps8 => vec![(Bytes::kib(8), 512)],
+            SchemeKind::Hps => vec![(Bytes::kib(4), 512), (Bytes::kib(8), 256)],
+        }
+    }
+
+    /// Scaled-down pools with the same 2:1 capacity split, for fast tests
+    /// and GC-stressing experiments. `blocks_4k_equiv` is the total per-plane
+    /// capacity expressed in 4 KiB blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_4k_equiv` is not a positive multiple of 4.
+    pub fn scaled_pools(self, blocks_4k_equiv: usize) -> Vec<(Bytes, usize)> {
+        assert!(
+            blocks_4k_equiv >= 4 && blocks_4k_equiv.is_multiple_of(4),
+            "capacity must be a positive multiple of four 4 KiB blocks"
+        );
+        match self {
+            SchemeKind::Ps4 => vec![(Bytes::kib(4), blocks_4k_equiv)],
+            SchemeKind::Ps8 => vec![(Bytes::kib(8), blocks_4k_equiv / 2)],
+            SchemeKind::Hps => vec![
+                (Bytes::kib(4), blocks_4k_equiv / 2),
+                (Bytes::kib(8), blocks_4k_equiv / 4),
+            ],
+        }
+    }
+
+    /// `true` if the scheme has any 8 KiB pool.
+    pub fn has_8k(self) -> bool {
+        !matches!(self, SchemeKind::Ps4)
+    }
+
+    /// `true` if the scheme has any 4 KiB pool.
+    pub fn has_4k(self) -> bool {
+        !matches!(self, SchemeKind::Ps8)
+    }
+
+    /// The full Table V FTL configuration (32 GiB device).
+    pub fn table_v_ftl(self) -> FtlConfig {
+        FtlConfig {
+            geometry: Geometry::TABLE_V,
+            pools: self.pools(),
+            pages_per_block: 1024,
+            gc_trigger: GcTrigger::default(),
+        }
+    }
+
+    /// A scaled-down FTL configuration for tests and GC experiments: same
+    /// geometry and scheme shape, smaller blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks_4k_equiv` is not a positive multiple of 4.
+    pub fn scaled_ftl(self, blocks_4k_equiv: usize, pages_per_block: usize) -> FtlConfig {
+        FtlConfig {
+            geometry: Geometry::TABLE_V,
+            pools: self.scaled_pools(blocks_4k_equiv),
+            pages_per_block,
+            gc_trigger: GcTrigger::default(),
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_capacities_are_equal() {
+        // All three schemes must offer the same 32 GiB (Table V).
+        for scheme in SchemeKind::ALL {
+            let cfg = scheme.table_v_ftl();
+            assert_eq!(cfg.physical_capacity(), Bytes::gib(32), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn scaled_pools_preserve_capacity_split() {
+        for scheme in SchemeKind::ALL {
+            let pools = scheme.scaled_pools(16);
+            let capacity: u64 =
+                pools.iter().map(|&(s, n)| s.as_u64() * n as u64).sum();
+            assert_eq!(capacity, Bytes::kib(4).as_u64() * 16, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn hps_splits_two_to_one() {
+        let pools = SchemeKind::Hps.pools();
+        assert_eq!(pools, vec![(Bytes::kib(4), 512), (Bytes::kib(8), 256)]);
+        // 512×4K and 256×8K are each half of the plane capacity.
+        assert_eq!(512 * 4, 256 * 8);
+    }
+
+    #[test]
+    fn page_size_predicates() {
+        assert!(SchemeKind::Ps4.has_4k() && !SchemeKind::Ps4.has_8k());
+        assert!(!SchemeKind::Ps8.has_4k() && SchemeKind::Ps8.has_8k());
+        assert!(SchemeKind::Hps.has_4k() && SchemeKind::Hps.has_8k());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchemeKind::Ps4.label(), "4PS");
+        assert_eq!(format!("{}", SchemeKind::Hps), "HPS");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of four")]
+    fn scaled_pools_reject_odd_capacity() {
+        let _ = SchemeKind::Hps.scaled_pools(6);
+    }
+}

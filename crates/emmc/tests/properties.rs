@@ -1,0 +1,127 @@
+//! Property-based tests of the device layer: the distributor always covers
+//! requests exactly, and the device clock never runs backwards.
+
+use hps_core::{Bytes, Direction, IoRequest, SimTime};
+use hps_emmc::distributor::{data_carried, flash_consumed, split_request};
+use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
+use proptest::prelude::*;
+
+fn any_scheme() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![Just(SchemeKind::Ps4), Just(SchemeKind::Ps8), Just(SchemeKind::Hps)]
+}
+
+proptest! {
+    #[test]
+    fn distributor_covers_request_exactly(
+        scheme in any_scheme(),
+        pages in 1u64..600,
+        lba_page in 0u64..1_000_000,
+    ) {
+        let req = IoRequest::new(
+            0,
+            SimTime::ZERO,
+            Direction::Write,
+            Bytes::kib(4 * pages),
+            lba_page * 4096,
+        );
+        let chunks = split_request(&req, scheme);
+        // LPNs are exactly the request's span, in order, no duplicates.
+        let lpns: Vec<u64> = chunks.iter().flat_map(|c| c.lpns.iter().map(|l| l.0)).collect();
+        let expected: Vec<u64> = (lba_page..lba_page + pages).collect();
+        prop_assert_eq!(lpns, expected);
+        // Data carried equals the (page-aligned) request size.
+        prop_assert_eq!(data_carried(&chunks), Bytes::kib(4 * pages));
+        // Flash consumed >= data; equality unless 8PS pads a lone tail.
+        let consumed = flash_consumed(&chunks);
+        prop_assert!(consumed >= Bytes::kib(4 * pages));
+        match scheme {
+            SchemeKind::Ps8 => prop_assert!(consumed <= Bytes::kib(4 * pages + 4)),
+            _ => prop_assert_eq!(consumed, Bytes::kib(4 * pages)),
+        }
+        // Chunk shapes are legal for the scheme.
+        for c in &chunks {
+            prop_assert!((1..=2).contains(&c.lpns.len()));
+            match scheme {
+                SchemeKind::Ps4 => prop_assert_eq!(c.page_size, Bytes::kib(4)),
+                SchemeKind::Ps8 => prop_assert_eq!(c.page_size, Bytes::kib(8)),
+                SchemeKind::Hps => prop_assert!(
+                    c.page_size == Bytes::kib(4) || c.page_size == Bytes::kib(8)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn hps_never_wastes_flash(pages in 1u64..600) {
+        let req = IoRequest::new(0, SimTime::ZERO, Direction::Write, Bytes::kib(4 * pages), 0);
+        let chunks = split_request(&req, SchemeKind::Hps);
+        prop_assert_eq!(flash_consumed(&chunks), data_carried(&chunks));
+    }
+
+    #[test]
+    fn device_timestamps_are_monotone_and_causal(
+        scheme in any_scheme(),
+        reqs in prop::collection::vec(
+            (0u64..2_000, prop::bool::ANY, 1u64..32, 0u64..4_000),
+            1..60,
+        ),
+    ) {
+        let mut cfg = DeviceConfig::scaled(scheme, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        // Sort arrivals (FIFO interface requires order).
+        let mut arrivals: Vec<_> = reqs;
+        arrivals.sort_by_key(|r| r.0);
+        let mut prev_finish = SimTime::ZERO;
+        for (i, (ms, is_write, pages, lba_page)) in arrivals.into_iter().enumerate() {
+            let dir = if is_write { Direction::Write } else { Direction::Read };
+            let req = IoRequest::new(
+                i as u64,
+                SimTime::from_ms(ms),
+                dir,
+                Bytes::kib(4 * pages),
+                lba_page * 4096,
+            );
+            let c = dev.submit(&req).unwrap();
+            // Causality: service starts at or after arrival, finishes after
+            // it starts, and the FIFO order is respected.
+            prop_assert!(c.service_start >= req.arrival);
+            prop_assert!(c.finish > c.service_start);
+            prop_assert!(c.service_start >= prev_finish.min(c.service_start));
+            prop_assert!(c.finish >= prev_finish);
+            prev_finish = c.finish;
+        }
+    }
+
+    #[test]
+    fn replay_metrics_are_internally_consistent(
+        n in 1usize..60,
+        seed in 0u64..1_000,
+    ) {
+        use hps_core::SimRng;
+        let mut rng = SimRng::seed_from(seed);
+        let mut trace = hps_trace::Trace::new("prop");
+        let mut t = 0u64;
+        for i in 0..n {
+            t += rng.uniform_u64(50);
+            let dir = if rng.chance(0.7) { Direction::Write } else { Direction::Read };
+            let pages = rng.uniform_range(1, 16);
+            trace.push_request(IoRequest::new(
+                i as u64,
+                SimTime::from_ms(t),
+                dir,
+                Bytes::kib(4 * pages),
+                rng.uniform_u64(1 << 20) * 4096,
+            ));
+        }
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Hps, 128, 32);
+        cfg.power = PowerConfig::DISABLED;
+        let mut dev = EmmcDevice::new(cfg).unwrap();
+        let m = dev.replay(&mut trace).unwrap();
+        prop_assert_eq!(m.total_requests as usize, n);
+        prop_assert_eq!((m.reads + m.writes) as usize, n);
+        prop_assert!(m.nowait_requests <= m.total_requests);
+        prop_assert!(m.mean_response_ms() >= m.mean_service_ms() - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&m.space_utilization()));
+    }
+}

@@ -1,0 +1,206 @@
+//! The page-level mapping table and the physical-page resident table.
+//!
+//! Two structures move in lockstep:
+//!
+//! * [`MappingTable`] — LPN → PPN, the classic page-level FTL map;
+//! * [`ResidentTable`] — PPN → the LPNs currently *live* in that physical
+//!   page. A 4 KiB page hosts one LPN; an 8 KiB page hosts up to two. A
+//!   physical page stays flash-`Valid` until its last live resident is
+//!   remapped, at which point the FTL invalidates it in the block.
+//!
+//! Keeping residents explicit is what makes the hybrid scheme honest: when
+//! one half of an 8 KiB page is overwritten, the other half must survive and
+//! be migrated by GC.
+
+use crate::addr::{Lpn, Ppn};
+use std::collections::HashMap;
+
+/// LPN → PPN map. Sparse (hash-based): traces touch a tiny fraction of a
+/// 32 GiB device.
+#[derive(Clone, Debug, Default)]
+pub struct MappingTable {
+    map: HashMap<Lpn, Ppn>,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current physical location of `lpn`, if it has ever been written.
+    pub fn lookup(&self, lpn: Lpn) -> Option<Ppn> {
+        self.map.get(&lpn).copied()
+    }
+
+    /// Points `lpn` at `ppn`, returning the previous location if any.
+    pub fn remap(&mut self, lpn: Lpn, ppn: Ppn) -> Option<Ppn> {
+        self.map.insert(lpn, ppn)
+    }
+
+    /// Removes the mapping for `lpn` (TRIM/discard), returning the old
+    /// location if any.
+    pub fn unmap(&mut self, lpn: Lpn) -> Option<Ppn> {
+        self.map.remove(&lpn)
+    }
+
+    /// Number of mapped LPNs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// PPN → live residents. At most two LPNs per physical page (the 8 KiB
+/// case); exactly one for 4 KiB pages.
+#[derive(Clone, Debug, Default)]
+pub struct ResidentTable {
+    residents: HashMap<Ppn, Vec<Lpn>>,
+}
+
+impl ResidentTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly programmed physical page holding `lpns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already occupied (program-without-erase) or if
+    /// `lpns` is empty or holds more than two entries.
+    pub fn occupy(&mut self, ppn: Ppn, lpns: &[Lpn]) {
+        assert!(
+            (1..=2).contains(&lpns.len()),
+            "a physical page hosts one or two LPNs, got {}",
+            lpns.len()
+        );
+        let prev = self.residents.insert(ppn, lpns.to_vec());
+        assert!(prev.is_none(), "physical page {ppn} already occupied");
+    }
+
+    /// Removes `lpn` from `ppn`'s residents. Returns `true` when that was
+    /// the last live resident — the caller must then invalidate the page in
+    /// its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppn` has no residents or `lpn` is not among them — either
+    /// indicates the mapping and resident tables have diverged.
+    pub fn evict(&mut self, ppn: Ppn, lpn: Lpn) -> bool {
+        let residents = self.residents.get_mut(&ppn).expect("evict from unoccupied page");
+        let pos = residents
+            .iter()
+            .position(|&l| l == lpn)
+            .expect("evicted LPN not resident in page");
+        residents.swap_remove(pos);
+        if residents.is_empty() {
+            self.residents.remove(&ppn);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The live residents of `ppn` (empty slice if none).
+    pub fn residents(&self, ppn: Ppn) -> &[Lpn] {
+        self.residents.get(&ppn).map_or(&[], Vec::as_slice)
+    }
+
+    /// Removes and returns all residents of `ppn` (used when GC migrates
+    /// the page's live data elsewhere).
+    pub fn take(&mut self, ppn: Ppn) -> Vec<Lpn> {
+        self.residents.remove(&ppn).unwrap_or_default()
+    }
+
+    /// Number of occupied physical pages.
+    pub fn occupied_pages(&self) -> usize {
+        self.residents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_nand::{BlockId, PageAddr};
+
+    fn ppn(plane: usize, block: usize, page: usize) -> Ppn {
+        Ppn { plane, addr: PageAddr { block: BlockId(block), page } }
+    }
+
+    #[test]
+    fn mapping_remap_returns_old() {
+        let mut m = MappingTable::new();
+        assert!(m.lookup(Lpn(5)).is_none());
+        assert_eq!(m.remap(Lpn(5), ppn(0, 0, 0)), None);
+        assert_eq!(m.remap(Lpn(5), ppn(0, 0, 1)), Some(ppn(0, 0, 0)));
+        assert_eq!(m.lookup(Lpn(5)), Some(ppn(0, 0, 1)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut m = MappingTable::new();
+        m.remap(Lpn(1), ppn(0, 0, 0));
+        assert_eq!(m.unmap(Lpn(1)), Some(ppn(0, 0, 0)));
+        assert_eq!(m.unmap(Lpn(1)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn shared_page_lives_until_both_evicted() {
+        let mut r = ResidentTable::new();
+        let p = ppn(1, 2, 3);
+        r.occupy(p, &[Lpn(10), Lpn(11)]);
+        assert_eq!(r.residents(p), &[Lpn(10), Lpn(11)]);
+        assert!(!r.evict(p, Lpn(10)), "partner still live");
+        assert!(r.evict(p, Lpn(11)), "last resident evicted");
+        assert_eq!(r.occupied_pages(), 0);
+    }
+
+    #[test]
+    fn single_resident_page() {
+        let mut r = ResidentTable::new();
+        let p = ppn(0, 0, 0);
+        r.occupy(p, &[Lpn(1)]);
+        assert!(r.evict(p, Lpn(1)));
+    }
+
+    #[test]
+    fn take_drains_residents() {
+        let mut r = ResidentTable::new();
+        let p = ppn(0, 1, 0);
+        r.occupy(p, &[Lpn(7), Lpn(8)]);
+        assert_eq!(r.take(p), vec![Lpn(7), Lpn(8)]);
+        assert_eq!(r.residents(p), &[]);
+        assert_eq!(r.take(p), Vec::<Lpn>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_occupy_panics() {
+        let mut r = ResidentTable::new();
+        r.occupy(ppn(0, 0, 0), &[Lpn(1)]);
+        r.occupy(ppn(0, 0, 0), &[Lpn(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one or two LPNs")]
+    fn too_many_residents_panics() {
+        let mut r = ResidentTable::new();
+        r.occupy(ppn(0, 0, 0), &[Lpn(1), Lpn(2), Lpn(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn evict_wrong_lpn_panics() {
+        let mut r = ResidentTable::new();
+        r.occupy(ppn(0, 0, 0), &[Lpn(1)]);
+        r.evict(ppn(0, 0, 0), Lpn(2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Space-utilization accounting — the Fig. 9 metric.
+//!
+//! Section V of the paper defines the space utilization of a write request
+//! as the ratio of its data size to the flash space consumed serving it
+//! (a 20 KiB write served by three 8 KiB pages consumes 24 KiB → 83.3%),
+//! and the utilization of a whole trace as total data written over total
+//! flash consumed. Higher utilization means fewer wasted programs, hence a
+//! longer device lifetime.
+
+use hps_core::Bytes;
+use core::fmt;
+
+/// Accumulates data-written vs flash-consumed for one replay.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+/// use hps_ftl::SpaceAccounting;
+///
+/// let mut acct = SpaceAccounting::new();
+/// // The paper's example: a 20 KiB write on an 8 KiB-page device.
+/// acct.record_write(Bytes::kib(20), Bytes::kib(24));
+/// assert!((acct.utilization() - 20.0 / 24.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpaceAccounting {
+    data_written: Bytes,
+    flash_consumed: Bytes,
+}
+
+impl SpaceAccounting {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one host write of `data` bytes that consumed `flash` bytes of
+    /// physical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flash < data` — a write can never consume less flash than
+    /// the data it stores.
+    pub fn record_write(&mut self, data: Bytes, flash: Bytes) {
+        assert!(flash >= data, "flash consumed cannot be less than data written");
+        self.data_written += data;
+        self.flash_consumed += flash;
+    }
+
+    /// Total bytes of host data written.
+    pub fn data_written(&self) -> Bytes {
+        self.data_written
+    }
+
+    /// Total bytes of physical flash consumed (including padding waste).
+    pub fn flash_consumed(&self) -> Bytes {
+        self.flash_consumed
+    }
+
+    /// Bytes wasted to page padding.
+    pub fn waste(&self) -> Bytes {
+        self.flash_consumed - self.data_written
+    }
+
+    /// Data written over flash consumed, in `[0, 1]`; `1.0` when nothing has
+    /// been written (a fresh device wastes nothing).
+    pub fn utilization(&self) -> f64 {
+        if self.flash_consumed.is_zero() {
+            1.0
+        } else {
+            self.data_written.as_u64() as f64 / self.flash_consumed.as_u64() as f64
+        }
+    }
+
+    /// Merges another accumulator (e.g. per-plane partials).
+    pub fn merge(&mut self, other: &SpaceAccounting) {
+        self.data_written += other.data_written;
+        self.flash_consumed += other.flash_consumed;
+    }
+}
+
+impl fmt::Display for SpaceAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "written={} consumed={} utilization={:.1}%",
+            self.data_written,
+            self.flash_consumed,
+            self.utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_20k_on_8k_pages() {
+        let mut a = SpaceAccounting::new();
+        a.record_write(Bytes::kib(20), Bytes::kib(24));
+        assert!((a.utilization() - 0.8333333333333334).abs() < 1e-12);
+        assert_eq!(a.waste(), Bytes::kib(4));
+    }
+
+    #[test]
+    fn perfect_fit_is_full_utilization() {
+        let mut a = SpaceAccounting::new();
+        a.record_write(Bytes::kib(16), Bytes::kib(16));
+        assert_eq!(a.utilization(), 1.0);
+        assert_eq!(a.waste(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn fresh_device_reports_one() {
+        assert_eq!(SpaceAccounting::new().utilization(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SpaceAccounting::new();
+        a.record_write(Bytes::kib(4), Bytes::kib(8));
+        let mut b = SpaceAccounting::new();
+        b.record_write(Bytes::kib(12), Bytes::kib(12));
+        a.merge(&b);
+        assert_eq!(a.data_written(), Bytes::kib(16));
+        assert_eq!(a.flash_consumed(), Bytes::kib(20));
+        assert!((a.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be less")]
+    fn flash_less_than_data_panics() {
+        let mut a = SpaceAccounting::new();
+        a.record_write(Bytes::kib(8), Bytes::kib(4));
+    }
+}

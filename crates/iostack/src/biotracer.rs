@@ -1,0 +1,211 @@
+//! The BIOtracer measurement-tool model and its overhead analysis
+//! (Section II-C of the paper).
+//!
+//! BIOtracer keeps per-request records in a 32 KiB in-RAM buffer holding
+//! about 300 records; whenever the buffer fills it flushes to a log file on
+//! the eMMC device itself, which costs 5–7 extra I/O operations
+//! (synchronously opening, appending, and closing the log). The paper
+//! reports the resulting overhead as roughly `6 / 300 = 2%` extra I/Os.
+
+use hps_core::{SimRng, SimTime};
+use hps_trace::TraceRecord;
+
+/// Size of the in-RAM record buffer (the paper's configuration).
+pub const BUFFER_BYTES: usize = 32 * 1024;
+
+/// Approximate bytes per record (≈300 records fit the 32 KiB buffer).
+pub const RECORD_BYTES: usize = BUFFER_BYTES / 300;
+
+/// A model of the paper's BIOtracer: buffers records, flushes when full,
+/// and accounts the extra I/Os each flush generates.
+#[derive(Debug)]
+pub struct BioTracer {
+    buffer: Vec<TraceRecord>,
+    capacity: usize,
+    flushed: Vec<TraceRecord>,
+    flushes: u64,
+    extra_ios: u64,
+    rng: SimRng,
+}
+
+impl BioTracer {
+    /// Creates a tracer with the paper's 32 KiB buffer (~300 records).
+    pub fn new(seed: u64) -> Self {
+        Self::with_capacity(BUFFER_BYTES / RECORD_BYTES, seed)
+    }
+
+    /// Creates a tracer holding `capacity` records per flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "buffer must hold at least one record");
+        BioTracer {
+            buffer: Vec::with_capacity(capacity),
+            capacity,
+            flushed: Vec::new(),
+            flushes: 0,
+            extra_ios: 0,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Records one request; flushes the buffer if it fills.
+    pub fn record(&mut self, record: TraceRecord) {
+        self.buffer.push(record);
+        if self.buffer.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Forces a flush (end of a collection run). Generates the 5–7 extra
+    /// I/Os the paper measured per flush.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.flushed.append(&mut self.buffer);
+        self.flushes += 1;
+        // "a flushing operation always generates 5-7 extra I/O operations"
+        self.extra_ios += self.rng.uniform_range(5, 7);
+    }
+
+    /// Records captured and flushed so far (excludes still-buffered ones).
+    pub fn flushed_records(&self) -> &[TraceRecord] {
+        &self.flushed
+    }
+
+    /// Records still waiting in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Completed buffer flushes.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The Section II-C overhead report for this run.
+    pub fn overhead(&self) -> OverheadReport {
+        OverheadReport {
+            recorded: self.flushed.len() as u64 + self.buffer.len() as u64,
+            flushes: self.flushes,
+            extra_ios: self.extra_ios,
+        }
+    }
+}
+
+/// The overhead analysis of Section II-C: extra I/Os per recorded request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Requests recorded.
+    pub recorded: u64,
+    /// Buffer flushes performed.
+    pub flushes: u64,
+    /// Extra I/O operations the flushes generated.
+    pub extra_ios: u64,
+}
+
+impl OverheadReport {
+    /// Overhead in percent: extra I/Os over recorded requests — the paper's
+    /// `6/300 = 2%`.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.recorded == 0 {
+            0.0
+        } else {
+            100.0 * self.extra_ios as f64 / self.recorded as f64
+        }
+    }
+}
+
+/// Convenience: runs the overhead analysis over `n` synthetic records.
+pub fn measure_overhead(n: u64, seed: u64) -> OverheadReport {
+    use hps_core::{Bytes, Direction, IoRequest};
+    let mut tracer = BioTracer::new(seed);
+    for i in 0..n {
+        let req = IoRequest::new(
+            i,
+            SimTime::from_ms(i),
+            Direction::Write,
+            Bytes::kib(4),
+            i * 4096,
+        );
+        tracer.record(TraceRecord::new(req));
+    }
+    tracer.flush();
+    tracer.overhead()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::{Bytes, Direction, IoRequest};
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord::new(IoRequest::new(
+            i,
+            SimTime::from_ms(i),
+            Direction::Write,
+            Bytes::kib(4),
+            i * 4096,
+        ))
+    }
+
+    #[test]
+    fn buffer_holds_about_300_records() {
+        let capacity = BUFFER_BYTES / RECORD_BYTES;
+        assert!((295..=305).contains(&capacity), "capacity {capacity}");
+    }
+
+    #[test]
+    fn flush_triggers_at_capacity() {
+        let mut t = BioTracer::with_capacity(10, 1);
+        for i in 0..9 {
+            t.record(rec(i));
+        }
+        assert_eq!(t.flushes(), 0);
+        t.record(rec(9));
+        assert_eq!(t.flushes(), 1);
+        assert_eq!(t.buffered(), 0);
+        assert_eq!(t.flushed_records().len(), 10);
+    }
+
+    #[test]
+    fn each_flush_costs_5_to_7_ios() {
+        let mut t = BioTracer::with_capacity(5, 2);
+        for i in 0..25 {
+            t.record(rec(i));
+        }
+        let report = t.overhead();
+        assert_eq!(report.flushes, 5);
+        assert!((25..=35).contains(&report.extra_ios), "extra {}", report.extra_ios);
+    }
+
+    #[test]
+    fn paper_overhead_is_about_two_percent() {
+        let report = measure_overhead(30_000, 3);
+        let pct = report.overhead_pct();
+        assert!((1.6..=2.4).contains(&pct), "overhead {pct}%");
+    }
+
+    #[test]
+    fn manual_flush_drains_partial_buffer() {
+        let mut t = BioTracer::with_capacity(100, 4);
+        for i in 0..7 {
+            t.record(rec(i));
+        }
+        t.flush();
+        assert_eq!(t.flushed_records().len(), 7);
+        assert_eq!(t.flushes(), 1);
+        // Flushing an empty buffer is free.
+        t.flush();
+        assert_eq!(t.flushes(), 1);
+    }
+
+    #[test]
+    fn overhead_of_empty_run_is_zero() {
+        let report = measure_overhead(0, 5);
+        assert_eq!(report.overhead_pct(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Android I/O stack simulation (Fig. 1 and Fig. 2 of the paper).
+//!
+//! Between an application's SQLite calls and the eMMC device sit three
+//! kernel layers the paper instruments:
+//!
+//! * the **block layer**, which queues requests and merges contiguous
+//!   neighbours ([`block_layer`]);
+//! * the **eMMC driver**, whose packing function fuses multiple write
+//!   requests into one large packed command ([`driver`]) — the reason the
+//!   largest requests in most traces exceed the 512 KiB kernel limit;
+//! * **BIOtracer** itself ([`biotracer`]), the paper's measurement tool: a
+//!   32 KiB record buffer holding ~300 records that flushes to the eMMC
+//!   device with 5–7 extra I/Os, for a measured overhead of about 2%
+//!   (Section II-C).
+
+pub mod biotracer;
+pub mod block_layer;
+pub mod driver;
+pub mod sqlite;
+pub mod stack;
+
+pub use biotracer::{BioTracer, OverheadReport};
+pub use block_layer::BlockLayer;
+pub use driver::pack_writes;
+pub use sqlite::{JournalMode, Transaction};
+pub use stack::{IoStack, StackConfig, StackStats};

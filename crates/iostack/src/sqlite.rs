@@ -1,0 +1,193 @@
+//! SQLite-layer write amplification (the top of the paper's Fig. 1 stack).
+//!
+//! "Most of smartphone applications' files and data are managed by the
+//! SQLite library … Typically, one I/O activity of an application results
+//! in multiple SQLite I/O requests." The related work the paper builds on
+//! (Lee & Won; Jeong et al.) showed the SQLite+Ext4 combination generates
+//! *unnecessarily excessive writes*: every transaction in rollback-journal
+//! mode writes the journal header, journals the before-image of each
+//! touched page, writes the pages themselves, and finally invalidates the
+//! journal — each step fsync-separated.
+//!
+//! [`Transaction`] turns one logical application action into that
+//! block-level request pattern, so upper-layer effects can be fed through
+//! [`crate::stack::IoStack`] and the device simulator.
+
+use hps_core::{Bytes, Direction, IoRequest, SimDuration, SimTime};
+
+/// SQLite journal mode (rollback journaling vs write-ahead logging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalMode {
+    /// Classic rollback journal (`DELETE` mode — Android's default in the
+    /// paper's era): before-images to the journal, pages in place, journal
+    /// invalidation.
+    Rollback,
+    /// Write-ahead logging: pages appended to the WAL; checkpoints fold
+    /// them back periodically (fewer, more sequential writes).
+    Wal,
+}
+
+/// One application action expressed as a SQLite transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Database pages the action dirties.
+    pub pages: u64,
+    /// Journal mode in force.
+    pub mode: JournalMode,
+}
+
+/// Fixed layout constants for the generated requests.
+const DB_PAGE: u64 = 4096;
+/// Journal file region begins past the database region.
+const JOURNAL_BASE: u64 = 1 << 30;
+/// WAL file region.
+const WAL_BASE: u64 = (1 << 30) + (64 << 20);
+
+impl Transaction {
+    /// Expands the transaction into its block-level requests, starting at
+    /// `start` with `gap` between dependent steps (the fsync barriers),
+    /// first id `first_id`, touching db pages beginning at `first_page`.
+    ///
+    /// Returns the requests in issue order.
+    pub fn requests(
+        &self,
+        start: SimTime,
+        gap: SimDuration,
+        first_id: u64,
+        first_page: u64,
+    ) -> Vec<IoRequest> {
+        let mut out = Vec::new();
+        let mut id = first_id;
+        let mut t = start;
+        let mut push = |time: &mut SimTime, id: &mut u64, dir, size, lba| {
+            out.push(IoRequest::new(*id, *time, dir, size, lba));
+            *id += 1;
+        };
+        match self.mode {
+            JournalMode::Rollback => {
+                // 1. Journal header.
+                push(&mut t, &mut id, Direction::Write, Bytes::kib(4), JOURNAL_BASE);
+                t += gap;
+                // 2. Before-image of every dirtied page into the journal.
+                for p in 0..self.pages {
+                    push(
+                        &mut t,
+                        &mut id,
+                        Direction::Write,
+                        Bytes::kib(4),
+                        JOURNAL_BASE + (1 + p) * DB_PAGE,
+                    );
+                }
+                t += gap;
+                // 3. The dirtied database pages, in place.
+                for p in 0..self.pages {
+                    push(
+                        &mut t,
+                        &mut id,
+                        Direction::Write,
+                        Bytes::kib(4),
+                        (first_page + p) * DB_PAGE,
+                    );
+                }
+                t += gap;
+                // 4. Journal invalidation (header rewrite).
+                push(&mut t, &mut id, Direction::Write, Bytes::kib(4), JOURNAL_BASE);
+            }
+            JournalMode::Wal => {
+                // Pages appended to the WAL (one frame header + page each,
+                // modelled as page-sized appends).
+                for p in 0..self.pages {
+                    push(
+                        &mut t,
+                        &mut id,
+                        Direction::Write,
+                        Bytes::kib(4),
+                        WAL_BASE + (first_page + p) * DB_PAGE,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Block-level bytes written per transaction.
+    pub fn bytes_written(&self) -> Bytes {
+        match self.mode {
+            JournalMode::Rollback => Bytes::kib(4) * (2 + 2 * self.pages),
+            JournalMode::Wal => Bytes::kib(4) * self.pages,
+        }
+    }
+
+    /// Application-level bytes the action logically changed.
+    pub fn logical_bytes(&self) -> Bytes {
+        Bytes::kib(4) * self.pages
+    }
+
+    /// Block-level bytes over logical bytes — the "smart layers, dumb
+    /// result" amplification the related work measured.
+    pub fn write_amplification(&self) -> f64 {
+        if self.pages == 0 {
+            1.0
+        } else {
+            self.bytes_written().as_u64() as f64 / self.logical_bytes().as_u64() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollback_triples_one_page_updates() {
+        // 1 page: header + 1 journal page + 1 db page + invalidation = 4
+        // writes for 1 logical page.
+        let txn = Transaction { pages: 1, mode: JournalMode::Rollback };
+        assert_eq!(txn.bytes_written(), Bytes::kib(16));
+        assert_eq!(txn.write_amplification(), 4.0);
+        let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 100);
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.direction.is_write()));
+    }
+
+    #[test]
+    fn amplification_amortizes_with_batch_size() {
+        let small = Transaction { pages: 1, mode: JournalMode::Rollback };
+        let big = Transaction { pages: 32, mode: JournalMode::Rollback };
+        assert!(big.write_amplification() < small.write_amplification());
+        assert!((big.write_amplification() - (2.0 + 2.0 / 32.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wal_writes_once() {
+        let txn = Transaction { pages: 8, mode: JournalMode::Wal };
+        assert_eq!(txn.write_amplification(), 1.0);
+        let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 0);
+        assert_eq!(reqs.len(), 8);
+        // WAL appends are sequential.
+        for w in reqs.windows(2) {
+            assert_eq!(w[0].end_lba(), w[1].lba);
+        }
+    }
+
+    #[test]
+    fn requests_are_time_ordered_with_barriers() {
+        let txn = Transaction { pages: 3, mode: JournalMode::Rollback };
+        let reqs = txn.requests(SimTime::from_ms(10), SimDuration::from_ms(2), 5, 0);
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(reqs.first().unwrap().id, 5);
+        // Barriers separate the phases: header < journal-body end < db end.
+        assert!(reqs[0].arrival < reqs[1].arrival);
+        assert!(reqs[3].arrival < reqs[4].arrival);
+    }
+
+    #[test]
+    fn journal_and_db_regions_are_disjoint() {
+        let txn = Transaction { pages: 4, mode: JournalMode::Rollback };
+        let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 0);
+        let (journal, db): (Vec<&IoRequest>, Vec<&IoRequest>) =
+            reqs.iter().partition(|r| r.lba >= JOURNAL_BASE);
+        assert_eq!(journal.len(), 6); // header + 4 before-images + invalidation
+        assert_eq!(db.len(), 4);
+    }
+}

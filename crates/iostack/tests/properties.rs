@@ -1,0 +1,116 @@
+//! Property-based tests for the I/O stack: merging, packing, and the
+//! assembled pipeline conserve bytes and never reorder data incorrectly.
+
+use hps_core::{Bytes, Direction, IoRequest, SimTime};
+use hps_iostack::driver::pack_writes;
+use hps_iostack::sqlite::{JournalMode, Transaction};
+use hps_iostack::BlockLayer;
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = Vec<IoRequest>> {
+    prop::collection::vec(
+        (0u64..1_000, prop::bool::ANY, 1u64..64, 0u64..10_000),
+        0..80,
+    )
+    .prop_map(|raw| {
+        let mut sorted = raw;
+        sorted.sort_by_key(|r| r.0);
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ms, is_write, pages, lba_page))| {
+                let dir = if is_write { Direction::Write } else { Direction::Read };
+                IoRequest::new(
+                    i as u64,
+                    SimTime::from_ms(ms),
+                    dir,
+                    Bytes::kib(4 * pages),
+                    lba_page * 4096,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn block_layer_conserves_bytes_and_directions(reqs in request_strategy()) {
+        let mut bl = BlockLayer::new();
+        let total_in: Bytes = reqs.iter().map(|r| r.size).sum();
+        let writes_in: Bytes =
+            reqs.iter().filter(|r| r.direction.is_write()).map(|r| r.size).sum();
+        for r in &reqs {
+            bl.submit(*r);
+        }
+        let out = bl.drain();
+        let total_out: Bytes = out.iter().map(|r| r.size).sum();
+        let writes_out: Bytes =
+            out.iter().filter(|r| r.direction.is_write()).map(|r| r.size).sum();
+        prop_assert_eq!(total_in, total_out);
+        prop_assert_eq!(writes_in, writes_out);
+        prop_assert!(out.len() <= reqs.len());
+        prop_assert_eq!(bl.merges(), (reqs.len() - out.len()) as u64);
+        // No merged request exceeds the kernel cap… unless a single
+        // submission already did.
+        let max_in = reqs.iter().map(|r| r.size).max().unwrap_or(Bytes::ZERO);
+        for r in &out {
+            prop_assert!(r.size <= hps_iostack::block_layer::MAX_REQUEST.max(max_in));
+        }
+    }
+
+    #[test]
+    fn packing_conserves_members_and_bytes(
+        reqs in request_strategy(),
+        max_members in 1usize..16,
+        max_mib in 1u64..4,
+    ) {
+        let commands = pack_writes(&reqs, max_members, Bytes::mib(max_mib));
+        let members: usize = commands.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(members, reqs.len(), "every request lands in exactly one command");
+        let bytes_in: Bytes = reqs.iter().map(|r| r.size).sum();
+        let bytes_out: Bytes = commands.iter().map(|c| c.total_size()).sum();
+        prop_assert_eq!(bytes_in, bytes_out);
+        let max_single = reqs.iter().map(|r| r.size).max().unwrap_or(Bytes::ZERO);
+        for c in &commands {
+            prop_assert!(c.len() <= max_members);
+            // A command exceeds the byte cap only if a single oversized
+            // request forced it.
+            prop_assert!(c.total_size() <= Bytes::mib(max_mib).max(max_single));
+            // Reads are always alone.
+            if c.members[0].direction.is_read() {
+                prop_assert_eq!(c.len(), 1);
+            }
+        }
+        // Order is preserved.
+        let flat: Vec<u64> =
+            commands.iter().flat_map(|c| c.members.iter().map(|m| m.id)).collect();
+        let original: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        prop_assert_eq!(flat, original);
+    }
+
+    #[test]
+    fn sqlite_transactions_are_well_formed(
+        pages in 1u64..64,
+        wal in prop::bool::ANY,
+        gap_ms in 0u64..10,
+    ) {
+        let mode = if wal { JournalMode::Wal } else { JournalMode::Rollback };
+        let txn = Transaction { pages, mode };
+        let reqs = txn.requests(
+            SimTime::from_ms(5),
+            hps_core::SimDuration::from_ms(gap_ms),
+            0,
+            100,
+        );
+        // Arrival-ordered, all writes, byte count matches the model.
+        prop_assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        prop_assert!(reqs.iter().all(|r| r.direction.is_write()));
+        let bytes: Bytes = reqs.iter().map(|r| r.size).sum();
+        prop_assert_eq!(bytes, txn.bytes_written());
+        prop_assert!(txn.write_amplification() >= 1.0);
+        match mode {
+            JournalMode::Rollback => prop_assert_eq!(reqs.len() as u64, 2 + 2 * pages),
+            JournalMode::Wal => prop_assert_eq!(reqs.len() as u64, pages),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The flash block state machine.
+//!
+//! A block is an erase unit holding a fixed number of same-sized pages
+//! (1024 pages per block in Table V). Flash physics impose three rules this
+//! module enforces:
+//!
+//! 1. pages within a block are programmed strictly in order (the write
+//!    pointer only moves forward);
+//! 2. a programmed page cannot be programmed again until the whole block is
+//!    erased (`erase-before-write`);
+//! 3. erasing is all-or-nothing at block granularity and increments the
+//!    block's wear count.
+
+use hps_core::Bytes;
+
+/// Lifecycle of one flash page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded; reclaimable by GC.
+    Invalid,
+}
+
+/// One erase unit: a run of same-sized pages with a forward-only write
+/// pointer.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+/// use hps_nand::Block;
+///
+/// let mut b = Block::new(Bytes::kib(4), 4);
+/// let p0 = b.program_next().unwrap();
+/// let p1 = b.program_next().unwrap();
+/// assert_eq!((p0, p1), (0, 1));
+/// b.invalidate(p0);
+/// assert_eq!(b.valid_pages(), 1);
+/// assert_eq!(b.invalid_pages(), 1);
+/// b.invalidate(p1);
+/// b.erase();
+/// assert_eq!(b.free_pages(), 4);
+/// assert_eq!(b.erase_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Block {
+    page_size: Bytes,
+    pages: Vec<PageState>,
+    write_ptr: usize,
+    valid: usize,
+    erase_count: u64,
+}
+
+impl Block {
+    /// Creates a fresh (erased) block of `pages_per_block` pages of
+    /// `page_size` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero or `pages_per_block` is zero.
+    pub fn new(page_size: Bytes, pages_per_block: usize) -> Self {
+        assert!(!page_size.is_zero(), "page size must be non-zero");
+        assert!(pages_per_block > 0, "a block must contain at least one page");
+        Block {
+            page_size,
+            pages: vec![PageState::Free; pages_per_block],
+            write_ptr: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Size of each page in this block.
+    pub fn page_size(&self) -> Bytes {
+        self.page_size
+    }
+
+    /// Total pages in the block.
+    pub fn pages_per_block(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Programs the next free page, returning its in-block index, or `None`
+    /// if the block is fully written.
+    pub fn program_next(&mut self) -> Option<usize> {
+        if self.write_ptr >= self.pages.len() {
+            return None;
+        }
+        let idx = self.write_ptr;
+        debug_assert_eq!(self.pages[idx], PageState::Free, "write pointer passed a non-free page");
+        self.pages[idx] = PageState::Valid;
+        self.valid += 1;
+        self.write_ptr += 1;
+        Some(idx)
+    }
+
+    /// Marks a previously programmed page invalid (superseded by a newer
+    /// write elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or not currently [`PageState::Valid`]
+    /// — invalidating a free or already-invalid page indicates FTL mapping
+    /// corruption.
+    pub fn invalidate(&mut self, page: usize) {
+        assert!(page < self.pages.len(), "page index out of range");
+        assert_eq!(
+            self.pages[page],
+            PageState::Valid,
+            "only valid pages can be invalidated (FTL mapping bug)"
+        );
+        self.pages[page] = PageState::Invalid;
+        self.valid -= 1;
+    }
+
+    /// State of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_state(&self, page: usize) -> PageState {
+        self.pages[page]
+    }
+
+    /// Erases the block: every page becomes free, the write pointer rewinds,
+    /// and the wear count increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages — the FTL must migrate
+    /// live data before erasing (this is what garbage collection does).
+    pub fn erase(&mut self) {
+        assert_eq!(self.valid, 0, "erasing a block with live data would lose it");
+        for p in &mut self.pages {
+            *p = PageState::Free;
+        }
+        self.write_ptr = 0;
+        self.erase_count += 1;
+    }
+
+    /// Pages still erased and programmable.
+    pub fn free_pages(&self) -> usize {
+        self.pages.len() - self.write_ptr
+    }
+
+    /// Pages holding live data.
+    pub fn valid_pages(&self) -> usize {
+        self.valid
+    }
+
+    /// Pages holding superseded data (reclaimable).
+    pub fn invalid_pages(&self) -> usize {
+        self.write_ptr - self.valid
+    }
+
+    /// `true` once every page has been programmed.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.pages.len()
+    }
+
+    /// `true` if no page has ever been programmed since the last erase.
+    pub fn is_erased(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// How many times this block has been erased.
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Indices of all currently valid pages (used by GC migration).
+    pub fn valid_page_indices(&self) -> Vec<usize> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == PageState::Valid).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block4(pages: usize) -> Block {
+        Block::new(Bytes::kib(4), pages)
+    }
+
+    #[test]
+    fn sequential_program_until_full() {
+        let mut b = block4(3);
+        assert_eq!(b.program_next(), Some(0));
+        assert_eq!(b.program_next(), Some(1));
+        assert_eq!(b.program_next(), Some(2));
+        assert_eq!(b.program_next(), None);
+        assert!(b.is_full());
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn accounting_tracks_states() {
+        let mut b = block4(4);
+        b.program_next();
+        b.program_next();
+        b.invalidate(0);
+        assert_eq!(b.valid_pages(), 1);
+        assert_eq!(b.invalid_pages(), 1);
+        assert_eq!(b.free_pages(), 2);
+        assert_eq!(b.page_state(0), PageState::Invalid);
+        assert_eq!(b.page_state(1), PageState::Valid);
+        assert_eq!(b.page_state(2), PageState::Free);
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut b = block4(2);
+        b.program_next();
+        b.program_next();
+        b.invalidate(0);
+        b.invalidate(1);
+        b.erase();
+        assert!(b.is_erased());
+        assert_eq!(b.free_pages(), 2);
+        assert_eq!(b.erase_count(), 1);
+        // Programmable again after erase.
+        assert_eq!(b.program_next(), Some(0));
+    }
+
+    #[test]
+    fn valid_page_indices_lists_live_data() {
+        let mut b = block4(4);
+        for _ in 0..3 {
+            b.program_next();
+        }
+        b.invalidate(1);
+        assert_eq!(b.valid_page_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "live data")]
+    fn erase_with_valid_pages_panics() {
+        let mut b = block4(2);
+        b.program_next();
+        b.erase();
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid pages")]
+    fn invalidate_free_page_panics() {
+        let mut b = block4(2);
+        b.invalidate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid pages")]
+    fn double_invalidate_panics() {
+        let mut b = block4(2);
+        b.program_next();
+        b.invalidate(0);
+        b.invalidate(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Flash array geometry: the channel × chip × die × plane hierarchy.
+//!
+//! Table V of the paper configures every scheme as 2 channels × 1 chip ×
+//! 2 dies × 2 planes. [`Geometry`] captures those four dimensions and
+//! [`PlaneAddr`] names one plane inside the hierarchy; a flat plane index
+//! (`0..planes_total()`) is used as the canonical ordering everywhere else
+//! in the workspace.
+
+use core::fmt;
+
+/// Dimensions of the flash array.
+///
+/// # Example
+///
+/// ```
+/// use hps_nand::Geometry;
+///
+/// let g = Geometry::TABLE_V;
+/// assert_eq!(g.planes_total(), 8);
+/// assert_eq!(g.dies_total(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Independent channels (buses) between controller and flash.
+    pub channels: usize,
+    /// Chips attached to each channel.
+    pub chips_per_channel: usize,
+    /// Dies inside each chip.
+    pub dies_per_chip: usize,
+    /// Planes inside each die.
+    pub planes_per_die: usize,
+}
+
+impl Geometry {
+    /// The geometry used for all three schemes in Table V:
+    /// 2 channels × 1 chip × 2 dies × 2 planes.
+    pub const TABLE_V: Geometry =
+        Geometry { channels: 2, chips_per_channel: 1, dies_per_chip: 2, planes_per_die: 2 };
+
+    /// Creates a geometry, validating that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hps_core::Error::InvalidConfig`] if any dimension is zero.
+    pub fn new(
+        channels: usize,
+        chips_per_channel: usize,
+        dies_per_chip: usize,
+        planes_per_die: usize,
+    ) -> hps_core::Result<Geometry> {
+        if channels == 0 || chips_per_channel == 0 || dies_per_chip == 0 || planes_per_die == 0 {
+            return Err(hps_core::Error::InvalidConfig(
+                "all geometry dimensions must be non-zero".into(),
+            ));
+        }
+        Ok(Geometry { channels, chips_per_channel, dies_per_chip, planes_per_die })
+    }
+
+    /// Total number of dies in the array.
+    pub fn dies_total(&self) -> usize {
+        self.channels * self.chips_per_channel * self.dies_per_chip
+    }
+
+    /// Total number of planes in the array.
+    pub fn planes_total(&self) -> usize {
+        self.dies_total() * self.planes_per_die
+    }
+
+    /// Decodes a flat plane index into its position in the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= planes_total()`.
+    pub fn plane_addr(&self, index: usize) -> PlaneAddr {
+        assert!(index < self.planes_total(), "plane index out of range");
+        let plane = index % self.planes_per_die;
+        let rest = index / self.planes_per_die;
+        let die = rest % self.dies_per_chip;
+        let rest = rest / self.dies_per_chip;
+        let chip = rest % self.chips_per_channel;
+        let channel = rest / self.chips_per_channel;
+        PlaneAddr { channel, chip, die, plane }
+    }
+
+    /// Encodes a hierarchical address back to its flat plane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range for this geometry.
+    pub fn plane_index(&self, addr: PlaneAddr) -> usize {
+        assert!(addr.channel < self.channels, "channel out of range");
+        assert!(addr.chip < self.chips_per_channel, "chip out of range");
+        assert!(addr.die < self.dies_per_chip, "die out of range");
+        assert!(addr.plane < self.planes_per_die, "plane out of range");
+        ((addr.channel * self.chips_per_channel + addr.chip) * self.dies_per_chip + addr.die)
+            * self.planes_per_die
+            + addr.plane
+    }
+
+    /// The flat die index (`0..dies_total()`) that owns flat plane `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= planes_total()`.
+    pub fn die_of_plane(&self, index: usize) -> usize {
+        assert!(index < self.planes_total(), "plane index out of range");
+        index / self.planes_per_die
+    }
+
+    /// The channel index that serves flat plane `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= planes_total()`.
+    pub fn channel_of_plane(&self, index: usize) -> usize {
+        self.plane_addr(index).channel
+    }
+
+    /// Iterates every flat plane index.
+    pub fn plane_indices(&self) -> impl Iterator<Item = usize> {
+        0..self.planes_total()
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::TABLE_V
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}x{} (ch×chip×die×plane)",
+            self.channels, self.chips_per_channel, self.dies_per_chip, self.planes_per_die
+        )
+    }
+}
+
+/// The position of one plane in the flash hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlaneAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Chip index within the channel.
+    pub chip: usize,
+    /// Die index within the chip.
+    pub die: usize,
+    /// Plane index within the die.
+    pub plane: usize,
+}
+
+impl fmt::Display for PlaneAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}/chip{}/die{}/plane{}", self.channel, self.chip, self.die, self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_counts() {
+        let g = Geometry::TABLE_V;
+        assert_eq!(g.dies_total(), 4);
+        assert_eq!(g.planes_total(), 8);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        let g = Geometry::new(2, 2, 2, 2).unwrap();
+        for i in g.plane_indices() {
+            let addr = g.plane_addr(i);
+            assert_eq!(g.plane_index(addr), i);
+        }
+    }
+
+    #[test]
+    fn channel_mapping_partitions_planes() {
+        let g = Geometry::TABLE_V;
+        let per_channel = g.planes_total() / g.channels;
+        let mut counts = vec![0usize; g.channels];
+        for i in g.plane_indices() {
+            counts[g.channel_of_plane(i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == per_channel));
+    }
+
+    #[test]
+    fn die_of_plane_groups_adjacent_planes() {
+        let g = Geometry::TABLE_V;
+        assert_eq!(g.die_of_plane(0), g.die_of_plane(1));
+        assert_ne!(g.die_of_plane(1), g.die_of_plane(2));
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Geometry::new(0, 1, 1, 1).is_err());
+        assert!(Geometry::new(1, 1, 0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_plane_panics() {
+        let g = Geometry::TABLE_V;
+        let _ = g.plane_addr(8);
+    }
+}

@@ -1,0 +1,223 @@
+//! A plane: the smallest unit of parallel access, holding a pool of blocks.
+//!
+//! In the HPS scheme a single plane mixes block page sizes — Fig. 10 of the
+//! paper shows a die whose planes contain both 4 KiB-page blocks and
+//! 8 KiB-page blocks. [`Plane`] therefore stores per-block page sizes and
+//! exposes pool-level accounting *per page size*, which is what the FTL's
+//! allocator and garbage collector operate on.
+
+use crate::block::Block;
+use hps_core::Bytes;
+use core::fmt;
+
+/// Index of a block within its plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// A physical page address within a plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageAddr {
+    /// The block within the plane.
+    pub block: BlockId,
+    /// The page within the block.
+    pub page: usize,
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:p{}", self.block, self.page)
+    }
+}
+
+/// A pool of blocks, possibly of mixed page sizes.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+/// use hps_nand::{BlockId, Plane};
+///
+/// // An HPS-style plane: two 4 KiB blocks and one 8 KiB block, 4 pages each.
+/// let mut plane = Plane::new(&[(Bytes::kib(4), 2), (Bytes::kib(8), 1)], 4);
+/// assert_eq!(plane.blocks_total(), 3);
+/// assert_eq!(plane.free_pages(Bytes::kib(4)), 8);
+/// assert_eq!(plane.free_pages(Bytes::kib(8)), 4);
+/// let page = plane.block_mut(BlockId(2)).program_next().unwrap();
+/// assert_eq!(page, 0);
+/// assert_eq!(plane.free_pages(Bytes::kib(8)), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Plane {
+    blocks: Vec<Block>,
+}
+
+impl Plane {
+    /// Creates a plane from `(page_size, block_count)` pool specs; blocks are
+    /// laid out in spec order, so `BlockId`s `0..n0` use the first spec's page
+    /// size, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no spec contributes any block, or any page size is zero.
+    pub fn new(pools: &[(Bytes, usize)], pages_per_block: usize) -> Self {
+        let mut blocks = Vec::new();
+        for &(page_size, count) in pools {
+            for _ in 0..count {
+                blocks.push(Block::new(page_size, pages_per_block));
+            }
+        }
+        assert!(!blocks.is_empty(), "a plane must contain at least one block");
+        Plane { blocks }
+    }
+
+    /// Total number of blocks in the plane.
+    pub fn blocks_total(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0]
+    }
+
+    /// Iterates `(BlockId, &Block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
+    }
+
+    /// Iterates blocks of one page size.
+    pub fn iter_pool(&self, page_size: Bytes) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.iter().filter(move |(_, b)| b.page_size() == page_size)
+    }
+
+    /// Free (programmable) pages remaining across all blocks of `page_size`.
+    pub fn free_pages(&self, page_size: Bytes) -> usize {
+        self.iter_pool(page_size).map(|(_, b)| b.free_pages()).sum()
+    }
+
+    /// Valid pages across all blocks of `page_size`.
+    pub fn valid_pages(&self, page_size: Bytes) -> usize {
+        self.iter_pool(page_size).map(|(_, b)| b.valid_pages()).sum()
+    }
+
+    /// Invalid (reclaimable) pages across all blocks of `page_size`.
+    pub fn invalid_pages(&self, page_size: Bytes) -> usize {
+        self.iter_pool(page_size).map(|(_, b)| b.invalid_pages()).sum()
+    }
+
+    /// Number of completely erased blocks of `page_size`.
+    pub fn erased_blocks(&self, page_size: Bytes) -> usize {
+        self.iter_pool(page_size).filter(|(_, b)| b.is_erased()).count()
+    }
+
+    /// Total erase operations performed on this plane.
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).sum()
+    }
+
+    /// The distinct page sizes present in this plane, ascending.
+    pub fn page_sizes(&self) -> Vec<Bytes> {
+        let mut sizes: Vec<Bytes> = Vec::new();
+        for b in &self.blocks {
+            if !sizes.contains(&b.page_size()) {
+                sizes.push(b.page_size());
+            }
+        }
+        sizes.sort();
+        sizes
+    }
+
+    /// Raw byte capacity of the plane (sum over blocks of pages × page size).
+    pub fn capacity(&self) -> Bytes {
+        self.blocks
+            .iter()
+            .map(|b| b.page_size() * b.pages_per_block() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hps_plane() -> Plane {
+        Plane::new(&[(Bytes::kib(4), 2), (Bytes::kib(8), 1)], 4)
+    }
+
+    #[test]
+    fn layout_follows_spec_order() {
+        let p = hps_plane();
+        assert_eq!(p.block(BlockId(0)).page_size(), Bytes::kib(4));
+        assert_eq!(p.block(BlockId(1)).page_size(), Bytes::kib(4));
+        assert_eq!(p.block(BlockId(2)).page_size(), Bytes::kib(8));
+    }
+
+    #[test]
+    fn pool_accounting_is_per_page_size() {
+        let mut p = hps_plane();
+        p.block_mut(BlockId(0)).program_next();
+        p.block_mut(BlockId(2)).program_next();
+        assert_eq!(p.free_pages(Bytes::kib(4)), 7);
+        assert_eq!(p.free_pages(Bytes::kib(8)), 3);
+        assert_eq!(p.valid_pages(Bytes::kib(4)), 1);
+        assert_eq!(p.valid_pages(Bytes::kib(8)), 1);
+    }
+
+    #[test]
+    fn capacity_sums_mixed_pools() {
+        let p = hps_plane();
+        // 2 blocks × 4 pages × 4 KiB + 1 block × 4 pages × 8 KiB = 64 KiB.
+        assert_eq!(p.capacity(), Bytes::kib(64));
+    }
+
+    #[test]
+    fn page_sizes_sorted_unique() {
+        let p = hps_plane();
+        assert_eq!(p.page_sizes(), vec![Bytes::kib(4), Bytes::kib(8)]);
+        let uniform = Plane::new(&[(Bytes::kib(4), 3)], 4);
+        assert_eq!(uniform.page_sizes(), vec![Bytes::kib(4)]);
+    }
+
+    #[test]
+    fn erased_blocks_counts_untouched() {
+        let mut p = hps_plane();
+        assert_eq!(p.erased_blocks(Bytes::kib(4)), 2);
+        p.block_mut(BlockId(0)).program_next();
+        assert_eq!(p.erased_blocks(Bytes::kib(4)), 1);
+    }
+
+    #[test]
+    fn total_erases_accumulates() {
+        let mut p = hps_plane();
+        let id = BlockId(0);
+        let page = p.block_mut(id).program_next().unwrap();
+        p.block_mut(id).invalidate(page);
+        p.block_mut(id).erase();
+        assert_eq!(p.total_erases(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_plane_panics() {
+        let _ = Plane::new(&[], 4);
+    }
+}

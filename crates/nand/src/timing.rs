@@ -1,0 +1,143 @@
+//! NAND operation latencies.
+//!
+//! Table V of the paper gives per-page-size latencies taken from Micron MLC
+//! datasheets: a 4 KiB page reads in 160 µs and programs in 1385 µs, an
+//! 8 KiB page reads in 244 µs and programs in 1491 µs, and a block erase
+//! takes 3.8 ms regardless of page size. On top of the cell latencies, data
+//! must cross the channel between controller and die; the transfer cost
+//! scales with the page size and the bus rate.
+
+use hps_core::{Bytes, SimDuration};
+
+/// Read/program latency pair for one page size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageTiming {
+    /// Time to read a page from the cells into the plane register.
+    pub read: SimDuration,
+    /// Time to program a page from the plane register into the cells.
+    pub program: SimDuration,
+}
+
+/// Complete timing model for a NAND die, covering both page sizes used by
+/// the HPS scheme.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+/// use hps_nand::NandTiming;
+///
+/// let t = NandTiming::TABLE_V;
+/// assert_eq!(t.page_timing(Bytes::kib(4)).read.as_us(), 160);
+/// assert_eq!(t.page_timing(Bytes::kib(8)).program.as_us(), 1491);
+/// assert_eq!(t.erase.as_us(), 3_800);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NandTiming {
+    /// Timing for 4 KiB pages.
+    pub page_4k: PageTiming,
+    /// Timing for 8 KiB pages.
+    pub page_8k: PageTiming,
+    /// Block erase latency (page-size independent in Table V).
+    pub erase: SimDuration,
+    /// Channel transfer cost per byte (controller ↔ die).
+    pub transfer_ns_per_byte: u64,
+}
+
+impl NandTiming {
+    /// The latencies of Table V (Micron MT29F datasheets).
+    pub const TABLE_V: NandTiming = NandTiming {
+        page_4k: PageTiming {
+            read: SimDuration::from_us(160),
+            program: SimDuration::from_us(1_385),
+        },
+        page_8k: PageTiming {
+            read: SimDuration::from_us(244),
+            program: SimDuration::from_us(1_491),
+        },
+        erase: SimDuration::from_us(3_800),
+        // ~200 MB/s eMMC 4.51 bus → 5 ns/byte.
+        transfer_ns_per_byte: 5,
+    };
+
+    /// Timing pair for the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is neither 4 KiB nor 8 KiB — the only sizes the
+    /// paper's HPS design (and this model) supports.
+    pub fn page_timing(&self, page_size: Bytes) -> PageTiming {
+        if page_size == Bytes::kib(4) {
+            self.page_4k
+        } else if page_size == Bytes::kib(8) {
+            self.page_8k
+        } else {
+            panic!("unsupported page size {page_size}; only 4 KiB and 8 KiB are modeled")
+        }
+    }
+
+    /// Time to move `size` bytes across the channel.
+    pub fn transfer(&self, size: Bytes) -> SimDuration {
+        SimDuration::from_ns(size.as_u64() * self.transfer_ns_per_byte)
+    }
+
+    /// Full cost of servicing a page read: cell read plus transfer out.
+    pub fn read_total(&self, page_size: Bytes) -> SimDuration {
+        self.page_timing(page_size).read + self.transfer(page_size)
+    }
+
+    /// Full cost of servicing a page program: transfer in plus cell program.
+    pub fn program_total(&self, page_size: Bytes) -> SimDuration {
+        self.transfer(page_size) + self.page_timing(page_size).program
+    }
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        NandTiming::TABLE_V
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_values() {
+        let t = NandTiming::TABLE_V;
+        assert_eq!(t.page_4k.read.as_us(), 160);
+        assert_eq!(t.page_4k.program.as_us(), 1_385);
+        assert_eq!(t.page_8k.read.as_us(), 244);
+        assert_eq!(t.page_8k.program.as_us(), 1_491);
+        assert_eq!(t.erase.as_ms(), 3);
+    }
+
+    #[test]
+    fn eight_k_page_is_less_than_twice_the_4k_cost() {
+        // The entire HPS advantage rests on this datasheet fact: one 8 KiB
+        // program moves twice the data for far less than twice the time.
+        let t = NandTiming::TABLE_V;
+        assert!(t.page_8k.program < t.page_4k.program * 2);
+        assert!(t.page_8k.read < t.page_4k.read * 2);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let t = NandTiming::TABLE_V;
+        assert_eq!(t.transfer(Bytes::kib(8)).as_ns(), 2 * t.transfer(Bytes::kib(4)).as_ns());
+    }
+
+    #[test]
+    fn totals_compose() {
+        let t = NandTiming::TABLE_V;
+        let four = Bytes::kib(4);
+        assert_eq!(t.read_total(four), t.page_4k.read + t.transfer(four));
+        assert_eq!(t.program_total(four), t.page_4k.program + t.transfer(four));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported page size")]
+    fn odd_page_size_panics() {
+        let _ = NandTiming::TABLE_V.page_timing(Bytes::kib(16));
+    }
+}

@@ -1,0 +1,146 @@
+//! Wear statistics.
+//!
+//! Implication 4 of the paper argues that the weak localities of smartphone
+//! workloads make a *simple* wear-leveling strategy sufficient. To evaluate
+//! that claim the simulator records per-block erase counts; [`WearStats`]
+//! summarizes them into the metrics the ablation benches report: max/mean
+//! erase count and the max/mean ratio (a common wear-evenness indicator —
+//! 1.0 is perfectly even).
+
+use crate::plane::Plane;
+use core::fmt;
+
+/// Summary of erase-count distribution across a set of blocks.
+///
+/// # Example
+///
+/// ```
+/// use hps_nand::WearStats;
+///
+/// let stats = WearStats::from_counts([3, 5, 4, 4].into_iter());
+/// assert_eq!(stats.max(), 5);
+/// assert_eq!(stats.total(), 16);
+/// assert!((stats.mean() - 4.0).abs() < 1e-12);
+/// assert!((stats.evenness() - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WearStats {
+    blocks: u64,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl WearStats {
+    /// Builds statistics from an iterator of per-block erase counts.
+    pub fn from_counts<I: Iterator<Item = u64>>(counts: I) -> Self {
+        let mut stats = WearStats { blocks: 0, total: 0, max: 0, min: u64::MAX };
+        for c in counts {
+            stats.blocks += 1;
+            stats.total += c;
+            stats.max = stats.max.max(c);
+            stats.min = stats.min.min(c);
+        }
+        if stats.blocks == 0 {
+            stats.min = 0;
+        }
+        stats
+    }
+
+    /// Builds statistics over every block of the given planes.
+    pub fn from_planes<'a, I: Iterator<Item = &'a Plane>>(planes: I) -> Self {
+        Self::from_counts(planes.flat_map(|p| p.iter().map(|(_, b)| b.erase_count())))
+    }
+
+    /// Number of blocks observed.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Sum of all erase counts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Highest per-block erase count.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Lowest per-block erase count.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Mean erase count; `0.0` when no blocks were observed.
+    pub fn mean(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.blocks as f64
+        }
+    }
+
+    /// Max-to-mean ratio; `1.0` means perfectly even wear. Returns `1.0`
+    /// when nothing has been erased yet.
+    pub fn evenness(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / mean
+        }
+    }
+}
+
+impl fmt::Display for WearStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "erases: total={} mean={:.2} max={} min={} evenness={:.3}",
+            self.total,
+            self.mean(),
+            self.max,
+            self.min,
+            self.evenness()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::Bytes;
+
+    #[test]
+    fn empty_is_neutral() {
+        let s = WearStats::from_counts(std::iter::empty());
+        assert_eq!(s.blocks(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.evenness(), 1.0);
+        assert_eq!(s.min(), 0);
+    }
+
+    #[test]
+    fn uniform_wear_is_perfectly_even() {
+        let s = WearStats::from_counts([7, 7, 7].into_iter());
+        assert_eq!(s.evenness(), 1.0);
+        assert_eq!(s.min(), 7);
+        assert_eq!(s.max(), 7);
+    }
+
+    #[test]
+    fn from_planes_walks_all_blocks() {
+        let mut p = Plane::new(&[(Bytes::kib(4), 2)], 2);
+        use crate::plane::BlockId;
+        let pg = p.block_mut(BlockId(0)).program_next().unwrap();
+        p.block_mut(BlockId(0)).invalidate(pg);
+        p.block_mut(BlockId(0)).erase();
+        let s = WearStats::from_planes([&p].into_iter());
+        assert_eq!(s.blocks(), 2);
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.max(), 1);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.evenness(), 2.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the flash block state machine: arbitrary
+//! program/invalidate/erase sequences never violate the physical
+//! invariants.
+
+use hps_core::Bytes;
+use hps_nand::{Block, PageState, Plane, WearStats};
+use proptest::prelude::*;
+
+/// A random legal-or-not operation; illegal ones are skipped by the model
+/// below (the block itself would panic, which is the unit tests' job).
+#[derive(Clone, Debug)]
+enum Op {
+    Program,
+    Invalidate(usize),
+    Erase,
+}
+
+fn op_strategy(pages: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Program),
+        2 => (0..pages).prop_map(Op::Invalidate),
+        1 => Just(Op::Erase),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn block_invariants_hold_under_any_sequence(
+        pages in 1usize..32,
+        ops in prop::collection::vec(op_strategy(31), 0..200),
+    ) {
+        let mut block = Block::new(Bytes::kib(4), pages);
+        let mut model_valid: Vec<usize> = Vec::new();
+        let mut expected_erases = 0u64;
+        for op in ops {
+            match op {
+                Op::Program => {
+                    let before = block.free_pages();
+                    match block.program_next() {
+                        Some(idx) => {
+                            prop_assert!(before > 0);
+                            model_valid.push(idx);
+                        }
+                        None => prop_assert_eq!(before, 0),
+                    }
+                }
+                Op::Invalidate(p) => {
+                    if p < pages && block.page_state(p) == PageState::Valid {
+                        block.invalidate(p);
+                        model_valid.retain(|&v| v != p);
+                    }
+                }
+                Op::Erase => {
+                    if block.valid_pages() == 0 {
+                        block.erase();
+                        expected_erases += 1;
+                        model_valid.clear();
+                    }
+                }
+            }
+            // Conservation: free + valid + invalid == pages.
+            prop_assert_eq!(
+                block.free_pages() + block.valid_pages() + block.invalid_pages(),
+                pages
+            );
+            // The model agrees with the block's valid set.
+            let mut expected = model_valid.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(block.valid_page_indices(), expected);
+            prop_assert_eq!(block.erase_count(), expected_erases);
+        }
+    }
+
+    #[test]
+    fn program_indices_are_sequential(pages in 1usize..64) {
+        let mut block = Block::new(Bytes::kib(8), pages);
+        for expected in 0..pages {
+            prop_assert_eq!(block.program_next(), Some(expected));
+        }
+        prop_assert_eq!(block.program_next(), None);
+    }
+
+    #[test]
+    fn plane_pool_accounting_sums_blocks(
+        blocks_4k in 1usize..8,
+        blocks_8k in 1usize..8,
+        programs in 0usize..40,
+    ) {
+        let mut plane = Plane::new(&[(Bytes::kib(4), blocks_4k), (Bytes::kib(8), blocks_8k)], 4);
+        // Program round-robin over all blocks.
+        let total_blocks = plane.blocks_total();
+        for i in 0..programs {
+            let id = hps_nand::BlockId(i % total_blocks);
+            let _ = plane.block_mut(id).program_next();
+        }
+        let total_pages = total_blocks * 4;
+        let free = plane.free_pages(Bytes::kib(4)) + plane.free_pages(Bytes::kib(8));
+        let valid = plane.valid_pages(Bytes::kib(4)) + plane.valid_pages(Bytes::kib(8));
+        prop_assert_eq!(free + valid, total_pages);
+        prop_assert_eq!(valid, programs.min(total_pages));
+    }
+
+    #[test]
+    fn wear_stats_bounds(counts in prop::collection::vec(0u64..1000, 1..100)) {
+        let stats = WearStats::from_counts(counts.iter().copied());
+        prop_assert_eq!(stats.blocks(), counts.len() as u64);
+        prop_assert_eq!(stats.total(), counts.iter().sum::<u64>());
+        prop_assert!(stats.min() <= stats.max());
+        prop_assert!(stats.mean() <= stats.max() as f64 + 1e-9);
+        prop_assert!(stats.mean() >= stats.min() as f64 - 1e-9);
+        prop_assert!(stats.evenness() >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Bucketing conventions of Figs. 4, 5, and 6.
+//!
+//! The paper categorizes request sizes, response times, and inter-arrival
+//! times into fixed ranges. The canonical edges below are used by every
+//! figure-reproduction bench so the distributions are comparable across
+//! traces and schemes.
+
+use crate::trace::Trace;
+use hps_core::Histogram;
+
+/// Fig. 4 size buckets, in KiB: ≤4, ≤8, ≤16, ≤64, ≤256, >256.
+pub const SIZE_EDGES_KIB: [f64; 5] = [4.0, 8.0, 16.0, 64.0, 256.0];
+
+/// Fig. 5 response-time buckets, in ms: ≤1, ≤2, ≤4, ≤8, ≤16, ≤32, ≤64,
+/// ≤128, >128.
+pub const RESPONSE_EDGES_MS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Fig. 6 inter-arrival buckets, in ms: ≤1, ≤4, ≤16, ≤64, ≤256, ≤1024,
+/// >1024.
+pub const INTERARRIVAL_EDGES_MS: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+
+/// Human-readable labels for the buckets of a histogram built over `edges`
+/// with the given unit suffix, e.g. `["<=4KB", "<=8KB", ..., ">256KB"]`.
+pub fn bucket_labels(edges: &[f64], unit: &str) -> Vec<String> {
+    let mut labels: Vec<String> =
+        edges.iter().map(|e| format!("<={}{}", trim_float(*e), unit)).collect();
+    if let Some(last) = edges.last() {
+        labels.push(format!(">{}{}", trim_float(*last), unit));
+    }
+    labels
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Request-size distribution of a trace in the Fig. 4 buckets.
+pub fn size_histogram(trace: &Trace) -> Histogram {
+    let mut h = Histogram::new(&SIZE_EDGES_KIB);
+    for r in trace {
+        h.push(r.request.size.as_kib_f64());
+    }
+    h
+}
+
+/// Response-time distribution (Fig. 5); only completed (replayed) records
+/// contribute.
+pub fn response_histogram(trace: &Trace) -> Histogram {
+    let mut h = Histogram::new(&RESPONSE_EDGES_MS);
+    for r in trace {
+        if let Some(resp) = r.response_time() {
+            h.push(resp.as_ms_f64());
+        }
+    }
+    h
+}
+
+/// Inter-arrival-time distribution (Fig. 6): one sample per consecutive
+/// arrival pair.
+pub fn interarrival_histogram(trace: &Trace) -> Histogram {
+    let mut h = Histogram::new(&INTERARRIVAL_EDGES_MS);
+    for w in trace.records().windows(2) {
+        h.push((w[1].arrival() - w[0].arrival()).as_ms_f64());
+    }
+    h
+}
+
+/// Fraction of a trace's requests that are exactly one 4 KiB page — the
+/// quantity behind Characteristic 2 ("44.9%–57.4% are small requests").
+pub fn small_request_fraction(trace: &Trace) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let small = trace.iter().filter(|r| r.request.is_small()).count();
+    small as f64 / trace.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::{Bytes, Direction, IoRequest, SimTime};
+
+    fn push(t: &mut Trace, ms: u64, kib: u64) {
+        let id = t.len() as u64;
+        t.push_request(IoRequest::new(
+            id,
+            SimTime::from_ms(ms),
+            Direction::Write,
+            Bytes::kib(kib),
+            id * 1_000_000,
+        ));
+    }
+
+    #[test]
+    fn size_histogram_buckets() {
+        let mut t = Trace::new("s");
+        for (ms, kib) in [(0, 4), (1, 4), (2, 8), (3, 32), (4, 512)] {
+            push(&mut t, ms, kib);
+        }
+        let h = size_histogram(&t);
+        assert_eq!(h.counts(), &[2, 1, 0, 1, 0, 1]);
+        assert!((h.fraction(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_fraction_matches_first_bucket() {
+        let mut t = Trace::new("s");
+        for (ms, kib) in [(0, 4), (1, 8), (2, 4), (3, 16)] {
+            push(&mut t, ms, kib);
+        }
+        assert!((small_request_fraction(&t) - 0.5).abs() < 1e-12);
+        assert_eq!(small_request_fraction(&Trace::new("e")), 0.0);
+    }
+
+    #[test]
+    fn interarrival_histogram_counts_gaps() {
+        let mut t = Trace::new("ia");
+        for ms in [0, 1, 3, 103] {
+            push(&mut t, ms, 4);
+        }
+        let h = interarrival_histogram(&t);
+        // gaps: 1ms, 2ms, 100ms
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts()[0], 1); // <=1ms
+        assert_eq!(h.counts()[1], 1); // <=4ms
+        assert_eq!(h.counts()[4], 1); // <=256ms
+    }
+
+    #[test]
+    fn response_histogram_skips_raw_records() {
+        let mut t = Trace::new("r");
+        push(&mut t, 0, 4);
+        push(&mut t, 10, 4);
+        {
+            let recs = t.records_mut();
+            recs[0] = recs[0]
+                .with_service_start(SimTime::from_ms(0))
+                .with_finish(SimTime::from_ms(3));
+        }
+        let h = response_histogram(&t);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.counts()[2], 1); // 3ms -> <=4ms bucket
+    }
+
+    #[test]
+    fn labels_match_bucket_count() {
+        let labels = bucket_labels(&SIZE_EDGES_KIB, "KB");
+        assert_eq!(labels.len(), SIZE_EDGES_KIB.len() + 1);
+        assert_eq!(labels[0], "<=4KB");
+        assert_eq!(labels.last().unwrap(), ">256KB");
+    }
+}

@@ -1,0 +1,180 @@
+//! One BIOtracer record: a request and its three timestamps.
+
+use hps_core::{Direction, IoRequest, SimDuration, SimTime};
+use core::fmt;
+
+/// A block-level request together with the timestamps BIOtracer captures
+/// (Fig. 2 of the paper): arrival at the block layer, service start at the
+/// device, and finish.
+///
+/// A record fresh out of a workload generator has no timestamps beyond
+/// `request.arrival`; replaying the trace through the device simulator fills
+/// in `service_start` and `finish`.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::{Bytes, Direction, IoRequest, SimTime};
+/// use hps_trace::TraceRecord;
+///
+/// let req = IoRequest::new(0, SimTime::from_ms(10), Direction::Write, Bytes::kib(4), 0);
+/// let rec = TraceRecord::new(req)
+///     .with_service_start(SimTime::from_ms(11))
+///     .with_finish(SimTime::from_ms(13));
+/// assert_eq!(rec.response_time().unwrap().as_ms(), 3);
+/// assert_eq!(rec.service_time().unwrap().as_ms(), 2);
+/// assert_eq!(rec.wait_time().unwrap().as_ms(), 1);
+/// assert!(!rec.served_immediately());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The request as created at the block layer.
+    pub request: IoRequest,
+    /// When the request was actually issued to the eMMC device (BIOtracer
+    /// step 2); `None` until the trace has been replayed.
+    pub service_start: Option<SimTime>,
+    /// When the device completed the request (BIOtracer step 3).
+    pub finish: Option<SimTime>,
+}
+
+impl TraceRecord {
+    /// Wraps a raw request with no service timestamps yet.
+    pub fn new(request: IoRequest) -> Self {
+        TraceRecord { request, service_start: None, finish: None }
+    }
+
+    /// Sets the service-start timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the request's arrival.
+    pub fn with_service_start(mut self, t: SimTime) -> Self {
+        assert!(t >= self.request.arrival, "service cannot start before arrival");
+        self.service_start = Some(t);
+        self
+    }
+
+    /// Sets the finish timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the service start (or arrival, when no service
+    /// start is recorded).
+    pub fn with_finish(mut self, t: SimTime) -> Self {
+        let floor = self.service_start.unwrap_or(self.request.arrival);
+        assert!(t >= floor, "finish cannot precede service start");
+        self.finish = Some(t);
+        self
+    }
+
+    /// Request arrival time (BIOtracer step 1).
+    pub fn arrival(&self) -> SimTime {
+        self.request.arrival
+    }
+
+    /// Read or write.
+    pub fn direction(&self) -> Direction {
+        self.request.direction
+    }
+
+    /// `true` once both service timestamps are present.
+    pub fn is_completed(&self) -> bool {
+        self.service_start.is_some() && self.finish.is_some()
+    }
+
+    /// Response time: finish − arrival. `None` until completed.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        Some(self.finish? - self.request.arrival)
+    }
+
+    /// Service time: finish − service start. `None` until completed.
+    pub fn service_time(&self) -> Option<SimDuration> {
+        Some(self.finish? - self.service_start?)
+    }
+
+    /// Wait time: service start − arrival. `None` until replayed.
+    pub fn wait_time(&self) -> Option<SimDuration> {
+        Some(self.service_start? - self.request.arrival)
+    }
+
+    /// The paper's "NoWait" predicate: the request was issued to the device
+    /// the instant it arrived. `false` when not yet replayed.
+    pub fn served_immediately(&self) -> bool {
+        self.wait_time().is_some_and(|w| w.is_zero())
+    }
+}
+
+impl From<IoRequest> for TraceRecord {
+    fn from(request: IoRequest) -> Self {
+        TraceRecord::new(request)
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.request)?;
+        if let Some(r) = self.response_time() {
+            write!(f, " resp={r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::Bytes;
+
+    fn rec() -> TraceRecord {
+        TraceRecord::new(IoRequest::new(
+            1,
+            SimTime::from_ms(100),
+            Direction::Read,
+            Bytes::kib(8),
+            4096,
+        ))
+    }
+
+    #[test]
+    fn raw_record_has_no_derived_times() {
+        let r = rec();
+        assert!(!r.is_completed());
+        assert_eq!(r.response_time(), None);
+        assert_eq!(r.service_time(), None);
+        assert_eq!(r.wait_time(), None);
+        assert!(!r.served_immediately());
+    }
+
+    #[test]
+    fn derived_times() {
+        let r = rec()
+            .with_service_start(SimTime::from_ms(100))
+            .with_finish(SimTime::from_ms(104));
+        assert!(r.is_completed());
+        assert_eq!(r.response_time().unwrap().as_ms(), 4);
+        assert_eq!(r.service_time().unwrap().as_ms(), 4);
+        assert_eq!(r.wait_time().unwrap(), SimDuration::ZERO);
+        assert!(r.served_immediately());
+    }
+
+    #[test]
+    fn queued_request_is_not_nowait() {
+        let r = rec()
+            .with_service_start(SimTime::from_ms(102))
+            .with_finish(SimTime::from_ms(104));
+        assert!(!r.served_immediately());
+        assert_eq!(r.wait_time().unwrap().as_ms(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before arrival")]
+    fn service_before_arrival_panics() {
+        let _ = rec().with_service_start(SimTime::from_ms(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "precede service start")]
+    fn finish_before_service_panics() {
+        let _ = rec().with_service_start(SimTime::from_ms(105)).with_finish(SimTime::from_ms(104));
+    }
+}

@@ -1,0 +1,260 @@
+//! An ordered collection of trace records.
+
+use crate::record::TraceRecord;
+use hps_core::{Bytes, Error, IoRequest, Result, SimDuration, SimTime};
+use core::fmt;
+
+/// A named block-level I/O trace, ordered by arrival time.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::{Bytes, Direction, IoRequest, SimTime};
+/// use hps_trace::Trace;
+///
+/// let mut t = Trace::new("demo");
+/// t.push_request(IoRequest::new(0, SimTime::from_ms(1), Direction::Write, Bytes::kib(4), 0));
+/// t.push_request(IoRequest::new(1, SimTime::from_ms(2), Direction::Read, Bytes::kib(8), 4096));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.total_bytes(), Bytes::kib(12));
+/// assert_eq!(t.duration().as_ms(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    name: String,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace { name: name.into(), records: Vec::new() }
+    }
+
+    /// Builds a trace from pre-ordered records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if records are not sorted by arrival.
+    pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Result<Self> {
+        if records.windows(2).any(|w| w[0].arrival() > w[1].arrival()) {
+            return Err(Error::InvalidConfig("trace records must be sorted by arrival".into()));
+        }
+        Ok(Trace { name: name.into(), records })
+    }
+
+    /// The trace's name (the application it models, e.g. `"Twitter"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record arrives before the current last record —
+    /// traces are strictly ordered by arrival.
+    pub fn push(&mut self, record: TraceRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                record.arrival() >= last.arrival(),
+                "records must be appended in arrival order"
+            );
+        }
+        self.records.push(record);
+    }
+
+    /// Appends a bare request (no service timestamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request arrives before the current last record.
+    pub fn push_request(&mut self, request: IoRequest) {
+        self.push(TraceRecord::new(request));
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in arrival order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Mutable access to the records; used by the replay engine to fill in
+    /// service timestamps. Arrival order must be preserved by the caller.
+    pub fn records_mut(&mut self) -> &mut [TraceRecord] {
+        &mut self.records
+    }
+
+    /// Iterates the records.
+    pub fn iter(&self) -> core::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total bytes moved (read + write) — Table III's *Data Size*.
+    pub fn total_bytes(&self) -> Bytes {
+        self.records.iter().map(|r| r.request.size).sum()
+    }
+
+    /// Bytes written — numerator of Table III's *Write Size Pct*.
+    pub fn written_bytes(&self) -> Bytes {
+        self.records
+            .iter()
+            .filter(|r| r.direction().is_write())
+            .map(|r| r.request.size)
+            .sum()
+    }
+
+    /// Recording duration: last arrival − first arrival. Zero when the trace
+    /// has fewer than two records. (Table IV's *Recording Duration*.)
+    pub fn duration(&self) -> SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(first), Some(last)) => last.arrival() - first.arrival(),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// The arrival time of the first request, or simulation zero when empty.
+    pub fn start_time(&self) -> SimTime {
+        self.records.first().map_or(SimTime::ZERO, |r| r.arrival())
+    }
+
+    /// `true` once every record has been replayed (has both timestamps).
+    pub fn is_replayed(&self) -> bool {
+        self.records.iter().all(TraceRecord::is_completed)
+    }
+
+    /// Validates the invariants the analysis code relies on: arrival-sorted,
+    /// non-zero 4 KiB-aligned sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let page = Bytes::kib(4);
+        for (i, r) in self.records.iter().enumerate() {
+            if !r.request.size.is_multiple_of(page) {
+                return Err(Error::InvalidConfig(format!(
+                    "record {i}: size {} not 4 KiB-aligned",
+                    r.request.size
+                )));
+            }
+        }
+        if self.records.windows(2).any(|w| w[0].arrival() > w[1].arrival()) {
+            return Err(Error::InvalidConfig("records out of arrival order".into()));
+        }
+        Ok(())
+    }
+
+    /// Strips service timestamps, returning the trace to its pre-replay
+    /// state (used when replaying one generated trace on several schemes).
+    pub fn reset_replay(&mut self) {
+        for r in &mut self.records {
+            r.service_start = None;
+            r.finish = None;
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reqs, {} total, {:.1}s",
+            self.name,
+            self.len(),
+            self.total_bytes(),
+            self.duration().as_secs_f64()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = core::slice::Iter<'a, TraceRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hps_core::Direction;
+
+    fn req(id: u64, ms: u64, dir: Direction, kib: u64, lba: u64) -> IoRequest {
+        IoRequest::new(id, SimTime::from_ms(ms), dir, Bytes::kib(kib), lba)
+    }
+
+    #[test]
+    fn accumulates_sizes_and_duration() {
+        let mut t = Trace::new("t");
+        t.push_request(req(0, 0, Direction::Write, 4, 0));
+        t.push_request(req(1, 10, Direction::Read, 8, 4096));
+        t.push_request(req(2, 30, Direction::Write, 16, 0));
+        assert_eq!(t.total_bytes(), Bytes::kib(28));
+        assert_eq!(t.written_bytes(), Bytes::kib(20));
+        assert_eq!(t.duration().as_ms(), 30);
+        assert_eq!(t.start_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::new("empty");
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert_eq!(t.total_bytes(), Bytes::ZERO);
+        assert!(t.validate().is_ok());
+        assert!(t.is_replayed());
+    }
+
+    #[test]
+    fn from_records_rejects_unsorted() {
+        let a = TraceRecord::new(req(0, 10, Direction::Read, 4, 0));
+        let b = TraceRecord::new(req(1, 5, Direction::Read, 4, 0));
+        assert!(Trace::from_records("bad", vec![a, b]).is_err());
+        assert!(Trace::from_records("good", vec![b, a]).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_misaligned_sizes() {
+        let mut t = Trace::new("t");
+        t.push_request(IoRequest::new(
+            0,
+            SimTime::ZERO,
+            Direction::Write,
+            Bytes::new(1000),
+            0,
+        ));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn replay_state_round_trip() {
+        let mut t = Trace::new("t");
+        t.push_request(req(0, 0, Direction::Write, 4, 0));
+        assert!(!t.is_replayed());
+        t.records_mut()[0] = t.records()[0]
+            .with_service_start(SimTime::from_ms(0))
+            .with_finish(SimTime::from_ms(2));
+        assert!(t.is_replayed());
+        t.reset_replay();
+        assert!(!t.is_replayed());
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival order")]
+    fn out_of_order_push_panics() {
+        let mut t = Trace::new("t");
+        t.push_request(req(0, 10, Direction::Read, 4, 0));
+        t.push_request(req(1, 5, Direction::Read, 4, 0));
+    }
+}

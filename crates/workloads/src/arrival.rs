@@ -1,0 +1,123 @@
+//! Inter-arrival-time models.
+//!
+//! Smartphone I/O is bursty: requests cluster (an application flushing a
+//! SQLite transaction issues several requests back-to-back) separated by
+//! long think times (Characteristic 6: 13 of 18 applications average over
+//! 200 ms between requests). [`ArrivalModel`] is a two-component lognormal
+//! mixture — a *burst* component with millisecond-scale gaps and a *think*
+//! component solved so the overall mean matches the published recording
+//! duration and request count.
+
+use hps_core::{SimDuration, SimRng};
+
+/// Two-component lognormal inter-arrival model.
+#[derive(Clone, Debug)]
+pub struct ArrivalModel {
+    /// Probability that a gap belongs to the burst component.
+    burst_frac: f64,
+    /// Mean gap of the burst component, ms.
+    burst_mean_ms: f64,
+    /// Mean gap of the think component, ms (solved from the overall target).
+    think_mean_ms: f64,
+    /// Lognormal sigma for both components (burstiness knob).
+    sigma: f64,
+}
+
+impl ArrivalModel {
+    /// Builds a model whose *overall* mean gap is `mean_gap_ms`, with
+    /// `burst_frac` of gaps drawn from a fast component with mean
+    /// `burst_mean_ms`.
+    ///
+    /// The think-component mean is solved as
+    /// `(mean − p·burst_mean) / (1 − p)`; if the targets are inconsistent
+    /// (the burst component alone exceeds the overall mean), the burst mean
+    /// is shrunk to half the overall mean first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap_ms` is not positive or `burst_frac` is outside
+    /// `[0, 1)`.
+    pub fn new(mean_gap_ms: f64, burst_frac: f64, burst_mean_ms: f64, sigma: f64) -> Self {
+        assert!(mean_gap_ms > 0.0, "mean gap must be positive");
+        assert!((0.0..1.0).contains(&burst_frac), "burst fraction must be in [0, 1)");
+        let burst_mean_ms = if burst_frac > 0.0 && burst_mean_ms * burst_frac >= mean_gap_ms {
+            mean_gap_ms / 2.0
+        } else {
+            burst_mean_ms
+        };
+        let think_mean_ms = if burst_frac == 0.0 {
+            mean_gap_ms
+        } else {
+            (mean_gap_ms - burst_frac * burst_mean_ms) / (1.0 - burst_frac)
+        };
+        ArrivalModel { burst_frac, burst_mean_ms, think_mean_ms, sigma }
+    }
+
+    /// The model's exact overall mean gap in milliseconds.
+    pub fn mean_gap_ms(&self) -> f64 {
+        self.burst_frac * self.burst_mean_ms + (1.0 - self.burst_frac) * self.think_mean_ms
+    }
+
+    /// Draws one inter-arrival gap.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let mean = if rng.chance(self.burst_frac) {
+            self.burst_mean_ms
+        } else {
+            self.think_mean_ms
+        };
+        let ms = rng.lognormal_with_mean(mean, self.sigma);
+        SimDuration::from_secs_f64((ms / 1e3).min(7_200.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_mean_matches_target() {
+        let m = ArrivalModel::new(200.0, 0.6, 2.0, 1.0);
+        assert!((m.mean_gap_ms() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_mean_converges() {
+        let m = ArrivalModel::new(50.0, 0.5, 2.0, 1.0);
+        let mut rng = SimRng::seed_from(3);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_secs_f64() * 1e3).sum();
+        let mean = total / n as f64;
+        assert!((mean - 50.0).abs() / 50.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bursty_model_has_many_small_and_some_huge_gaps() {
+        let m = ArrivalModel::new(200.0, 0.7, 2.0, 1.2);
+        let mut rng = SimRng::seed_from(4);
+        let samples: Vec<f64> =
+            (0..10_000).map(|_| m.sample(&mut rng).as_secs_f64() * 1e3).collect();
+        let small = samples.iter().filter(|&&g| g <= 16.0).count() as f64 / 10_000.0;
+        let large = samples.iter().filter(|&&g| g > 16.0).count() as f64 / 10_000.0;
+        assert!(small > 0.5, "bursts dominate counts: {small}");
+        assert!(large > 0.2, "Characteristic 6: >20% of gaps above 16 ms, got {large}");
+    }
+
+    #[test]
+    fn inconsistent_targets_are_repaired() {
+        // Burst mean 10 ms with p=0.9 exceeds overall mean 5 ms.
+        let m = ArrivalModel::new(5.0, 0.9, 10.0, 1.0);
+        assert!((m.mean_gap_ms() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_burst_fraction_is_single_component() {
+        let m = ArrivalModel::new(1000.0, 0.0, 2.0, 0.8);
+        assert!((m.mean_gap_ms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_panics() {
+        let _ = ArrivalModel::new(0.0, 0.5, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The per-application workload parameter record.
+//!
+//! An [`AppProfile`] embeds the published statistics of one of the paper's
+//! 18 traces (Tables III and IV) plus the two free shape parameters the
+//! tables do not pin down (burstiness of the arrival process and the Fig. 4
+//! single-page fraction). [`crate::generator::generate`] turns a profile
+//! into a concrete trace.
+
+use crate::address::AddressModel;
+use crate::arrival::ArrivalModel;
+use crate::size::SizeModel;
+use hps_core::Bytes;
+
+/// Hand-tuned size-distribution override for the apps whose Fig. 4 shape
+/// deviates from the generic spike-plus-tail (e.g. Movie's 16–64 KiB hump).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeShape {
+    /// Use [`SizeModel::calibrated`] from the profile's `frac_4k`,
+    /// per-direction mean, and max.
+    Calibrated,
+    /// Explicit `(size_kib, weight)` entries for reads and writes.
+    Custom {
+        /// Read-size entries.
+        read: &'static [(u64, f64)],
+        /// Write-size entries.
+        write: &'static [(u64, f64)],
+    },
+}
+
+/// All parameters needed to regenerate one application's trace.
+#[derive(Clone, Debug)]
+pub struct AppProfile {
+    /// Application name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Table III *Number of Reqs.*
+    pub num_reqs: u64,
+    /// Table IV *Recording Duration* (seconds).
+    pub duration_s: f64,
+    /// Table III *Write Reqs. Pct.* (0–100).
+    pub write_req_pct: f64,
+    /// Table III *Ave. R Size* (KiB).
+    pub avg_read_kib: f64,
+    /// Table III *Ave. W Size* (KiB).
+    pub avg_write_kib: f64,
+    /// Table III *Max Size* (KiB).
+    pub max_kib: u64,
+    /// Fig. 4 single-page (4 KiB) request fraction (0–1).
+    pub frac_4k: f64,
+    /// Table IV *Spatial Locality* (0–100).
+    pub spatial_pct: f64,
+    /// Table IV *Temporal Locality* (0–100).
+    pub temporal_pct: f64,
+    /// Fraction of inter-arrival gaps in the burst component (0–1).
+    pub burst_frac: f64,
+    /// Mean gap of the burst component, milliseconds (Fig. 6 shape: Movie
+    /// bursts are sub-millisecond, online apps burst at several ms).
+    pub burst_mean_ms: f64,
+    /// Lognormal sigma of the gap components (burstiness spread).
+    pub sigma: f64,
+    /// Size-distribution shape.
+    pub shape: SizeShape,
+}
+
+impl AppProfile {
+    /// The read-size model for this application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's calibration targets are inconsistent.
+    pub fn read_size_model(&self) -> SizeModel {
+        match self.shape {
+            SizeShape::Calibrated => {
+                SizeModel::calibrated(self.frac_4k, self.avg_read_kib.max(4.0), self.max_kib)
+            }
+            SizeShape::Custom { read, .. } => SizeModel::from_entries(read),
+        }
+    }
+
+    /// The write-size model for this application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's calibration targets are inconsistent.
+    pub fn write_size_model(&self) -> SizeModel {
+        match self.shape {
+            SizeShape::Calibrated => {
+                SizeModel::calibrated(self.frac_4k, self.avg_write_kib.max(4.0), self.max_kib)
+            }
+            SizeShape::Custom { write, .. } => SizeModel::from_entries(write),
+        }
+    }
+
+    /// The arrival model: mean gap solved from duration and request count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile has fewer than two requests.
+    pub fn arrival_model(&self) -> ArrivalModel {
+        assert!(self.num_reqs >= 2, "profile needs at least two requests");
+        let mean_gap_ms = self.duration_s * 1e3 / (self.num_reqs - 1) as f64;
+        ArrivalModel::new(mean_gap_ms, self.burst_frac, self.burst_mean_ms, self.sigma)
+    }
+
+    /// The address model over this application's footprint.
+    pub fn address_model(&self) -> AddressModel {
+        AddressModel::new(self.spatial_pct, self.temporal_pct, self.footprint())
+    }
+
+    /// Expected total bytes moved (mix-weighted mean size × request count).
+    pub fn expected_data(&self) -> Bytes {
+        let w = self.write_req_pct / 100.0;
+        let mean_kib = w * self.avg_write_kib + (1.0 - w) * self.avg_read_kib;
+        Bytes::kib((mean_kib * self.num_reqs as f64) as u64)
+    }
+
+    /// Address footprint: four times the expected data, at least 64 MiB, at
+    /// most 16 GiB (inside the 32 GiB device of Table V).
+    pub fn footprint(&self) -> Bytes {
+        let four_x = Bytes::new(self.expected_data().as_u64().saturating_mul(4));
+        four_x.max(Bytes::mib(64)).min(Bytes::gib(16))
+    }
+
+    /// Mean request arrival rate (requests/second), Table IV column 3.
+    pub fn arrival_rate(&self) -> f64 {
+        if self.duration_s == 0.0 {
+            0.0
+        } else {
+            self.num_reqs as f64 / self.duration_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> AppProfile {
+        AppProfile {
+            name: "Test",
+            num_reqs: 1000,
+            duration_s: 100.0,
+            write_req_pct: 80.0,
+            avg_read_kib: 20.0,
+            avg_write_kib: 10.0,
+            max_kib: 1024,
+            frac_4k: 0.5,
+            spatial_pct: 25.0,
+            temporal_pct: 35.0,
+            burst_frac: 0.6,
+            burst_mean_ms: 2.0,
+            sigma: 1.0,
+            shape: SizeShape::Calibrated,
+        }
+    }
+
+    #[test]
+    fn models_build_and_match_targets() {
+        let p = sample_profile();
+        let r = p.read_size_model();
+        let w = p.write_size_model();
+        assert!((r.mean_kib() - 20.0).abs() / 20.0 < 0.08);
+        assert!((w.mean_kib() - 10.0).abs() / 10.0 < 0.08);
+        let a = p.arrival_model();
+        let expected_gap = 100_000.0 / 999.0;
+        assert!((a.mean_gap_ms() - expected_gap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_data_mixes_directions() {
+        let p = sample_profile();
+        // 0.8×10 + 0.2×20 = 12 KiB mean × 1000 reqs.
+        assert_eq!(p.expected_data(), Bytes::kib(12_000));
+    }
+
+    #[test]
+    fn footprint_floors_at_64_mib() {
+        let p = sample_profile();
+        assert_eq!(p.footprint(), Bytes::mib(64), "4×12 MB < 64 MiB floor");
+    }
+
+    #[test]
+    fn arrival_rate() {
+        let p = sample_profile();
+        assert!((p.arrival_rate() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_shape_uses_entries() {
+        let mut p = sample_profile();
+        p.shape = SizeShape::Custom {
+            read: &[(32, 1.0)],
+            write: &[(4, 1.0)],
+        };
+        assert_eq!(p.read_size_model().mean_kib(), 32.0);
+        assert_eq!(p.write_size_model().mean_kib(), 4.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the workload generators: arbitrary (sane)
+//! profile parameters always yield well-formed, calibrated traces.
+
+use hps_core::Bytes;
+use hps_trace::{SizeStats, TimingStats};
+use hps_workloads::generate;
+use hps_workloads::profile::{AppProfile, SizeShape};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        200u64..800,              // num_reqs (small for test speed)
+        10.0f64..500.0,           // duration_s
+        5.0f64..95.0,             // write_req_pct
+        4.0f64..80.0,             // avg_read_kib
+        4.0f64..80.0,             // avg_write_kib
+        (5.0f64..40.0, 5.0f64..45.0), // spatial, temporal (sum < 100)
+        0.0f64..0.9,              // burst_frac
+        0.45f64..0.58,            // frac_4k
+    )
+        .prop_map(
+            |(n, dur, wpct, r, w, (spat, temp), burst, f4)| AppProfile {
+                name: "prop",
+                num_reqs: n,
+                duration_s: dur,
+                write_req_pct: wpct,
+                avg_read_kib: r,
+                avg_write_kib: w,
+                max_kib: 2_048,
+                frac_4k: f4,
+                spatial_pct: spat,
+                temporal_pct: temp,
+                burst_frac: burst,
+                burst_mean_ms: 4.0,
+                sigma: 1.0,
+                shape: SizeShape::Calibrated,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_traces_are_well_formed(profile in arb_profile(), seed in 0u64..1_000) {
+        let trace = generate(&profile, seed);
+        prop_assert_eq!(trace.len() as u64, profile.num_reqs);
+        trace.validate().unwrap();
+        // All sizes positive, 4 KiB aligned, within the profile max.
+        for r in &trace {
+            prop_assert!(r.request.size.is_multiple_of(Bytes::kib(4)));
+            prop_assert!(r.request.size <= Bytes::kib(profile.max_kib));
+        }
+    }
+
+    #[test]
+    fn write_mix_tracks_profile(profile in arb_profile(), seed in 0u64..1_000) {
+        let trace = generate(&profile, seed);
+        let stats = SizeStats::from_trace(&trace);
+        // Binomial noise at n>=200: allow a generous band.
+        prop_assert!(
+            (stats.write_req_pct - profile.write_req_pct).abs() < 12.0,
+            "write pct {} vs {}",
+            stats.write_req_pct,
+            profile.write_req_pct
+        );
+    }
+
+    #[test]
+    fn localities_track_profile(profile in arb_profile(), seed in 0u64..1_000) {
+        let trace = generate(&profile, seed);
+        let stats = TimingStats::from_trace(&trace);
+        prop_assert!(
+            (stats.spatial_locality_pct - profile.spatial_pct).abs() < 10.0,
+            "spatial {} vs {}",
+            stats.spatial_locality_pct,
+            profile.spatial_pct
+        );
+        prop_assert!(
+            (stats.temporal_locality_pct - profile.temporal_pct).abs() < 12.0,
+            "temporal {} vs {}",
+            stats.temporal_locality_pct,
+            profile.temporal_pct
+        );
+    }
+
+    #[test]
+    fn duration_tracks_profile(profile in arb_profile(), seed in 0u64..1_000) {
+        let trace = generate(&profile, seed);
+        let stats = TimingStats::from_trace(&trace);
+        // The total duration is a sum of a few hundred lognormal gaps; with
+        // a high burst fraction almost all of the duration sits in a small
+        // number of heavy-tailed think gaps, so the sum's relative noise
+        // can approach 1 at these test sizes. Assert the right order of
+        // magnitude here; the paper-profile calibration tests (full-size
+        // traces) assert the tight bound.
+        let err = (stats.duration_s - profile.duration_s).abs() / profile.duration_s;
+        prop_assert!(err < 1.5, "duration {} vs {}", stats.duration_s, profile.duration_s);
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed(profile in arb_profile(), seed in 0u64..1_000) {
+        let a = generate(&profile, seed);
+        let b = generate(&profile, seed);
+        prop_assert_eq!(a.records(), b.records());
+    }
+}

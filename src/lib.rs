@@ -1,0 +1,50 @@
+//! # hps — smartphone I/O characterization and hybrid-page-size eMMC simulation
+//!
+//! A from-scratch Rust reproduction of *"I/O Characteristics of Smartphone
+//! Applications and Their Implications for eMMC Design"* (IISWC 2015): the
+//! 25 reconstructed Nexus 5 workloads, an SSDsim-style event-driven eMMC
+//! simulator with a full FTL, the paper's hybrid-page-size (HPS) scheme and
+//! its 4PS/8PS baselines, an Android I/O-stack model with the BIOtracer
+//! measurement tool, and the analysis code behind every table and figure.
+//!
+//! This facade crate re-exports the workspace's public API under one name:
+//!
+//! * [`core`] — time, sizes, requests, RNG, statistics;
+//! * [`nand`] — the raw flash array (geometry, timing, blocks);
+//! * [`ftl`] — mapping, garbage collection, wear leveling;
+//! * [`emmc`] — the device simulator and the HPS scheme;
+//! * [`trace`] — BIOtracer-style traces and their statistics;
+//! * [`workloads`] — the 25 reconstructed workloads;
+//! * [`iostack`] — block layer, driver packing, BIOtracer;
+//! * [`analysis`] — tables, figures, and the case study.
+//!
+//! # Quickstart
+//!
+//! Generate the paper's Twitter workload, replay it on a hybrid-page-size
+//! eMMC, and read off the mean response time:
+//!
+//! ```
+//! use hps::emmc::{DeviceConfig, EmmcDevice, SchemeKind};
+//! use hps::workloads::{generate, profiles};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut trace = generate(&profiles::MESSAGING, 42);
+//! let mut device = EmmcDevice::new(DeviceConfig::table_v(SchemeKind::Hps))?;
+//! let metrics = device.replay(&mut trace)?;
+//! println!("HPS mean response time: {:.2} ms", metrics.mean_response_ms());
+//! assert!(metrics.mean_response_ms() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use hps_analysis as analysis;
+pub use hps_core as core;
+pub use hps_emmc as emmc;
+pub use hps_ftl as ftl;
+pub use hps_iostack as iostack;
+pub use hps_nand as nand;
+pub use hps_trace as trace;
+pub use hps_workloads as workloads;
+
+/// The crate version, for binaries that report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

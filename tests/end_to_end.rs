@@ -1,0 +1,125 @@
+//! Cross-crate integration: workload generation → I/O stack → device →
+//! analysis, exercising the public facade API end to end.
+
+use hps::analysis::tables::{table_iii, table_iv};
+use hps::emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
+use hps::iostack::biotracer::BioTracer;
+use hps::iostack::driver::pack_writes;
+use hps::iostack::BlockLayer;
+use hps::trace::io::{read_trace, write_trace};
+use hps::trace::{SizeStats, Trace, TraceRecord};
+use hps::workloads::{by_name, generate};
+use hps_core::Bytes;
+
+/// A truncated workload keeps debug-mode replay fast.
+fn small_trace(name: &str, n: usize) -> Trace {
+    let profile = by_name(name).expect("paper workload");
+    let full = generate(&profile, 7);
+    let records: Vec<_> = full.records().iter().take(n).copied().collect();
+    Trace::from_records(name.to_string(), records).expect("prefix sorted")
+}
+
+#[test]
+fn generate_replay_analyze_pipeline() {
+    let mut trace = small_trace("Messaging", 800);
+    let mut device = EmmcDevice::new(DeviceConfig::table_v(SchemeKind::Hps)).unwrap();
+    let metrics = device.replay(&mut trace).unwrap();
+
+    assert!(trace.is_replayed());
+    assert_eq!(metrics.total_requests, 800);
+    assert!(metrics.mean_response_ms() > 0.0);
+    assert!(metrics.nowait_pct() > 0.0);
+
+    // Analysis consumes the replayed trace.
+    let t3 = table_iii(std::slice::from_ref(&trace));
+    let t4 = table_iv(std::slice::from_ref(&trace));
+    assert_eq!(t3.len(), 1);
+    assert_eq!(t4.len(), 1);
+    assert!(t4.render().contains("Messaging"));
+}
+
+#[test]
+fn trace_survives_serialization_after_replay() {
+    let mut trace = small_trace("Email", 300);
+    let mut device = EmmcDevice::new(DeviceConfig::table_v(SchemeKind::Ps4)).unwrap();
+    device.replay(&mut trace).unwrap();
+
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).unwrap();
+    let back = read_trace(buf.as_slice(), "fallback").unwrap();
+
+    assert_eq!(back.name(), "Email");
+    assert_eq!(back.len(), trace.len());
+    assert!(back.is_replayed());
+    // Statistics computed from the round-tripped trace match.
+    let a = SizeStats::from_trace(&trace);
+    let b = SizeStats::from_trace(&back);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn iostack_feeds_device() {
+    // Push a workload through block layer + packing, then replay the
+    // resulting command stream.
+    let trace = small_trace("CameraVideo", 400);
+    let mut block_layer = BlockLayer::new();
+    let mut tracer = BioTracer::new(1);
+    for r in &trace {
+        block_layer.submit(r.request);
+        tracer.record(TraceRecord::new(r.request));
+    }
+    let merged = block_layer.drain();
+    assert!(merged.len() <= trace.len());
+
+    let packed = pack_writes(&merged, 32, Bytes::mib(16));
+    assert!(!packed.is_empty());
+    let total_in: Bytes = trace.iter().map(|r| r.request.size).sum();
+    let total_out: Bytes = packed.iter().map(|c| c.total_size()).sum();
+    assert_eq!(total_in, total_out, "no bytes lost in the stack");
+
+    // Replay merged requests (re-timestamped to stay sorted).
+    let mut device = EmmcDevice::new(DeviceConfig::table_v(SchemeKind::Hps)).unwrap();
+    for request in &merged {
+        device.submit(request).unwrap();
+    }
+    assert!(device.ftl().space().data_written() > Bytes::ZERO);
+
+    tracer.flush();
+    // Only ~400 records → two flushes: the overhead is coarse-grained here;
+    // the precise ~2% claim is asserted on a long run in paper_claims.rs.
+    assert!(tracer.overhead().overhead_pct() < 5.0);
+}
+
+#[test]
+fn real_device_and_simulator_semantics_differ() {
+    // Write cache + interleaving (real device) must beat the bare
+    // case-study configuration on a write burst.
+    let mut bare_cfg = DeviceConfig::table_v(SchemeKind::Ps4);
+    bare_cfg.power = hps::emmc::PowerConfig::DISABLED;
+    let mut real_cfg = bare_cfg.clone().with_write_cache(Bytes::kib(512));
+    real_cfg.channel_mode = ChannelMode::Interleaved;
+
+    let mut trace_a = small_trace("Twitter", 500);
+    let mut trace_b = trace_a.clone();
+    let bare = EmmcDevice::new(bare_cfg).unwrap().replay(&mut trace_a).unwrap();
+    let real = EmmcDevice::new(real_cfg).unwrap().replay(&mut trace_b).unwrap();
+    assert!(
+        real.mean_response_ms() < bare.mean_response_ms(),
+        "cache+interleave {} vs bare {}",
+        real.mean_response_ms(),
+        bare.mean_response_ms()
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade's module aliases expose every crate.
+    let _ = hps::core::Bytes::kib(4);
+    let _ = hps::nand::Geometry::TABLE_V;
+    let _ = hps::ftl::gc::GcTrigger::default();
+    let _ = hps::emmc::SchemeKind::Hps;
+    let _ = hps::trace::Trace::new("x");
+    let _ = hps::workloads::profiles::TWITTER.clone();
+    let _ = hps::analysis::Table::new(&["col"]);
+    assert!(!hps::VERSION.is_empty());
+}
