@@ -43,12 +43,14 @@ impl CaseStudyRow {
 
     /// HPS mean-response-time reduction vs 4PS, percent (Fig. 8 headline).
     pub fn hps_mrt_reduction_pct(&self) -> f64 {
-        self.metrics_for(SchemeKind::Hps).mrt_reduction_vs(self.metrics_for(SchemeKind::Ps4))
+        self.metrics_for(SchemeKind::Hps)
+            .mrt_reduction_vs(self.metrics_for(SchemeKind::Ps4))
     }
 
     /// HPS space-utilization gain vs 8PS, percent (Fig. 9 headline).
     pub fn hps_util_gain_pct(&self) -> f64 {
-        self.metrics_for(SchemeKind::Hps).utilization_gain_vs(self.metrics_for(SchemeKind::Ps8))
+        self.metrics_for(SchemeKind::Hps)
+            .utilization_gain_vs(self.metrics_for(SchemeKind::Ps8))
     }
 }
 
@@ -79,9 +81,11 @@ pub fn run_case_study(trace: &Trace) -> Result<CaseStudyRow> {
         replayed.reset_replay();
         metrics.push(dev.replay(&mut replayed)?);
     }
-    let metrics: [ReplayMetrics; 3] =
-        metrics.try_into().expect("exactly three schemes replayed");
-    Ok(CaseStudyRow { trace: trace.name().to_string(), metrics })
+    let metrics: [ReplayMetrics; 3] = metrics.try_into().expect("exactly three schemes replayed");
+    Ok(CaseStudyRow {
+        trace: trace.name().to_string(),
+        metrics,
+    })
 }
 
 /// Fig. 8 as a table: MRT per scheme plus HPS-vs-4PS reduction, with tail
@@ -121,8 +125,16 @@ pub fn fig9_table(rows: &[CaseStudyRow]) -> Table {
     ]);
     for row in rows {
         let base = row.metrics[0].space_utilization();
-        let n8 = if base == 0.0 { 0.0 } else { row.metrics[1].space_utilization() / base };
-        let nh = if base == 0.0 { 0.0 } else { row.metrics[2].space_utilization() / base };
+        let n8 = if base == 0.0 {
+            0.0
+        } else {
+            row.metrics[1].space_utilization() / base
+        };
+        let nh = if base == 0.0 {
+            0.0
+        } else {
+            row.metrics[2].space_utilization() / base
+        };
         t.row(vec![
             row.trace.clone(),
             fnum(n8, 3),
@@ -138,7 +150,10 @@ pub fn average_mrt_reduction(rows: &[CaseStudyRow]) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    rows.iter().map(CaseStudyRow::hps_mrt_reduction_pct).sum::<f64>() / rows.len() as f64
+    rows.iter()
+        .map(CaseStudyRow::hps_mrt_reduction_pct)
+        .sum::<f64>()
+        / rows.len() as f64
 }
 
 /// Average HPS-vs-8PS utilization gain (the paper: 13.1%).
@@ -146,7 +161,10 @@ pub fn average_util_gain(rows: &[CaseStudyRow]) -> f64 {
     if rows.is_empty() {
         return 0.0;
     }
-    rows.iter().map(CaseStudyRow::hps_util_gain_pct).sum::<f64>() / rows.len() as f64
+    rows.iter()
+        .map(CaseStudyRow::hps_util_gain_pct)
+        .sum::<f64>()
+        / rows.len() as f64
 }
 
 #[cfg(test)]
@@ -159,7 +177,7 @@ mod tests {
         let mut t = Trace::new("Mixed");
         for i in 0..60u64 {
             let (kib, dir) = match i % 6 {
-                0 | 1 | 2 => (4, Direction::Write),
+                0..=2 => (4, Direction::Write),
                 3 => (64, Direction::Write),
                 4 => (256, Direction::Write),
                 _ => (16, Direction::Read),
@@ -199,7 +217,10 @@ mod tests {
         let u4 = row.metrics[0].space_utilization();
         let uh = row.metrics[2].space_utilization();
         let u8_ = row.metrics[1].space_utilization();
-        assert!((uh - u4).abs() < 1e-9, "HPS wastes nothing extra: {uh} vs {u4}");
+        assert!(
+            (uh - u4).abs() < 1e-9,
+            "HPS wastes nothing extra: {uh} vs {u4}"
+        );
         assert!(u8_ < u4, "8PS pads 4 KiB tails: {u8_}");
         assert!(row.hps_util_gain_pct() > 0.0);
     }

@@ -71,8 +71,7 @@ pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
     });
 
     // Characteristic 3: most requests are served immediately (NoWait).
-    let replayed: Vec<&TimingStats> =
-        timing.iter().filter(|s| s.mean_response_ms > 0.0).collect();
+    let replayed: Vec<&TimingStats> = timing.iter().filter(|s| s.mean_response_ms > 0.0).collect();
     let high_nowait = replayed.iter().filter(|s| s.nowait_pct >= 63.0).count();
     let c3_holds = if replayed.is_empty() {
         false
@@ -82,7 +81,10 @@ pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
     checks.push(CharacteristicCheck {
         number: 3,
         claim: "Most requests can be served immediately once they arrive",
-        evidence: format!("{high_nowait}/{} replayed traces with NoWait >= 63%", replayed.len()),
+        evidence: format!(
+            "{high_nowait}/{} replayed traces with NoWait >= 63%",
+            replayed.len()
+        ),
         holds: c3_holds,
     });
 
@@ -93,8 +95,11 @@ pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
         // own comparison set ("e.g., Music, Email, Facebook") excludes the
         // data-intensive outliers whose service times are dominated by
         // sheer transfer volume, not power state.
-        let slow_apps: Vec<&TimingStats> =
-            replayed.iter().filter(|s| s.arrival_rate < 1.0).copied().collect();
+        let slow_apps: Vec<&TimingStats> = replayed
+            .iter()
+            .filter(|s| s.arrival_rate < 1.0)
+            .copied()
+            .collect();
         let fast_apps: Vec<&TimingStats> = replayed
             .iter()
             .filter(|s| s.arrival_rate >= 1.0 && s.access_rate_kib_s < 500.0)
@@ -122,9 +127,14 @@ pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
     });
 
     // Characteristic 5: localities are weak; spatial below temporal.
-    let weak_spatial = timing.iter().filter(|s| s.spatial_locality_pct < 48.0).count();
-    let spatial_below_temporal =
-        timing.iter().filter(|s| s.spatial_locality_pct < s.temporal_locality_pct).count();
+    let weak_spatial = timing
+        .iter()
+        .filter(|s| s.spatial_locality_pct < 48.0)
+        .count();
+    let spatial_below_temporal = timing
+        .iter()
+        .filter(|s| s.spatial_locality_pct < s.temporal_locality_pct)
+        .count();
     checks.push(CharacteristicCheck {
         number: 5,
         claim: "Localities are generally weak; spatial lower than temporal",
@@ -136,7 +146,10 @@ pub fn check_characteristics(traces: &[Trace]) -> CharacteristicsReport {
 
     // Characteristic 6: inter-arrival times are long (>=200 ms average in
     // 13/18; >20% of gaps above 16 ms in 10/18).
-    let long_mean = timing.iter().filter(|s| s.mean_interarrival_ms >= 200.0).count();
+    let long_mean = timing
+        .iter()
+        .filter(|s| s.mean_interarrival_ms >= 200.0)
+        .count();
     let heavy_tail = traces
         .iter()
         .filter(|t| {
@@ -169,7 +182,11 @@ mod tests {
         let mut t = Trace::new(name);
         let mut lba = seed * 1_000_000;
         for i in 0..200u64 {
-            let dir = if i % 20 < 19 { Direction::Write } else { Direction::Read };
+            let dir = if i % 20 < 19 {
+                Direction::Write
+            } else {
+                Direction::Read
+            };
             let kib = if i % 2 == 0 { 4 } else { 16 };
             // 300 ms gaps, weakly local addresses.
             lba = if i % 3 == 0 { lba } else { lba + 81920 };

@@ -8,8 +8,8 @@
 use crate::report::{fnum, Table};
 use hps_core::Histogram;
 use hps_trace::{
-    bucket_labels, interarrival_histogram, response_histogram, size_histogram,
-    INTERARRIVAL_EDGES_MS, RESPONSE_EDGES_MS, SIZE_EDGES_KIB, Trace,
+    bucket_labels, interarrival_histogram, response_histogram, size_histogram, Trace,
+    INTERARRIVAL_EDGES_MS, RESPONSE_EDGES_MS, SIZE_EDGES_KIB,
 };
 
 fn distribution_table(

@@ -34,7 +34,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: &[&str]) -> Self {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -43,7 +46,11 @@ impl Table {
     ///
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 
@@ -158,7 +165,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(2.46813, 2), "2.47");
         assert_eq!(fnum(10.0, 0), "10");
     }
 }

@@ -72,8 +72,17 @@ pub fn comparison_table(
 ) -> Table {
     let mut t = Table::new(&["Application", "Paper", title_measured, "Rel. Err (%)"]);
     for (name, paper, measured) in rows {
-        let err = if *paper == 0.0 { 0.0 } else { 100.0 * (measured - paper) / paper };
-        t.row(vec![name.clone(), fnum(*paper, 2), fnum(*measured, 2), fnum(err, 1)]);
+        let err = if *paper == 0.0 {
+            0.0
+        } else {
+            100.0 * (measured - paper) / paper
+        };
+        t.row(vec![
+            name.clone(),
+            fnum(*paper, 2),
+            fnum(*measured, 2),
+            fnum(err, 1),
+        ]);
     }
     t
 }
@@ -85,7 +94,13 @@ mod tests {
 
     fn tiny_trace() -> Trace {
         let mut t = Trace::new("Tiny");
-        t.push_request(IoRequest::new(0, SimTime::ZERO, Direction::Write, Bytes::kib(4), 0));
+        t.push_request(IoRequest::new(
+            0,
+            SimTime::ZERO,
+            Direction::Write,
+            Bytes::kib(4),
+            0,
+        ));
         t.push_request(IoRequest::new(
             1,
             SimTime::from_secs(1),

@@ -26,10 +26,12 @@ pub struct ThroughputPoint {
 
 /// The request sizes of the Fig. 3 sweep (4 KiB → 16 MiB).
 pub fn fig3_sizes() -> Vec<Bytes> {
-    [4u64, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
-        .into_iter()
-        .map(Bytes::kib)
-        .collect()
+    [
+        4u64, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+    ]
+    .into_iter()
+    .map(Bytes::kib)
+    .collect()
 }
 
 /// Measures saturated throughput for one direction and size on a fresh
@@ -53,13 +55,7 @@ pub fn measure_throughput(
     // mappings (write then read back).
     if direction.is_read() {
         for i in 0..count {
-            let req = IoRequest::new(
-                i,
-                SimTime::ZERO,
-                Direction::Write,
-                size,
-                i * size.as_u64(),
-            );
+            let req = IoRequest::new(i, SimTime::ZERO, Direction::Write, size, i * size.as_u64());
             dev.submit(&req).expect("populate");
         }
     }
@@ -85,16 +81,18 @@ pub fn throughput_sweep() -> Vec<ThroughputPoint> {
     let mut points = Vec::new();
     let mut last_read = 0.0;
     for size in fig3_sizes() {
-        let write_mbs =
-            measure_throughput(SchemeKind::Ps4, Direction::Write, size, Bytes::mib(64));
+        let write_mbs = measure_throughput(SchemeKind::Ps4, Direction::Write, size, Bytes::mib(64));
         let read_mbs = if size <= Bytes::kib(256) {
-            last_read =
-                measure_throughput(SchemeKind::Ps4, Direction::Read, size, Bytes::mib(64));
+            last_read = measure_throughput(SchemeKind::Ps4, Direction::Read, size, Bytes::mib(64));
             last_read
         } else {
             last_read
         };
-        points.push(ThroughputPoint { size, read_mbs, write_mbs });
+        points.push(ThroughputPoint {
+            size,
+            read_mbs,
+            write_mbs,
+        });
     }
     points
 }
@@ -105,18 +103,35 @@ mod tests {
 
     #[test]
     fn reads_beat_writes_at_equal_size() {
-        let r = measure_throughput(SchemeKind::Ps4, Direction::Read, Bytes::kib(64), Bytes::mib(4));
-        let w =
-            measure_throughput(SchemeKind::Ps4, Direction::Write, Bytes::kib(64), Bytes::mib(4));
+        let r = measure_throughput(
+            SchemeKind::Ps4,
+            Direction::Read,
+            Bytes::kib(64),
+            Bytes::mib(4),
+        );
+        let w = measure_throughput(
+            SchemeKind::Ps4,
+            Direction::Write,
+            Bytes::kib(64),
+            Bytes::mib(4),
+        );
         assert!(r > w, "read {r} MB/s vs write {w} MB/s");
     }
 
     #[test]
     fn throughput_grows_with_request_size() {
-        let small =
-            measure_throughput(SchemeKind::Ps4, Direction::Write, Bytes::kib(4), Bytes::mib(2));
-        let large =
-            measure_throughput(SchemeKind::Ps4, Direction::Write, Bytes::kib(1024), Bytes::mib(16));
+        let small = measure_throughput(
+            SchemeKind::Ps4,
+            Direction::Write,
+            Bytes::kib(4),
+            Bytes::mib(2),
+        );
+        let large = measure_throughput(
+            SchemeKind::Ps4,
+            Direction::Write,
+            Bytes::kib(1024),
+            Bytes::mib(16),
+        );
         assert!(large > 2.0 * small, "small {small}, large {large}");
     }
 

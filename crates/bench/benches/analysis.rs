@@ -14,7 +14,9 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("table3", |b| b.iter(|| black_box(table_iii(&traces))));
     group.bench_function("table4", |b| b.iter(|| black_box(table_iv(&traces))));
-    group.bench_function("fig4", |b| b.iter(|| black_box(fig4_size_distributions(&traces))));
+    group.bench_function("fig4", |b| {
+        b.iter(|| black_box(fig4_size_distributions(&traces)))
+    });
     group.bench_function("fig6", |b| {
         b.iter(|| black_box(fig6_interarrival_distributions(&traces)))
     });

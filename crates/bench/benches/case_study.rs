@@ -11,7 +11,11 @@ use std::hint::black_box;
 fn bench_case_study_replays(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_fig9_replay");
     group.sample_size(10);
-    for (trace_name, n) in [("Twitter", 2_000usize), ("Booting", 1_000), ("Music", 2_000)] {
+    for (trace_name, n) in [
+        ("Twitter", 2_000usize),
+        ("Booting", 1_000),
+        ("Music", 2_000),
+    ] {
         let trace = truncate_trace(&trace_by_name(trace_name), n);
         for scheme in SchemeKind::ALL {
             group.bench_with_input(

@@ -41,27 +41,39 @@ fn bench_write_path(c: &mut Criterion) {
     });
 
     for (label, trigger) in [
-        ("hot_overwrite_threshold_gc", GcTrigger::Threshold { min_free_blocks: 2 }),
+        (
+            "hot_overwrite_threshold_gc",
+            GcTrigger::Threshold { min_free_blocks: 2 },
+        ),
         (
             "hot_overwrite_idle_gc",
-            GcTrigger::Idle { min_free_blocks: 2, min_invalid_pages: 16 },
+            GcTrigger::Idle {
+                min_free_blocks: 2,
+                min_invalid_pages: 16,
+            },
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &trigger, |b, &trigger| {
-            // Hot overwrites force steady-state GC.
-            let mut ftl = Ftl::new(config(trigger)).unwrap();
-            let mut i = 0u64;
-            b.iter(|| {
-                let lpn = Lpn(i % 48);
-                let plane = (i % 2) as usize;
-                i += 1;
-                let ops = ftl.write_chunk(plane, Bytes::kib(4), &[lpn], Bytes::kib(4)).unwrap();
-                if trigger.collects_when_idle() && i % 16 == 0 {
-                    black_box(ftl.idle_gc().unwrap());
-                }
-                black_box(ops)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &trigger,
+            |b, &trigger| {
+                // Hot overwrites force steady-state GC.
+                let mut ftl = Ftl::new(config(trigger)).unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    let lpn = Lpn(i % 48);
+                    let plane = (i % 2) as usize;
+                    i += 1;
+                    let ops = ftl
+                        .write_chunk(plane, Bytes::kib(4), &[lpn], Bytes::kib(4))
+                        .unwrap();
+                    if trigger.collects_when_idle() && i.is_multiple_of(16) {
+                        black_box(ftl.idle_gc().unwrap());
+                    }
+                    black_box(ops)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -27,7 +27,13 @@ fn hot_write_trace(requests: u64, footprint: Bytes, gap: SimDuration) -> Trace {
             now += gap;
         }
         let lba = rng.uniform_u64(pages) * 4096;
-        trace.push_request(IoRequest::new(id, now, Direction::Write, Bytes::kib(4), lba));
+        trace.push_request(IoRequest::new(
+            id,
+            now,
+            Direction::Write,
+            Bytes::kib(4),
+            lba,
+        ));
     }
     trace
 }
@@ -48,10 +54,16 @@ pub fn ablate_gc() -> String {
     // Workload: 24 MiB logical footprint written ~4x over.
     let trace = hot_write_trace(24_000, Bytes::mib(24), SimDuration::from_ms(300));
     for (label, trigger) in [
-        ("threshold (min_free=2)", GcTrigger::Threshold { min_free_blocks: 2 }),
+        (
+            "threshold (min_free=2)",
+            GcTrigger::Threshold { min_free_blocks: 2 },
+        ),
         (
             "idle (min_free=2, idle>=200ms)",
-            GcTrigger::Idle { min_free_blocks: 2, min_invalid_pages: 32 },
+            GcTrigger::Idle {
+                min_free_blocks: 2,
+                min_invalid_pages: 32,
+            },
         ),
     ] {
         let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 32, 32);
@@ -140,8 +152,11 @@ pub fn ablate_power() -> String {
         let mut dev = EmmcDevice::new(cfg).expect("valid config");
         let mut replayed = base.clone();
         let metrics = dev.replay(&mut replayed).expect("replay");
-        let label =
-            if threshold_ms == 0 { "off".to_string() } else { format!("{threshold_ms} ms") };
+        let label = if threshold_ms == 0 {
+            "off".to_string()
+        } else {
+            format!("{threshold_ms} ms")
+        };
         t.row(vec![
             label,
             fnum(metrics.mean_response_ms(), 3),
@@ -166,8 +181,7 @@ pub fn ablate_channels() -> String {
         let base = truncate_trace(&trace_by_name(name), n);
         for channels in [1usize, 2, 4] {
             let mut cfg = DeviceConfig::table_v(SchemeKind::Hps);
-            cfg.ftl.geometry =
-                hps_nand::Geometry::new(channels, 1, 2, 2).expect("valid geometry");
+            cfg.ftl.geometry = hps_nand::Geometry::new(channels, 1, 2, 2).expect("valid geometry");
             let mut dev = EmmcDevice::new(cfg).expect("valid config");
             let mut replayed = base.clone();
             let metrics = dev.replay(&mut replayed).expect("replay");

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--out DIR]
+//! repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]
 //!
 //! experiments:
 //!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -13,26 +14,58 @@
 //!
 //! Output goes to stdout and, with `--out DIR` (default `experiments/`),
 //! to `DIR/<experiment>.txt`.
+//!
+//! Any paper workload name (see `trace-tool list`) is also accepted as a
+//! target: it is replayed on the Table V device with telemetry attached.
+//! `--trace-out` writes the request-lifecycle trace as Chrome trace JSON
+//! (load it at <https://ui.perfetto.dev>); `--metrics-out` writes the
+//! metrics-registry summary as text.
 
 use hps_bench::ablations::{ablate_channels, ablate_gc, ablate_power, ablate_ratio};
-use hps_bench::implications::{endurance, implication3_read_cache, implication5_slc, stack_pipeline};
 use hps_bench::experiments::{
     exp_characteristics, exp_fig3, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fig8, exp_fig9,
     exp_overhead, exp_table3, exp_table4, exp_table5, run_full_case_study,
 };
+use hps_bench::implications::{
+    endurance, implication3_read_cache, implication5_slc, stack_pipeline,
+};
+use hps_core::Bytes;
+use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
+use hps_obs::{render_summary, write_chrome_trace, Telemetry};
+use hps_workloads::{by_name, generate};
 use std::io::Write as _;
 use std::path::Path;
 
 const EXPERIMENTS: [&str; 20] = [
-    "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "overhead", "characteristics", "ablate-gc", "ablate-ratio", "ablate-power",
-    "ablate-channels", "implication3", "implication5", "endurance", "stack",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "overhead",
+    "characteristics",
+    "ablate-gc",
+    "ablate-ratio",
+    "ablate-power",
+    "ablate-channels",
+    "implication3",
+    "implication5",
+    "endurance",
+    "stack",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir = String::from("experiments");
     let mut targets: Vec<String> = Vec::new();
+    let mut scheme = SchemeKind::Hps;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -40,6 +73,29 @@ fn main() {
                 Some(dir) => out_dir = dir,
                 None => {
                     eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--scheme" => match iter.next().as_deref() {
+                Some("4PS") | Some("4ps") => scheme = SchemeKind::Ps4,
+                Some("8PS") | Some("8ps") => scheme = SchemeKind::Ps8,
+                Some("HPS") | Some("hps") => scheme = SchemeKind::Hps,
+                other => {
+                    eprintln!("--scheme requires 4PS, 8PS, or HPS (got {other:?})");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match iter.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics-out" => match iter.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("--metrics-out requires a file path");
                     std::process::exit(2);
                 }
             },
@@ -90,17 +146,83 @@ fn main() {
             "implication5" => implication5_slc(),
             "endurance" => endurance(),
             "stack" => stack_pipeline(),
+            workload if by_name(workload).is_some() => {
+                match replay_workload(
+                    workload,
+                    scheme,
+                    trace_out.as_deref(),
+                    metrics_out.as_deref(),
+                ) {
+                    Ok(output) => output,
+                    Err(e) => {
+                        eprintln!("replay of '{workload}' failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             unknown => {
-                eprintln!("unknown experiment '{unknown}'");
+                eprintln!("unknown experiment or workload '{unknown}'");
                 print_usage();
                 std::process::exit(2);
             }
         };
         println!("{output}");
-        if let Err(e) = write_output(&out_dir, target, &output) {
-            eprintln!("warning: could not write {out_dir}/{target}.txt: {e}");
+        let file_stem = target.replace('/', "_");
+        if let Err(e) = write_output(&out_dir, &file_stem, &output) {
+            eprintln!("warning: could not write {out_dir}/{file_stem}.txt: {e}");
         }
     }
+}
+
+/// Replays one paper workload on the Table V device with telemetry
+/// attached, writing the Chrome trace and/or metrics summary when asked.
+fn replay_workload(
+    name: &str,
+    scheme: SchemeKind,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let profile = by_name(name).expect("caller checked the name");
+    let mut trace = generate(&profile, 42);
+    // Same device as `trace-tool replay`: Table V plus the write cache and
+    // interleaved channels, so the two tools report comparable numbers.
+    let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
+    cfg.channel_mode = ChannelMode::Interleaved;
+    let mut device = EmmcDevice::new(cfg)?;
+    device.attach_telemetry(if trace_out.is_some() {
+        Telemetry::tracing()
+    } else {
+        Telemetry::registry_only()
+    });
+    let metrics = device.replay(&mut trace)?;
+    device.export_state_metrics();
+    let mut telemetry = device.take_telemetry().expect("attached above");
+
+    let mut output = format!(
+        "{metrics}\np50={:.3}ms p99={:.3}ms write_amp={:.3}\n",
+        metrics.p50_response_ms(),
+        metrics.p99_response_ms(),
+        metrics.ftl.write_amplification()
+    );
+    if let Some(path) = trace_out {
+        let events = telemetry.take_events();
+        write_chrome_trace(
+            &events,
+            std::io::BufWriter::new(std::fs::File::create(path)?),
+        )?;
+        output.push_str(&format!(
+            "wrote {} trace events to {path} (load in https://ui.perfetto.dev)\n",
+            events.len()
+        ));
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, render_summary(&telemetry.registry))?;
+        output.push_str(&format!(
+            "wrote {} metrics to {path}\n",
+            telemetry.registry.len()
+        ));
+    }
+    Ok(output)
 }
 
 fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
@@ -112,5 +234,9 @@ fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
 
 fn print_usage() {
     eprintln!("usage: repro <experiment>... [--out DIR]");
+    eprintln!(
+        "       repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]"
+    );
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+    eprintln!("workloads:   any name from `trace-tool list` (e.g. CameraVideo, WebBrowsing)");
 }

@@ -4,13 +4,22 @@
 //! trace-tool gen <Workload> [--seed N] [--out FILE]    generate a trace CSV
 //! trace-tool stats <FILE>                              Table III/IV rows
 //! trace-tool head <FILE> [N]                           first N records
-//! trace-tool replay <FILE> <4PS|8PS|HPS>               replay and report
+//! trace-tool replay <FILE> <4PS|8PS|HPS>
+//!            [--trace-out FILE] [--metrics-out FILE]   replay and report
+//! trace-tool summary <Workload|FILE> [<4PS|8PS|HPS>]   full metrics registry
 //! trace-tool list                                      list the 25 workloads
 //! ```
+//!
+//! `replay --trace-out` writes the request-lifecycle spans as Chrome trace
+//! JSON (load it at <https://ui.perfetto.dev>); `--metrics-out` writes the
+//! metrics-registry summary as text. `summary` replays a named workload (or
+//! a trace file) with the metrics registry attached and prints every
+//! counter and histogram it collected.
 
 use hps_analysis::tables::{table_iii, table_iv};
 use hps_core::Bytes;
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
+use hps_obs::{render_summary, write_chrome_trace, Telemetry};
 use hps_trace::io::{read_trace, write_trace};
 use hps_trace::Trace;
 use hps_workloads::{by_name, generate, COMBO_NAMES, INDIVIDUAL_NAMES};
@@ -24,6 +33,7 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("head") => cmd_head(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
         Some("list") => {
             println!("individual: {}", INDIVIDUAL_NAMES.join(", "));
             println!("combos:     {}", COMBO_NAMES.join(", "));
@@ -31,7 +41,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: trace-tool <gen|stats|head|replay|list> ...\n\
+                "usage: trace-tool <gen|stats|head|replay|summary|list> ...\n\
                  run with a subcommand; see the module docs"
             );
             exit(2);
@@ -66,6 +76,24 @@ fn load(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
     Ok(read_trace(File::open(path)?, path)?)
 }
 
+/// A workload name resolves to a generated trace (seed 42); anything else
+/// is treated as a trace-file path.
+fn load_workload_or_file(arg: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    match by_name(arg) {
+        Some(profile) => Ok(generate(&profile, 42)),
+        None => load(arg),
+    }
+}
+
+fn parse_scheme(arg: Option<&str>) -> Result<SchemeKind, Box<dyn std::error::Error>> {
+    match arg {
+        Some("4PS") | Some("4ps") => Ok(SchemeKind::Ps4),
+        Some("8PS") | Some("8ps") => Ok(SchemeKind::Ps8),
+        Some("HPS") | Some("hps") | None => Ok(SchemeKind::Hps),
+        Some(other) => Err(format!("unknown scheme '{other}'").into()),
+    }
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("stats needs a file")?;
     let trace = load(path)?;
@@ -87,16 +115,35 @@ fn cmd_head(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let path = args.first().ok_or("replay needs a file")?;
-    let scheme = match args.get(1).map(String::as_str) {
-        Some("4PS") | Some("4ps") => SchemeKind::Ps4,
-        Some("8PS") | Some("8ps") => SchemeKind::Ps8,
-        Some("HPS") | Some("hps") | None => SchemeKind::Hps,
-        Some(other) => return Err(format!("unknown scheme '{other}'").into()),
-    };
+    let mut scheme_arg: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(iter.next().ok_or("--trace-out needs a path")?.clone())
+            }
+            "--metrics-out" => {
+                metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            other if scheme_arg.is_none() => scheme_arg = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let scheme = parse_scheme(scheme_arg.as_deref())?;
     let mut trace = load(path)?;
     let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
     cfg.channel_mode = ChannelMode::Interleaved;
     let mut dev = EmmcDevice::new(cfg)?;
+    let wants_telemetry = trace_out.is_some() || metrics_out.is_some();
+    if wants_telemetry {
+        dev.attach_telemetry(if trace_out.is_some() {
+            Telemetry::tracing()
+        } else {
+            Telemetry::registry_only()
+        });
+    }
     let metrics = dev.replay(&mut trace)?;
     println!("{metrics}");
     println!(
@@ -105,5 +152,38 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         metrics.p99_response_ms(),
         metrics.ftl.write_amplification()
     );
+    if wants_telemetry {
+        dev.export_state_metrics();
+        let mut telemetry = dev.take_telemetry().expect("attached above");
+        if let Some(path) = trace_out {
+            let events = telemetry.take_events();
+            write_chrome_trace(&events, std::io::BufWriter::new(File::create(&path)?))?;
+            println!(
+                "wrote {} trace events to {path} (load in https://ui.perfetto.dev)",
+                events.len()
+            );
+        }
+        if let Some(path) = metrics_out {
+            std::fs::write(&path, render_summary(&telemetry.registry))?;
+            println!("wrote {} metrics to {path}", telemetry.registry.len());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_summary(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let target = args
+        .first()
+        .ok_or("summary needs a workload name or trace file")?;
+    let scheme = parse_scheme(args.get(1).map(String::as_str))?;
+    let mut trace = load_workload_or_file(target)?;
+    let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
+    cfg.channel_mode = ChannelMode::Interleaved;
+    let mut dev = EmmcDevice::new(cfg)?;
+    dev.attach_telemetry(Telemetry::registry_only());
+    dev.replay(&mut trace)?;
+    dev.export_state_metrics();
+    let telemetry = dev.take_telemetry().expect("attached above");
+    print!("{}", render_summary(&telemetry.registry));
     Ok(())
 }

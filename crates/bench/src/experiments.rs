@@ -2,8 +2,7 @@
 
 use crate::runner::{combo_traces, individual_traces, replay_on, MASTER_SEED};
 use hps_analysis::casestudy::{
-    average_mrt_reduction, average_util_gain, fig8_table, fig9_table, run_case_study,
-    CaseStudyRow,
+    average_mrt_reduction, average_util_gain, fig8_table, fig9_table, run_case_study, CaseStudyRow,
 };
 use hps_analysis::figures::{
     fig4_size_distributions, fig5_response_distributions, fig6_interarrival_distributions,
@@ -27,7 +26,8 @@ fn all_25_traces() -> Vec<Trace> {
 /// plus a measured-vs-paper comparison of the write-request percentage.
 pub fn exp_table3() -> String {
     let traces = all_25_traces();
-    let mut out = String::from("Table III: size-related characteristics (reconstructed traces)\n\n");
+    let mut out =
+        String::from("Table III: size-related characteristics (reconstructed traces)\n\n");
     out.push_str(&table_iii(&traces).render());
 
     let profiles: Vec<_> = all_individual().into_iter().chain(all_combos()).collect();
@@ -75,7 +75,11 @@ pub fn exp_fig3() -> String {
     let points = throughput_sweep();
     let mut t = Table::new(&["Request size", "Read (MB/s)", "Write (MB/s)"]);
     for p in &points {
-        t.row(vec![format!("{}", p.size), fnum(p.read_mbs, 2), fnum(p.write_mbs, 2)]);
+        t.row(vec![
+            format!("{}", p.size),
+            fnum(p.read_mbs, 2),
+            fnum(p.write_mbs, 2),
+        ]);
     }
     let mut out = String::from(
         "Fig. 3: impact of request size on throughput (simulated device; the paper's \
@@ -170,17 +174,24 @@ pub fn exp_table5() -> String {
         pools(SchemeKind::Ps8),
         pools(SchemeKind::Hps),
     ]);
-    t.row(vec!["Pages per block".into(), "1024".into(), "1024".into(), "1024".into()]);
-    let capacity = |s: SchemeKind| {
-        format!("{} GB", s.table_v_ftl().physical_capacity().as_u64() >> 30)
-    };
+    t.row(vec![
+        "Pages per block".into(),
+        "1024".into(),
+        "1024".into(),
+        "1024".into(),
+    ]);
+    let capacity =
+        |s: SchemeKind| format!("{} GB", s.table_v_ftl().physical_capacity().as_u64() >> 30);
     t.row(vec![
         "Total capacity".into(),
         capacity(SchemeKind::Ps4),
         capacity(SchemeKind::Ps8),
         capacity(SchemeKind::Hps),
     ]);
-    format!("Table V: configurations of the three eMMC devices\n\n{}", t.render())
+    format!(
+        "Table V: configurations of the three eMMC devices\n\n{}",
+        t.render()
+    )
 }
 
 /// Runs the Section V case study over all 18 individual traces: each trace
@@ -199,12 +210,14 @@ pub fn exp_fig8(rows: &[CaseStudyRow]) -> String {
          4PS on Booting, at least 24% on Movie, 61.9% on average; 8PS ~= HPS)\n\n",
     );
     out.push_str(&fig8_table(rows).render());
-    let best = rows
-        .iter()
-        .max_by(|a, b| a.hps_mrt_reduction_pct().total_cmp(&b.hps_mrt_reduction_pct()));
-    let worst = rows
-        .iter()
-        .min_by(|a, b| a.hps_mrt_reduction_pct().total_cmp(&b.hps_mrt_reduction_pct()));
+    let best = rows.iter().max_by(|a, b| {
+        a.hps_mrt_reduction_pct()
+            .total_cmp(&b.hps_mrt_reduction_pct())
+    });
+    let worst = rows.iter().min_by(|a, b| {
+        a.hps_mrt_reduction_pct()
+            .total_cmp(&b.hps_mrt_reduction_pct())
+    });
     if let (Some(best), Some(worst)) = (best, worst) {
         out.push_str(&format!(
             "\nBest HPS reduction: {} ({:.1}%)\nWorst HPS reduction: {} ({:.1}%)\nAverage: {:.1}%\n",

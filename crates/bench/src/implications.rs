@@ -151,7 +151,11 @@ pub fn endurance() -> String {
         let metrics = dev.replay(&mut replayed).expect("replay");
         // Lifetime ∝ budgets: total P/E budget over consumption rate.
         let mean_wear = metrics.wear.mean();
-        let lifetime_multiplier = if mean_wear > 0.0 { PE_CYCLES / mean_wear } else { f64::INFINITY };
+        let lifetime_multiplier = if mean_wear > 0.0 {
+            PE_CYCLES / mean_wear
+        } else {
+            f64::INFINITY
+        };
         t.row(vec![
             scheme.label().to_string(),
             metrics.ftl.erases.to_string(),
@@ -167,19 +171,6 @@ pub fn endurance() -> String {
          scaled device, 3000 P/E cycle MLC budget\n\n{}",
         t.render()
     )
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn endurance_reports_all_schemes() {
-        let out = endurance();
-        for scheme in SchemeKind::ALL {
-            assert!(out.contains(scheme.label()), "{out}");
-        }
-    }
 }
 
 /// The Fig. 1 stack end to end: how block-layer merging and driver packing
@@ -229,4 +220,17 @@ pub fn stack_pipeline() -> String {
          512 KiB kernel limit (first 3000 requests per workload, HPS device)\n\n{}",
         t.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endurance_reports_all_schemes() {
+        let out = endurance();
+        for scheme in SchemeKind::ALL {
+            assert!(out.contains(scheme.label()), "{out}");
+        }
+    }
 }

@@ -12,12 +12,18 @@ pub const MASTER_SEED: u64 = 201_501_104; // IISWC 2015
 
 /// Generates the 18 individual traces in table order.
 pub fn individual_traces() -> Vec<Trace> {
-    all_individual().iter().map(|p| generate(p, MASTER_SEED)).collect()
+    all_individual()
+        .iter()
+        .map(|p| generate(p, MASTER_SEED))
+        .collect()
 }
 
 /// Generates the 7 combo traces in table order.
 pub fn combo_traces() -> Vec<Trace> {
-    all_combos().iter().map(|p| generate(p, MASTER_SEED)).collect()
+    all_combos()
+        .iter()
+        .map(|p| generate(p, MASTER_SEED))
+        .collect()
 }
 
 /// Generates one trace by its paper name.

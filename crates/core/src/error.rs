@@ -52,7 +52,10 @@ impl fmt::Display for Error {
                 write!(f, "flash capacity exhausted at {location}")
             }
             Error::AddressOutOfRange { lba, capacity } => {
-                write!(f, "logical address {lba} outside device capacity {capacity}")
+                write!(
+                    f,
+                    "logical address {lba} outside device capacity {capacity}"
+                )
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
         }
@@ -73,9 +76,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = Error::ParseTrace { line: 3, reason: "bad direction".into() };
+        let e = Error::ParseTrace {
+            line: 3,
+            reason: "bad direction".into(),
+        };
         assert_eq!(e.to_string(), "trace parse error at line 3: bad direction");
-        let e = Error::AddressOutOfRange { lba: 10, capacity: 5 };
+        let e = Error::AddressOutOfRange {
+            lba: 10,
+            capacity: 5,
+        };
         assert!(e.to_string().contains("outside device capacity"));
     }
 

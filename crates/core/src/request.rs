@@ -94,9 +94,21 @@ impl IoRequest {
     ///
     /// Panics if `size` is zero — zero-length block requests do not exist at
     /// the eMMC driver layer.
-    pub fn new(id: RequestId, arrival: SimTime, direction: Direction, size: Bytes, lba: u64) -> Self {
+    pub fn new(
+        id: RequestId,
+        arrival: SimTime,
+        direction: Direction,
+        size: Bytes,
+        lba: u64,
+    ) -> Self {
         assert!(!size.is_zero(), "request size must be non-zero");
-        IoRequest { id, arrival, direction, size, lba }
+        IoRequest {
+            id,
+            arrival,
+            direction,
+            size,
+            lba,
+        }
     }
 
     /// First byte address past the end of the request.
@@ -145,7 +157,13 @@ mod tests {
     use super::*;
 
     fn req(size_kib: u64, lba: u64) -> IoRequest {
-        IoRequest::new(0, SimTime::ZERO, Direction::Write, Bytes::kib(size_kib), lba)
+        IoRequest::new(
+            0,
+            SimTime::ZERO,
+            Direction::Write,
+            Bytes::kib(size_kib),
+            lba,
+        )
     }
 
     #[test]

@@ -2,13 +2,49 @@
 //!
 //! Every stochastic component of the reproduction (workload generation,
 //! allocation tie-breaking) draws from a [`SimRng`], a thin wrapper around a
-//! seeded xoshiro-style generator from the `rand` crate. Distribution
-//! sampling beyond the uniform primitives (normal, lognormal, exponential)
-//! is implemented here directly so the workspace needs no `rand_distr`
-//! dependency.
+//! built-in xoshiro256++ generator (the same algorithm `rand`'s `SmallRng`
+//! uses on 64-bit platforms; implemented here because the build environment
+//! cannot fetch external crates). Distribution sampling beyond the uniform
+//! primitives (normal, lognormal, exponential) is implemented directly so
+//! the workspace needs no `rand_distr` dependency either.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// The xoshiro256++ core: fast, 256-bit state, excellent statistical
+/// quality for simulation purposes (not cryptographic).
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full state with splitmix64, the
+    /// seeding procedure recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256pp {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A seeded random number generator for simulations.
 ///
@@ -23,7 +59,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
     /// Spare normal deviate from the Box–Muller pair.
     spare_normal: Option<f64>,
 }
@@ -32,18 +68,22 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed. Identical seeds yield
     /// identical streams on every platform.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), spare_normal: None }
+        SimRng {
+            inner: Xoshiro256pp::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator; used to give each workload
     /// stream its own seed from a master seed.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.inner.next_u64())
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard conversion.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -53,7 +93,15 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift with rejection of the biased low zone.
+        loop {
+            let x = self.inner.next_u64();
+            let m = x as u128 * bound as u128;
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
@@ -63,7 +111,11 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.inner.next_u64();
+        }
+        lo + self.uniform_u64(span + 1)
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).

@@ -37,7 +37,14 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Adds a sample.
@@ -196,7 +203,11 @@ impl Histogram {
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly ascending"
         );
-        Histogram { edges: edges.to_vec(), counts: vec![0; edges.len() + 1], total: 0 }
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+        }
     }
 
     /// Adds a sample.
@@ -275,11 +286,22 @@ impl Histogram {
 ///
 /// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(samples: &mut [f64], q: f64) -> Option<f64> {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(samples, q)
+}
+
+/// Linear-interpolated `q`-quantile of an already-sorted slice — the
+/// allocation-free path for callers that keep a sorted sample buffer.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_sorted(samples: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if samples.is_empty() {
         return None;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let pos = q * (samples.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -293,7 +315,9 @@ mod tests {
 
     #[test]
     fn running_stats_basic() {
-        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.variance(), 4.0);

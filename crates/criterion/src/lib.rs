@@ -1,0 +1,295 @@
+//! A vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of criterion's API its benches use: `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each benchmark warms up for ~200 ms, then takes
+//! `sample_size` samples, each long enough to be timer-accurate, and
+//! reports mean / min / max ns-per-iteration (plus element throughput when
+//! configured). `cargo bench -- <filter>` runs only benchmarks whose id
+//! contains the filter substring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`: take the first non-flag argument.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.id, 20, None, self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.throughput,
+            self.criterion.filter.as_deref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    /// Iterations the routine must run this sample.
+    iters: u64,
+    /// Measured wall time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<&str>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+
+    // Calibration: find an iteration count that runs for >= 5 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break;
+        }
+        iters = if b.elapsed.is_zero() {
+            iters * 16
+        } else {
+            // Aim for ~10 ms per sample.
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            ((0.01 / per_iter) as u64).clamp(iters + 1, iters * 16)
+        };
+    }
+
+    // Warm-up: ~200 ms of repeated samples.
+    let warmup_start = Instant::now();
+    while warmup_start.elapsed() < Duration::from_millis(200) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+
+    // Measurement.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+
+    let mut line = format!(
+        "{id:<50} time: [{} {} {}] (median {})",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        fmt_ns(median),
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let eps = n as f64 / (mean * 1e-9);
+        line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        let bps = n as f64 / (mean * 1e-9);
+        line.push_str(&format!("  thrpt: {:.1} MiB/s", bps / (1024.0 * 1024.0)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn oversized_writes_bypass() {
         let mut c = WriteCache::new(Bytes::kib(8));
-        assert_eq!(c.admit(SimTime::ZERO, Bytes::kib(16), SimTime::from_ms(9)), None);
+        assert_eq!(
+            c.admit(SimTime::ZERO, Bytes::kib(16), SimTime::from_ms(9)),
+            None
+        );
         assert_eq!(c.bypasses(), 1);
         assert_eq!(c.used(), Bytes::ZERO);
     }

@@ -9,15 +9,16 @@
 
 use crate::cache::WriteCache;
 use crate::distributor::{split_lpn_run, split_request};
-use crate::readcache::ReadCache;
-use crate::slc::{SlcBuffer, SlcConfig};
 use crate::metrics::ReplayMetrics;
 use crate::power::{PowerConfig, PowerModel};
+use crate::readcache::ReadCache;
 use crate::schedule::{ChannelMode, ResourceSchedule};
 use crate::scheme::SchemeKind;
+use crate::slc::{SlcBuffer, SlcConfig};
 use hps_core::{Bytes, Direction, Error, IoRequest, Result, SimDuration, SimTime};
-use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn};
+use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn, OpKind};
 use hps_nand::NandTiming;
+use hps_obs::{AckKind, Event, EventKind, OpClass, Telemetry};
 use hps_trace::Trace;
 
 /// Full configuration of a simulated eMMC device.
@@ -139,6 +140,9 @@ pub struct EmmcDevice {
     /// Chunks that could not be placed in their preferred pool and spilled
     /// into the other page size (HPS under pool-capacity pressure).
     pool_spills: u64,
+    /// Cross-layer telemetry; `None` (the default) costs one branch per
+    /// instrumentation site.
+    telemetry: Option<Telemetry>,
 }
 
 impl EmmcDevice {
@@ -150,8 +154,7 @@ impl EmmcDevice {
     /// is invalid.
     pub fn new(config: DeviceConfig) -> Result<Self> {
         let ftl = Ftl::new(config.ftl.clone())?;
-        let sched =
-            ResourceSchedule::new(config.ftl.geometry, config.timing, config.channel_mode);
+        let sched = ResourceSchedule::new(config.ftl.geometry, config.timing, config.channel_mode);
         let logical_pages = ftl.logical_capacity().as_u64() / 4096;
         let plane_order = striped_plane_order(config.ftl.geometry);
         let cache = config.write_cache.map(WriteCache::new);
@@ -171,7 +174,47 @@ impl EmmcDevice {
             slc,
             read_cache,
             pool_spills: 0,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry bundle: subsequent requests update its metrics
+    /// registry and, when it carries a recorder, emit lifecycle events.
+    /// Replaces any previously attached bundle.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the attached telemetry bundle (the I/O stack
+    /// records its events through this).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Detaches and returns the telemetry bundle.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
+    }
+
+    /// Exports end-of-run device state into the attached registry: FTL
+    /// lifetime counters, mapping size, space accounting, wear summary,
+    /// schedule busy time, and power totals. No-op without telemetry.
+    pub fn export_state_metrics(&mut self) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        self.ftl.export_metrics(&mut tel.registry);
+        tel.registry
+            .add("emmc.sched.busy_ms", self.sched.total_busy().as_ms());
+        tel.registry
+            .add("power.mode_switches", self.power.mode_switches());
+        tel.registry
+            .add("power.time_asleep_ms", self.power.time_asleep().as_ms());
     }
 
     /// The configuration in force.
@@ -208,20 +251,52 @@ impl EmmcDevice {
         if self.config.ftl.gc_trigger.collects_when_idle()
             && arrival.saturating_since(self.busy_until) >= self.config.idle_gc_min_gap
         {
-            let ops = self.ftl.idle_gc()?;
+            let ops = self.ftl.idle_gc_observed(self.telemetry.as_mut())?;
             if !ops.is_empty() {
                 self.idle_gc_passes += 1;
-                let gc_finish = self.sched.schedule_batch(&ops, self.busy_until);
+                let gc_start = self.busy_until;
+                let gc_finish = self.schedule_ops(&ops, gc_start, None);
+                if let Some(tel) = &mut self.telemetry {
+                    tel.registry.add("emmc.gc.idle_passes", 1);
+                    if tel.recording() {
+                        tel.emit(Event::span(
+                            gc_start,
+                            gc_finish.saturating_since(gc_start),
+                            EventKind::GcPass {
+                                ops: ops.len() as u32,
+                                idle: true,
+                            },
+                        ));
+                    }
+                }
                 self.busy_until = self.busy_until.max(gc_finish);
             }
         }
 
         let wakeup = self.power.wakeup_penalty(arrival);
+        let doze = self.power.take_last_doze();
+        if let Some(tel) = &mut self.telemetry {
+            if let Some((slept_from, slept_to)) = doze {
+                tel.registry.record(
+                    "power.doze_ms",
+                    slept_to.saturating_since(slept_from).as_ms_f64(),
+                );
+                if tel.recording() {
+                    tel.emit(Event::span(
+                        slept_from,
+                        slept_to.saturating_since(slept_from),
+                        EventKind::PowerSleep,
+                    ));
+                }
+            }
+        }
         let service_start = arrival.max(self.busy_until);
         let start = service_start + wakeup + self.config.cmd_overhead;
 
         let ops = self.build_ops(request)?;
-        let flash_finish = self.sched.schedule_batch(&ops, start).max(start);
+        let host_chunks = ops.iter().filter(|op| !op.for_gc).count() as u32;
+        let inline_gc_ops = ops.len() as u32 - host_chunks;
+        let flash_finish = self.schedule_ops(&ops, start, Some(request.id)).max(start);
 
         // SLC-mode region (Implication 5): small writes are acknowledged
         // after the fast SLC program; the MLC programs already scheduled on
@@ -236,34 +311,198 @@ impl EmmcDevice {
             }
             _ => None,
         };
-        if let Some(finish) = slc_finish {
-            self.busy_until = finish;
-            self.power.note_activity(flash_finish.max(finish));
-            return Ok(Completion { service_start, finish, wakeup });
-        }
 
         // With the RAM buffer enabled, writes are acknowledged once the
         // data is transferred into the buffer; programming drains in the
         // background (its resource reservations are already in `sched`, so
         // later requests contend with the drain naturally).
-        let finish = match (&mut self.cache, request.direction) {
-            (Some(cache), Direction::Write) => {
-                match cache.admit(start, request.size, flash_finish) {
-                    Some(space_ready) => {
-                        let host_xfer = SimDuration::from_ns(
-                            request.size.as_u64() * self.config.timing.transfer_ns_per_byte,
-                        );
-                        start.max(space_ready) + self.config.cache_write_overhead + host_xfer
+        let (finish, ack) = if let Some(finish) = slc_finish {
+            (finish, Some(AckKind::Slc))
+        } else {
+            match (&mut self.cache, request.direction) {
+                (Some(cache), Direction::Write) => {
+                    match cache.admit(start, request.size, flash_finish) {
+                        Some(space_ready) => {
+                            let host_xfer = SimDuration::from_ns(
+                                request.size.as_u64() * self.config.timing.transfer_ns_per_byte,
+                            );
+                            (
+                                start.max(space_ready)
+                                    + self.config.cache_write_overhead
+                                    + host_xfer,
+                                Some(AckKind::Buffer),
+                            )
+                        }
+                        None => (flash_finish, None), // larger than the buffer: write-through
                     }
-                    None => flash_finish, // larger than the buffer: write-through
                 }
+                _ => (flash_finish, None),
             }
-            _ => flash_finish,
         };
 
         self.busy_until = finish;
         self.power.note_activity(flash_finish.max(finish));
-        Ok(Completion { service_start, finish, wakeup })
+        self.record_request(
+            request,
+            service_start,
+            wakeup,
+            start,
+            finish,
+            host_chunks,
+            inline_gc_ops,
+            ack,
+        );
+        Ok(Completion {
+            service_start,
+            finish,
+            wakeup,
+        })
+    }
+
+    /// Schedules `ops`, routing per-op telemetry (flash counters and
+    /// channel/die span events) through the attached bundle.
+    fn schedule_ops(
+        &mut self,
+        ops: &[FlashOp],
+        earliest: SimTime,
+        request_id: Option<u64>,
+    ) -> SimTime {
+        match &mut self.telemetry {
+            None => self.sched.schedule_batch(ops, earliest),
+            Some(tel) => {
+                let recording = tel.recording();
+                self.sched
+                    .schedule_batch_observed(ops, earliest, |op, scheduled| {
+                        let (counter, class) = match op.kind {
+                            OpKind::Read => ("emmc.flash.reads", OpClass::Read),
+                            OpKind::Program => ("emmc.flash.programs", OpClass::Program),
+                            OpKind::Erase => ("emmc.flash.erases", OpClass::Erase),
+                        };
+                        tel.registry.add(counter, 1);
+                        if op.for_gc {
+                            tel.registry.add("emmc.flash.gc_ops", 1);
+                        }
+                        if recording {
+                            let bytes = if op.kind == OpKind::Erase {
+                                0
+                            } else {
+                                op.page_size.as_u64()
+                            };
+                            tel.emit(Event::span(
+                                scheduled.start,
+                                scheduled.finish.saturating_since(scheduled.start),
+                                EventKind::FlashOp {
+                                    request: if op.for_gc { None } else { request_id },
+                                    op: class,
+                                    channel: scheduled.channel as u32,
+                                    die: scheduled.die as u32,
+                                    bytes,
+                                    gc: op.for_gc,
+                                },
+                            ));
+                        }
+                    })
+            }
+        }
+    }
+
+    /// Updates request-level counters/histograms and emits lifecycle
+    /// events for one served request. No-op without telemetry.
+    #[allow(clippy::too_many_arguments)]
+    fn record_request(
+        &mut self,
+        request: &IoRequest,
+        service_start: SimTime,
+        wakeup: SimDuration,
+        start: SimTime,
+        finish: SimTime,
+        host_chunks: u32,
+        inline_gc_ops: u32,
+        ack: Option<AckKind>,
+    ) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        let arrival = request.arrival;
+        let response = finish.saturating_since(arrival);
+        let queue_wait = service_start.saturating_since(arrival);
+        tel.registry.add("emmc.requests", 1);
+        match request.direction {
+            Direction::Read => {
+                tel.registry.add("emmc.requests.read", 1);
+                tel.registry.add("emmc.bytes.read", request.size.as_u64());
+            }
+            Direction::Write => {
+                tel.registry.add("emmc.requests.write", 1);
+                tel.registry
+                    .add("emmc.bytes.written", request.size.as_u64());
+            }
+        }
+        if queue_wait.is_zero() {
+            tel.registry.add("emmc.requests.nowait", 1);
+        }
+        tel.registry
+            .record("emmc.request_kib", request.size.as_u64() as f64 / 1024.0);
+        tel.registry
+            .record("emmc.queue_wait_ms", queue_wait.as_ms_f64());
+        tel.registry
+            .record("emmc.response_ms", response.as_ms_f64());
+        tel.registry.record(
+            "emmc.service_ms",
+            finish.saturating_since(service_start).as_ms_f64(),
+        );
+        if !wakeup.is_zero() {
+            tel.registry.add("power.wakeups", 1);
+            tel.registry.record("power.wakeup_ms", wakeup.as_ms_f64());
+        }
+        match ack {
+            Some(AckKind::Slc) => tel.registry.add("emmc.slc.acks", 1),
+            Some(AckKind::Buffer) => tel.registry.add("emmc.cache.write_acks", 1),
+            None => {}
+        }
+        if !tel.recording() {
+            return;
+        }
+        let id = request.id;
+        tel.emit(Event::span(
+            arrival,
+            response,
+            EventKind::Request {
+                id,
+                dir: request.direction,
+                bytes: request.size.as_u64(),
+                lba: request.lba,
+            },
+        ));
+        if !queue_wait.is_zero() {
+            tel.emit(Event::span(
+                arrival,
+                queue_wait,
+                EventKind::QueueWait { id },
+            ));
+        }
+        if !wakeup.is_zero() {
+            tel.emit(Event::span(service_start, wakeup, EventKind::Wakeup { id }));
+        }
+        tel.emit(Event::instant(
+            start,
+            EventKind::Split {
+                id,
+                chunks: host_chunks,
+            },
+        ));
+        if inline_gc_ops > 0 {
+            tel.emit(Event::instant(
+                start,
+                EventKind::GcPass {
+                    ops: inline_gc_ops,
+                    idle: false,
+                },
+            ));
+        }
+        if let Some(kind) = ack {
+            tel.emit(Event::instant(finish, EventKind::CacheAck { id, kind }));
+        }
     }
 
     /// Replays a whole trace, filling in each record's service-start and
@@ -290,7 +529,7 @@ impl EmmcDevice {
             }
             let response_ms = record.response_time().expect("just completed").as_ms_f64();
             metrics.response_ms.push(response_ms);
-            metrics.response_samples_ms.push(response_ms);
+            metrics.push_response_sample(response_ms);
             metrics
                 .service_ms
                 .push(record.service_time().expect("just completed").as_ms_f64());
@@ -327,8 +566,13 @@ impl EmmcDevice {
                 let mut ops = Vec::with_capacity(chunks.len());
                 for chunk in chunks {
                     let plane = self.pick_plane();
-                    match self.ftl.write_chunk(plane, chunk.page_size, &chunk.lpns, chunk.data)
-                    {
+                    match self.ftl.write_chunk_observed(
+                        plane,
+                        chunk.page_size,
+                        &chunk.lpns,
+                        chunk.data,
+                        self.telemetry.as_mut(),
+                    ) {
                         Ok(chunk_ops) => ops.extend(chunk_ops),
                         Err(Error::CapacityExhausted { .. }) => {
                             ops.extend(self.spill_chunk(plane, &chunk)?);
@@ -344,10 +588,22 @@ impl EmmcDevice {
                 let mut lpns: Vec<Lpn> = (0..pages).map(|i| Lpn(first.0 + i)).collect();
                 // RAM read cache (Implication 3): cached pages cost no
                 // flash operation.
+                let before_cache = lpns.len();
                 if let Some(cache) = &mut self.read_cache {
                     lpns.retain(|&lpn| !cache.lookup(lpn));
                 }
                 let (mut ops, unmapped) = self.ftl.read_ops(&lpns);
+                if let Some(tel) = &mut self.telemetry {
+                    let hits = (before_cache - lpns.len()) as u64;
+                    if hits > 0 {
+                        tel.registry.add("emmc.read_cache.hits", hits);
+                    }
+                    tel.registry.add("ftl.map.read_lookups", lpns.len() as u64);
+                    if !unmapped.is_empty() {
+                        tel.registry
+                            .add("ftl.map.unmapped_reads", unmapped.len() as u64);
+                    }
+                }
                 // Never-written LPNs model pre-existing data (the trace was
                 // captured on a device with a populated filesystem): charge
                 // the reads the scheme would perform, page-sized like writes.
@@ -376,7 +632,11 @@ impl EmmcDevice {
     /// page size (HPS only): an 8 KiB pair becomes two 4 KiB pages; a lone
     /// 4 KiB chunk pads into an 8 KiB page (half wasted). Without an
     /// alternative pool the original exhaustion propagates.
-    fn spill_chunk(&mut self, plane: usize, chunk: &crate::distributor::Chunk) -> Result<Vec<FlashOp>> {
+    fn spill_chunk(
+        &mut self,
+        plane: usize,
+        chunk: &crate::distributor::Chunk,
+    ) -> Result<Vec<FlashOp>> {
         let k4 = Bytes::kib(4);
         let k8 = Bytes::kib(8);
         let exhausted = || Error::CapacityExhausted {
@@ -388,14 +648,20 @@ impl EmmcDevice {
                 let plane = self.pick_plane();
                 ops.extend(
                     self.ftl
-                        .write_chunk(plane, k4, &[lpn], k4)
+                        .write_chunk_observed(plane, k4, &[lpn], k4, self.telemetry.as_mut())
                         .map_err(|_| exhausted())?,
                 );
             }
         } else if chunk.page_size == k4 && self.config.scheme.has_8k() {
             ops.extend(
                 self.ftl
-                    .write_chunk(plane, k8, &chunk.lpns, chunk.data)
+                    .write_chunk_observed(
+                        plane,
+                        k8,
+                        &chunk.lpns,
+                        chunk.data,
+                        self.telemetry.as_mut(),
+                    )
                     .map_err(|_| exhausted())?,
             );
         } else {
@@ -498,7 +764,10 @@ mod tests {
     #[test]
     fn consecutive_runs_grouping() {
         let lpns = [Lpn(1), Lpn(2), Lpn(3), Lpn(7), Lpn(9), Lpn(10)];
-        assert_eq!(consecutive_runs(&lpns), vec![(Lpn(1), 3), (Lpn(7), 1), (Lpn(9), 2)]);
+        assert_eq!(
+            consecutive_runs(&lpns),
+            vec![(Lpn(1), 3), (Lpn(7), 1), (Lpn(9), 2)]
+        );
         assert!(consecutive_runs(&[]).is_empty());
     }
 
@@ -539,10 +808,7 @@ mod tests {
         let mut dh = device(SchemeKind::Hps);
         let f4 = d4.submit(&big).unwrap().finish;
         let fh = dh.submit(&big).unwrap().finish;
-        assert!(
-            fh < f4,
-            "HPS large write ({fh}) must beat 4PS ({f4})"
-        );
+        assert!(fh < f4, "HPS large write ({fh}) must beat 4PS ({f4})");
     }
 
     #[test]
@@ -583,7 +849,11 @@ mod tests {
         assert!(trace.is_replayed());
         assert_eq!(metrics.total_requests, 10);
         assert_eq!(metrics.writes, 10);
-        assert_eq!(metrics.nowait_pct(), 100.0, "100ms gaps dwarf service times");
+        assert_eq!(
+            metrics.nowait_pct(),
+            100.0,
+            "100ms gaps dwarf service times"
+        );
         assert!(metrics.mean_response_ms() > 0.0);
         assert!(metrics.space_utilization() > 0.99);
     }
@@ -595,7 +865,9 @@ mod tests {
         let mut dev = EmmcDevice::new(cfg).unwrap();
         dev.submit(&req(0, 0, Direction::Write, 4, 0)).unwrap();
         // 2 s gap → doze → wake penalty.
-        let c = dev.submit(&req(1, 2_000, Direction::Write, 4, 8192)).unwrap();
+        let c = dev
+            .submit(&req(1, 2_000, Direction::Write, 4, 8192))
+            .unwrap();
         assert_eq!(c.wakeup, SimDuration::from_ms(5));
         assert!(c.finish - c.service_start >= SimDuration::from_ms(5));
     }
@@ -604,7 +876,9 @@ mod tests {
     fn lba_clamp_keeps_requests_in_range() {
         let mut dev = device(SchemeKind::Ps4);
         // Device capacity is 64 × 16 × 4 KiB × 8 planes = 32 MiB; aim beyond.
-        let c = dev.submit(&req(0, 0, Direction::Write, 4, 1 << 40)).unwrap();
+        let c = dev
+            .submit(&req(0, 0, Direction::Write, 4, 1 << 40))
+            .unwrap();
         assert!(c.finish > c.service_start);
     }
 
@@ -658,7 +932,10 @@ mod tests {
         let mut dev = EmmcDevice::new(cfg).unwrap();
         let c = dev.submit(&req(0, 0, Direction::Write, 64, 0)).unwrap();
         let t = NandTiming::TABLE_V;
-        assert!(c.finish - c.service_start >= t.page_4k.program, "write-through path");
+        assert!(
+            c.finish - c.service_start >= t.page_4k.program,
+            "write-through path"
+        );
     }
 
     #[test]
@@ -676,8 +953,7 @@ mod tests {
 
     #[test]
     fn read_cache_eliminates_repeat_flash_reads() {
-        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16)
-            .with_read_cache(Bytes::mib(1));
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_read_cache(Bytes::mib(1));
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).unwrap();
         dev.submit(&req(0, 0, Direction::Write, 16, 0)).unwrap();
@@ -692,13 +968,13 @@ mod tests {
 
     #[test]
     fn read_cache_hit_rate_tracks_reuse() {
-        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16)
-            .with_read_cache(Bytes::kib(64));
+        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_read_cache(Bytes::kib(64));
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).unwrap();
         // Stream of never-reused reads: hit rate ~0.
         for i in 0..50u64 {
-            dev.submit(&req(i, i * 10, Direction::Read, 4, (1000 + i * 64) * 4096)).unwrap();
+            dev.submit(&req(i, i * 10, Direction::Read, 4, (1000 + i * 64) * 4096))
+                .unwrap();
         }
         assert!(dev.read_cache().unwrap().hit_rate() < 0.05);
     }
@@ -728,35 +1004,40 @@ mod tests {
 
     #[test]
     fn slc_region_ignores_large_writes() {
-        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(
-            crate::slc::SlcConfig {
+        let mut cfg =
+            DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(crate::slc::SlcConfig {
                 capacity: Bytes::mib(1),
                 program: SimDuration::from_us(450),
                 max_request: Bytes::kib(8),
-            },
-        );
+            });
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).unwrap();
         let c = dev.submit(&req(0, 0, Direction::Write, 64, 0)).unwrap();
         let t = NandTiming::TABLE_V;
-        assert!(c.finish - c.service_start >= t.page_4k.program, "MLC path for bulk");
+        assert!(
+            c.finish - c.service_start >= t.page_4k.program,
+            "MLC path for bulk"
+        );
         assert_eq!(dev.slc().unwrap().absorbed(), 0);
     }
 
     #[test]
     fn slc_backpressure_degrades_to_drain_speed() {
-        let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(
-            crate::slc::SlcConfig {
+        let mut cfg =
+            DeviceConfig::scaled(SchemeKind::Ps4, 64, 16).with_slc(crate::slc::SlcConfig {
                 capacity: Bytes::kib(16),
                 program: SimDuration::from_us(450),
                 max_request: Bytes::kib(8),
-            },
-        );
+            });
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).unwrap();
         for i in 0..32u64 {
-            dev.submit(&req(i, 0, Direction::Write, 8, i * 8192)).unwrap();
+            dev.submit(&req(i, 0, Direction::Write, 8, i * 8192))
+                .unwrap();
         }
-        assert!(dev.slc().unwrap().stalls() > 0, "tiny region must backpressure");
+        assert!(
+            dev.slc().unwrap().stalls() > 0,
+            "tiny region must backpressure"
+        );
     }
 }

@@ -29,11 +29,19 @@ pub struct Chunk {
 
 impl Chunk {
     fn single(lpn: Lpn, page_size: Bytes, data: Bytes) -> Self {
-        Chunk { lpns: vec![lpn], page_size, data }
+        Chunk {
+            lpns: vec![lpn],
+            page_size,
+            data,
+        }
     }
 
     fn pair(first: Lpn, page_size: Bytes, data: Bytes) -> Self {
-        Chunk { lpns: vec![first, Lpn(first.0 + 1)], page_size, data }
+        Chunk {
+            lpns: vec![first, Lpn(first.0 + 1)],
+            page_size,
+            data,
+        }
     }
 }
 
@@ -152,7 +160,11 @@ mod tests {
         let r = req(4, 4096);
         let hps = split_request(&r, SchemeKind::Hps);
         assert_eq!(hps.len(), 1);
-        assert_eq!(hps[0].page_size, Bytes::kib(4), "HPS serves 4K in a 4K page");
+        assert_eq!(
+            hps[0].page_size,
+            Bytes::kib(4),
+            "HPS serves 4K in a 4K page"
+        );
         let ps8 = split_request(&r, SchemeKind::Ps8);
         assert_eq!(ps8[0].page_size, Bytes::kib(8), "8PS pads");
         assert_eq!(ps8[0].data, Bytes::kib(4));
@@ -163,8 +175,10 @@ mod tests {
         let r = req(24, 8192); // LPNs 2..8
         for scheme in SchemeKind::ALL {
             let chunks = split_request(&r, scheme);
-            let lpns: Vec<u64> =
-                chunks.iter().flat_map(|c| c.lpns.iter().map(|l| l.0)).collect();
+            let lpns: Vec<u64> = chunks
+                .iter()
+                .flat_map(|c| c.lpns.iter().map(|l| l.0))
+                .collect();
             assert_eq!(lpns, (2..8).collect::<Vec<_>>(), "{scheme}");
         }
     }

@@ -32,15 +32,15 @@ pub mod metrics;
 pub mod power;
 pub mod readcache;
 pub mod schedule;
-pub mod slc;
 pub mod scheme;
+pub mod slc;
 
 pub use cache::WriteCache;
 pub use device::{DeviceConfig, EmmcDevice};
 pub use distributor::{split_request, Chunk};
 pub use metrics::ReplayMetrics;
 pub use power::{PowerConfig, PowerModel};
-pub use schedule::{ChannelMode, ResourceSchedule};
-pub use scheme::SchemeKind;
 pub use readcache::ReadCache;
+pub use schedule::{ChannelMode, ResourceSchedule, ScheduledOp};
+pub use scheme::SchemeKind;
 pub use slc::{SlcBuffer, SlcConfig};

@@ -1,9 +1,11 @@
 //! Measurements collected over one trace replay.
 
+use core::fmt;
 use hps_core::{RunningStats, SimDuration};
 use hps_ftl::{FtlStats, SpaceAccounting};
 use hps_nand::WearStats;
-use core::fmt;
+use hps_obs::MetricsRegistry;
+use std::cell::OnceCell;
 
 /// Everything the paper's evaluation reports about one (trace, scheme)
 /// replay: mean response time (Fig. 8), space utilization (Fig. 9), the
@@ -43,8 +45,14 @@ pub struct ReplayMetrics {
     /// capacity pressure (HPS only).
     pub pool_spills: u64,
     /// Raw response-time samples in milliseconds (for percentiles and the
-    /// Fig. 5 distributions); same order as the replayed records.
-    pub response_samples_ms: Vec<f64>,
+    /// Fig. 5 distributions); same order as the replayed records. Mutate
+    /// only through [`ReplayMetrics::push_response_sample`] so the sorted
+    /// cache stays coherent.
+    pub(crate) response_samples_ms: Vec<f64>,
+    /// Lazily sorted copy of the samples, built on the first percentile
+    /// query and invalidated on push — percentile calls used to clone and
+    /// re-sort the whole sample vector every time.
+    pub(crate) sorted_cache: OnceCell<Vec<f64>>,
 }
 
 impl ReplayMetrics {
@@ -80,8 +88,58 @@ impl ReplayMetrics {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn response_percentile_ms(&self, q: f64) -> Option<f64> {
-        let mut samples = self.response_samples_ms.clone();
-        hps_core::stats::quantile(&mut samples, q)
+        let sorted = self.sorted_cache.get_or_init(|| {
+            let mut samples = self.response_samples_ms.clone();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("response times are never NaN"));
+            samples
+        });
+        hps_core::stats::quantile_sorted(sorted, q)
+    }
+
+    /// Appends one response-time sample (milliseconds), invalidating the
+    /// sorted percentile cache.
+    pub fn push_response_sample(&mut self, ms: f64) {
+        self.response_samples_ms.push(ms);
+        self.sorted_cache.take();
+    }
+
+    /// The raw response-time samples, in replay order.
+    pub fn response_samples(&self) -> &[f64] {
+        &self.response_samples_ms
+    }
+
+    /// Exports everything this struct reports into a flat
+    /// [`MetricsRegistry`] — the bridge between the bespoke per-replay
+    /// counters and the cross-layer telemetry namespace.
+    pub fn to_registry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        registry.add("emmc.requests", self.total_requests);
+        registry.add("emmc.requests.read", self.reads);
+        registry.add("emmc.requests.write", self.writes);
+        registry.add("emmc.requests.nowait", self.nowait_requests);
+        registry.add("emmc.gc.idle_passes", self.idle_gc_passes);
+        registry.add("emmc.pool_spills", self.pool_spills);
+        registry.add("power.mode_switches", self.mode_switches);
+        registry.add("power.time_asleep_ms", self.time_asleep.as_ms());
+        registry.add("ftl.lifetime.host_programs", self.ftl.host_programs);
+        registry.add("ftl.lifetime.gc_programs", self.ftl.gc_programs);
+        registry.add("ftl.lifetime.gc_reads", self.ftl.gc_reads);
+        registry.add("ftl.lifetime.gc_runs", self.ftl.gc_runs);
+        registry.add("ftl.lifetime.erases", self.ftl.erases);
+        registry.add(
+            "ftl.space.data_written_bytes",
+            self.space.data_written().as_u64(),
+        );
+        registry.add(
+            "ftl.space.flash_consumed_bytes",
+            self.space.flash_consumed().as_u64(),
+        );
+        self.wear.record_into(&mut registry, "nand.wear");
+        let response = registry.histogram("emmc.response_ms");
+        for &sample in &self.response_samples_ms {
+            registry.observe(response, sample);
+        }
+        registry
     }
 
     /// Median (p50) response time in milliseconds; `0.0` when empty.
@@ -166,7 +224,7 @@ mod tests {
     fn percentiles_from_samples() {
         let mut m = ReplayMetrics::default();
         for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
-            m.response_samples_ms.push(v);
+            m.push_response_sample(v);
         }
         assert_eq!(m.p50_response_ms(), 3.0);
         assert!(m.p99_response_ms() > 4.0);
@@ -174,11 +232,36 @@ mod tests {
     }
 
     #[test]
+    fn percentile_cache_invalidates_on_push() {
+        let mut m = ReplayMetrics::default();
+        m.push_response_sample(10.0);
+        assert_eq!(m.p50_response_ms(), 10.0); // populates the cache
+        m.push_response_sample(0.0);
+        m.push_response_sample(0.0);
+        assert_eq!(m.p50_response_ms(), 0.0); // must see the new samples
+    }
+
+    #[test]
+    fn registry_export_matches_counters() {
+        let mut m = with_responses(&[1.0, 2.0]);
+        m.reads = 1;
+        m.writes = 1;
+        m.push_response_sample(1.0);
+        m.push_response_sample(2.0);
+        let reg = m.to_registry();
+        assert_eq!(reg.counter_value("emmc.requests"), Some(2));
+        assert_eq!(reg.counter_value("emmc.requests.read"), Some(1));
+        assert_eq!(reg.histogram_value("emmc.response_ms").unwrap().count(), 2);
+    }
+
+    #[test]
     fn utilization_gain() {
         let mut a = ReplayMetrics::default();
-        a.space.record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(20));
+        a.space
+            .record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(20));
         let mut b = ReplayMetrics::default();
-        b.space.record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(24));
+        b.space
+            .record_write(hps_core::Bytes::kib(20), hps_core::Bytes::kib(24));
         // a: 100%, b: 83.3% -> a is 20% better than b.
         assert!((a.utilization_gain_vs(&b) - 20.0).abs() < 1e-9);
     }

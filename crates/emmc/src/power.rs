@@ -64,13 +64,22 @@ pub struct PowerModel {
     last_activity: Option<SimTime>,
     mode_switches: u64,
     time_asleep: SimDuration,
+    /// The doze interval ended by the most recent wake-up, until collected
+    /// by [`PowerModel::take_last_doze`].
+    last_doze: Option<(SimTime, SimTime)>,
 }
 
 impl PowerModel {
     /// Creates a model for a device that has never been touched (awake at
     /// power-on, as after the paper's per-trace reboot).
     pub fn new(config: PowerConfig) -> Self {
-        PowerModel { config, last_activity: None, mode_switches: 0, time_asleep: SimDuration::ZERO }
+        PowerModel {
+            config,
+            last_activity: None,
+            mode_switches: 0,
+            time_asleep: SimDuration::ZERO,
+            last_doze: None,
+        }
     }
 
     /// The configuration in force.
@@ -91,10 +100,18 @@ impl PowerModel {
         if idle > self.config.idle_threshold {
             self.mode_switches += 1;
             self.time_asleep += idle - self.config.idle_threshold;
+            self.last_doze = Some((last + self.config.idle_threshold, now));
             self.config.wakeup_latency
         } else {
             SimDuration::ZERO
         }
+    }
+
+    /// The `(slept_from, woke_at)` interval of the most recent doze, if a
+    /// wake-up occurred since the last call — the telemetry layer turns
+    /// this into a power-track span.
+    pub fn take_last_doze(&mut self) -> Option<(SimTime, SimTime)> {
+        self.last_doze.take()
     }
 
     /// Records that the device finished work at `t` (arms the idle timer).
@@ -128,7 +145,10 @@ mod tests {
     #[test]
     fn fresh_device_pays_nothing() {
         let mut pm = PowerModel::new(PowerConfig::NEXUS5);
-        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(100)), SimDuration::ZERO);
+        assert_eq!(
+            pm.wakeup_penalty(SimTime::from_secs(100)),
+            SimDuration::ZERO
+        );
         assert_eq!(pm.mode_switches(), 0);
     }
 
@@ -145,7 +165,10 @@ mod tests {
         let mut pm = PowerModel::new(PowerConfig::NEXUS5);
         pm.note_activity(SimTime::from_ms(0));
         assert!(pm.is_asleep_at(SimTime::from_secs(2)));
-        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(2)), SimDuration::from_ms(5));
+        assert_eq!(
+            pm.wakeup_penalty(SimTime::from_secs(2)),
+            SimDuration::from_ms(5)
+        );
         assert_eq!(pm.mode_switches(), 1);
         assert_eq!(pm.time_asleep(), SimDuration::from_ms(1_500));
     }
@@ -156,7 +179,7 @@ mod tests {
         let mut t = SimTime::ZERO;
         pm.note_activity(t);
         for _ in 0..5 {
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
             pm.wakeup_penalty(t);
             pm.note_activity(t);
         }
@@ -167,7 +190,10 @@ mod tests {
     fn disabled_never_sleeps() {
         let mut pm = PowerModel::new(PowerConfig::DISABLED);
         pm.note_activity(SimTime::ZERO);
-        assert_eq!(pm.wakeup_penalty(SimTime::from_secs(3600)), SimDuration::ZERO);
+        assert_eq!(
+            pm.wakeup_penalty(SimTime::from_secs(3600)),
+            SimDuration::ZERO
+        );
         assert!(!pm.is_asleep_at(SimTime::from_secs(3600)));
         assert_eq!(pm.mode_switches(), 0);
     }

@@ -131,7 +131,8 @@ impl ReadCache {
 
     fn compact(&mut self) {
         let map = &self.map;
-        self.queue.retain(|(lpn, stamp)| map.get(lpn) == Some(stamp));
+        self.queue
+            .retain(|(lpn, stamp)| map.get(lpn) == Some(stamp));
     }
 }
 

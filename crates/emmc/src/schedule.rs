@@ -39,6 +39,20 @@ pub enum ChannelMode {
     Interleaved,
 }
 
+/// Resolved placement and timing of one scheduled flash operation — what
+/// the telemetry layer needs to draw the op on its channel/die track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Channel the operation occupied.
+    pub channel: usize,
+    /// Die (flat index) the operation occupied.
+    pub die: usize,
+    /// When the operation first occupied a resource.
+    pub start: SimTime,
+    /// When the operation completed.
+    pub finish: SimTime,
+}
+
 /// Busy-until horizons for every channel and die.
 #[derive(Clone, Debug)]
 pub struct ResourceSchedule {
@@ -71,6 +85,12 @@ impl ResourceSchedule {
     /// Schedules one flash operation that may not start before `earliest`,
     /// reserving the channel and die it needs. Returns its completion time.
     pub fn schedule(&mut self, op: &FlashOp, earliest: SimTime) -> SimTime {
+        self.schedule_detailed(op, earliest).finish
+    }
+
+    /// [`ResourceSchedule::schedule`], additionally reporting which channel
+    /// and die the operation landed on and when it started.
+    pub fn schedule_detailed(&mut self, op: &FlashOp, earliest: SimTime) -> ScheduledOp {
         let channel = self.geometry.channel_of_plane(op.plane);
         let die = self.geometry.die_of_plane(op.plane);
         let page = self.timing.page_timing(op.page_size);
@@ -83,12 +103,19 @@ impl ResourceSchedule {
                 OpKind::Program => page.program,
                 OpKind::Erase => unreachable!("erase handled below"),
             };
-            let start = earliest.max(self.channel_free[channel]).max(self.die_free[die]);
+            let start = earliest
+                .max(self.channel_free[channel])
+                .max(self.die_free[die]);
             let done = start + cell + xfer;
             self.channel_free[channel] = done;
             self.die_free[die] = done;
             self.busy += cell + xfer;
-            return done;
+            return ScheduledOp {
+                channel,
+                die,
+                start,
+                finish: done,
+            };
         }
         match op.kind {
             OpKind::Read => {
@@ -100,7 +127,12 @@ impl ResourceSchedule {
                 let done = xfer_start + xfer;
                 self.channel_free[channel] = done;
                 self.busy += page.read + xfer;
-                done
+                ScheduledOp {
+                    channel,
+                    die,
+                    start: sense_start,
+                    finish: done,
+                }
             }
             OpKind::Program => {
                 // Move data in over the channel, then program the cells.
@@ -111,14 +143,24 @@ impl ResourceSchedule {
                 let done = prog_start + page.program;
                 self.die_free[die] = done;
                 self.busy += page.program + xfer;
-                done
+                ScheduledOp {
+                    channel,
+                    die,
+                    start: xfer_start,
+                    finish: done,
+                }
             }
             OpKind::Erase => {
                 let start = earliest.max(self.die_free[die]);
                 let done = start + self.timing.erase;
                 self.die_free[die] = done;
                 self.busy += self.timing.erase;
-                done
+                ScheduledOp {
+                    channel,
+                    die,
+                    start,
+                    finish: done,
+                }
             }
         }
     }
@@ -126,7 +168,22 @@ impl ResourceSchedule {
     /// Schedules a batch of operations (all released at `earliest`) and
     /// returns the time the last one completes; `earliest` when empty.
     pub fn schedule_batch(&mut self, ops: &[FlashOp], earliest: SimTime) -> SimTime {
-        ops.iter().fold(earliest, |finish, op| finish.max(self.schedule(op, earliest)))
+        self.schedule_batch_observed(ops, earliest, |_, _| {})
+    }
+
+    /// [`ResourceSchedule::schedule_batch`], invoking `on_op` with every
+    /// operation's resolved placement — the telemetry tap.
+    pub fn schedule_batch_observed(
+        &mut self,
+        ops: &[FlashOp],
+        earliest: SimTime,
+        mut on_op: impl FnMut(&FlashOp, ScheduledOp),
+    ) -> SimTime {
+        ops.iter().fold(earliest, |finish, op| {
+            let scheduled = self.schedule_detailed(op, earliest);
+            on_op(op, scheduled);
+            finish.max(scheduled.finish)
+        })
     }
 
     /// The time when every resource is idle again.
@@ -151,7 +208,11 @@ mod tests {
     use hps_ftl::FlashOp;
 
     fn sched() -> ResourceSchedule {
-        ResourceSchedule::new(Geometry::TABLE_V, NandTiming::TABLE_V, ChannelMode::Interleaved)
+        ResourceSchedule::new(
+            Geometry::TABLE_V,
+            NandTiming::TABLE_V,
+            ChannelMode::Interleaved,
+        )
     }
 
     fn legacy() -> ResourceSchedule {
@@ -175,7 +236,10 @@ mod tests {
         let mut s = sched();
         let done = s.schedule(&FlashOp::program(0, k4()), SimTime::from_ms(1));
         let t = NandTiming::TABLE_V;
-        assert_eq!(done, SimTime::from_ms(1) + t.transfer(k4()) + t.page_4k.program);
+        assert_eq!(
+            done,
+            SimTime::from_ms(1) + t.transfer(k4()) + t.page_4k.program
+        );
     }
 
     #[test]
@@ -232,18 +296,26 @@ mod tests {
         // page is faster than two 4 KiB programs on the same die.
         let t = NandTiming::TABLE_V;
         let mut a = sched();
-        let two_4k =
-            a.schedule_batch(&[FlashOp::program(0, k4()), FlashOp::program(0, k4())], SimTime::ZERO);
+        let two_4k = a.schedule_batch(
+            &[FlashOp::program(0, k4()), FlashOp::program(0, k4())],
+            SimTime::ZERO,
+        );
         let mut b = sched();
         let one_8k = b.schedule_batch(&[FlashOp::program(0, Bytes::kib(8))], SimTime::ZERO);
         assert!(one_8k < two_4k);
-        assert_eq!(one_8k, SimTime::ZERO + t.transfer(Bytes::kib(8)) + t.page_8k.program);
+        assert_eq!(
+            one_8k,
+            SimTime::ZERO + t.transfer(Bytes::kib(8)) + t.page_8k.program
+        );
     }
 
     #[test]
     fn batch_of_nothing_finishes_immediately() {
         let mut s = sched();
-        assert_eq!(s.schedule_batch(&[], SimTime::from_ms(7)), SimTime::from_ms(7));
+        assert_eq!(
+            s.schedule_batch(&[], SimTime::from_ms(7)),
+            SimTime::from_ms(7)
+        );
     }
 
     #[test]
@@ -298,6 +370,9 @@ mod tests {
         let mut b = legacy();
         let one_8k = b.schedule_batch(&[FlashOp::program(0, Bytes::kib(8))], SimTime::ZERO);
         assert!(one_8k < two_4k);
-        assert_eq!(one_8k, SimTime::ZERO + t.page_8k.program + t.transfer(Bytes::kib(8)));
+        assert_eq!(
+            one_8k,
+            SimTime::ZERO + t.page_8k.program + t.transfer(Bytes::kib(8))
+        );
     }
 }

@@ -1,10 +1,10 @@
 //! The three page-size schemes of Table V.
 
-use hps_core::Bytes;
-use hps_ftl::FtlConfig;
-use hps_ftl::gc::GcTrigger;
-use hps_nand::Geometry;
 use core::fmt;
+use hps_core::Bytes;
+use hps_ftl::gc::GcTrigger;
+use hps_ftl::FtlConfig;
+use hps_nand::Geometry;
 
 /// Which page-size organization the device uses (Table V).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -120,8 +120,7 @@ mod tests {
     fn scaled_pools_preserve_capacity_split() {
         for scheme in SchemeKind::ALL {
             let pools = scheme.scaled_pools(16);
-            let capacity: u64 =
-                pools.iter().map(|&(s, n)| s.as_u64() * n as u64).sum();
+            let capacity: u64 = pools.iter().map(|&(s, n)| s.as_u64() * n as u64).sum();
             assert_eq!(capacity, Bytes::kib(4).as_u64() * 16, "{scheme}");
         }
     }

@@ -73,7 +73,12 @@ impl SlcBuffer {
     ///
     /// Panics if the configured capacity is zero.
     pub fn new(config: SlcConfig) -> Self {
-        SlcBuffer { space: WriteCache::new(config.capacity), config, absorbed: 0, absorbed_bytes: Bytes::ZERO }
+        SlcBuffer {
+            space: WriteCache::new(config.capacity),
+            config,
+            absorbed: 0,
+            absorbed_bytes: Bytes::ZERO,
+        }
     }
 
     /// The configuration in force.

@@ -7,7 +7,11 @@ use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
 use proptest::prelude::*;
 
 fn any_scheme() -> impl Strategy<Value = SchemeKind> {
-    prop_oneof![Just(SchemeKind::Ps4), Just(SchemeKind::Ps8), Just(SchemeKind::Hps)]
+    prop_oneof![
+        Just(SchemeKind::Ps4),
+        Just(SchemeKind::Ps8),
+        Just(SchemeKind::Hps)
+    ]
 }
 
 proptest! {

@@ -46,7 +46,9 @@ impl FtlConfig {
             return Err(Error::InvalidConfig("at least one pool required".into()));
         }
         if self.pages_per_block == 0 {
-            return Err(Error::InvalidConfig("pages_per_block must be non-zero".into()));
+            return Err(Error::InvalidConfig(
+                "pages_per_block must be non-zero".into(),
+            ));
         }
         let mut seen = Vec::new();
         for &(size, count) in &self.pools {
@@ -57,7 +59,9 @@ impl FtlConfig {
                 return Err(Error::InvalidConfig("zero page size".into()));
             }
             if seen.contains(&size) {
-                return Err(Error::InvalidConfig(format!("duplicate pool page size {size}")));
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate pool page size {size}"
+                )));
             }
             seen.push(size);
         }
@@ -134,7 +138,13 @@ impl Ftl {
             .collect();
         let pools = planes
             .iter()
-            .map(|plane| config.pools.iter().map(|&(size, _)| Pool::new(plane, size)).collect())
+            .map(|plane| {
+                config
+                    .pools
+                    .iter()
+                    .map(|&(size, _)| Pool::new(plane, size))
+                    .collect()
+            })
             .collect();
         Ok(Ftl {
             config,
@@ -204,8 +214,14 @@ impl Ftl {
         lpns: &[Lpn],
         data: Bytes,
     ) -> Result<Vec<FlashOp>> {
-        assert!((1..=2).contains(&lpns.len()), "a chunk holds one or two LPNs");
-        assert!(lpns.len() < 2 || lpns[0] != lpns[1], "duplicate LPN in chunk");
+        assert!(
+            (1..=2).contains(&lpns.len()),
+            "a chunk holds one or two LPNs"
+        );
+        assert!(
+            lpns.len() < 2 || lpns[0] != lpns[1],
+            "duplicate LPN in chunk"
+        );
         assert!(data <= page_size, "payload larger than the page");
         let pool_idx = self.pool_index(page_size);
         let mut ops = Vec::new();
@@ -224,9 +240,10 @@ impl Ftl {
             None => {
                 // Pool full mid-write: force a collection and retry once.
                 self.collect_victim(plane, pool_idx, &mut ops)?;
-                self.allocate(plane, pool_idx).ok_or_else(|| Error::CapacityExhausted {
-                    location: format!("plane {plane} ({page_size} pool)"),
-                })?
+                self.allocate(plane, pool_idx)
+                    .ok_or_else(|| Error::CapacityExhausted {
+                        location: format!("plane {plane} ({page_size} pool)"),
+                    })?
             }
         };
         self.residents.occupy(ppn, lpns);
@@ -277,13 +294,111 @@ impl Ftl {
         let mut ops = Vec::new();
         for plane in 0..self.planes.len() {
             for pool_idx in 0..self.pools[plane].len() {
-                if gc::idle_pass_worthwhile(&self.planes[plane], &self.pools[plane][pool_idx], trigger)
-                {
+                if gc::idle_pass_worthwhile(
+                    &self.planes[plane],
+                    &self.pools[plane][pool_idx],
+                    trigger,
+                ) {
                     self.collect_victim(plane, pool_idx, &mut ops)?;
                 }
             }
         }
         Ok(ops)
+    }
+
+    /// [`Ftl::write_chunk`] with telemetry: when `tel` is present, the
+    /// per-call deltas of the FTL counters (host programs, GC reads/
+    /// programs/erases/runs) flow into the registry, and each triggered
+    /// collection records its migration cost in the
+    /// `ftl.gc.migrated_pages_per_run` histogram. Costs nothing when `tel`
+    /// is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    pub fn write_chunk_observed(
+        &mut self,
+        plane: usize,
+        page_size: Bytes,
+        lpns: &[Lpn],
+        data: Bytes,
+        tel: Option<&mut hps_obs::Telemetry>,
+    ) -> Result<Vec<FlashOp>> {
+        let Some(tel) = tel else {
+            return self.write_chunk(plane, page_size, lpns, data);
+        };
+        let before = self.stats;
+        let result = self.write_chunk(plane, page_size, lpns, data);
+        self.record_stat_deltas(before, &mut tel.registry);
+        result
+    }
+
+    /// [`Ftl::idle_gc`] with telemetry (see
+    /// [`Ftl::write_chunk_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::idle_gc`].
+    pub fn idle_gc_observed(
+        &mut self,
+        tel: Option<&mut hps_obs::Telemetry>,
+    ) -> Result<Vec<FlashOp>> {
+        let Some(tel) = tel else {
+            return self.idle_gc();
+        };
+        let before = self.stats;
+        let result = self.idle_gc();
+        self.record_stat_deltas(before, &mut tel.registry);
+        result
+    }
+
+    fn record_stat_deltas(&self, before: FtlStats, registry: &mut hps_obs::MetricsRegistry) {
+        let after = self.stats;
+        let deltas = [
+            (
+                "ftl.host_programs",
+                after.host_programs - before.host_programs,
+            ),
+            ("ftl.gc.programs", after.gc_programs - before.gc_programs),
+            ("ftl.gc.reads", after.gc_reads - before.gc_reads),
+            ("ftl.gc.runs", after.gc_runs - before.gc_runs),
+            ("ftl.erases", after.erases - before.erases),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                registry.add(name, delta);
+            }
+        }
+        let runs = after.gc_runs - before.gc_runs;
+        if runs > 0 {
+            let migrated = (after.gc_programs - before.gc_programs) as f64 / runs as f64;
+            registry.record("ftl.gc.migrated_pages_per_run", migrated);
+        }
+    }
+
+    /// Exports the FTL's end-of-run state into a metrics registry: the
+    /// lifetime operation counters, mapping size, space accounting, and
+    /// the wear summary (under `nand.wear.*`).
+    pub fn export_metrics(&self, registry: &mut hps_obs::MetricsRegistry) {
+        registry.add("ftl.lifetime.host_programs", self.stats.host_programs);
+        registry.add("ftl.lifetime.gc_programs", self.stats.gc_programs);
+        registry.add("ftl.lifetime.gc_reads", self.stats.gc_reads);
+        registry.add("ftl.lifetime.gc_runs", self.stats.gc_runs);
+        registry.add("ftl.lifetime.erases", self.stats.erases);
+        registry.add("ftl.map.mapped_lpns", self.mapped_lpns() as u64);
+        registry.add(
+            "ftl.space.data_written_bytes",
+            self.space.data_written().as_u64(),
+        );
+        registry.add(
+            "ftl.space.flash_consumed_bytes",
+            self.space.flash_consumed().as_u64(),
+        );
+        self.wear().record_into(registry, "nand.wear");
     }
 
     /// Logical capacity: every pool byte is addressable (the model reserves
@@ -302,13 +417,18 @@ impl Ftl {
 
     fn allocate(&mut self, plane: usize, pool_idx: usize) -> Option<Ppn> {
         let (block, page) = self.pools[plane][pool_idx].allocate_page(&mut self.planes[plane])?;
-        Some(Ppn { plane, addr: PageAddr { block, page } })
+        Some(Ppn {
+            plane,
+            addr: PageAddr { block, page },
+        })
     }
 
     fn invalidate_lpn(&mut self, lpn: Lpn) {
         if let Some(old) = self.mapping.unmap(lpn) {
             if self.residents.evict(old, lpn) {
-                self.planes[old.plane].block_mut(old.addr.block).invalidate(old.addr.page);
+                self.planes[old.plane]
+                    .block_mut(old.addr.block)
+                    .invalidate(old.addr.page);
             }
         }
     }
@@ -347,13 +467,21 @@ impl Ftl {
         let page_size = self.planes[plane].block(victim).page_size();
         let live_pages = self.planes[plane].block(victim).valid_page_indices();
         for page in live_pages {
-            let old = Ppn { plane, addr: PageAddr { block: victim, page } };
+            let old = Ppn {
+                plane,
+                addr: PageAddr {
+                    block: victim,
+                    page,
+                },
+            };
             // Allocate the destination FIRST: if the pool is truly out of
             // space we must fail before touching the old page, or the
             // mapping and resident tables would diverge.
-            let new = self.allocate(plane, pool_idx).ok_or_else(|| Error::CapacityExhausted {
-                location: format!("plane {plane} ({page_size} pool) during GC"),
-            })?;
+            let new = self
+                .allocate(plane, pool_idx)
+                .ok_or_else(|| Error::CapacityExhausted {
+                    location: format!("plane {plane} ({page_size} pool) during GC"),
+                })?;
             // Read the live page...
             ops.push(FlashOp::read(plane, page_size).gc());
             self.stats.gc_reads += 1;
@@ -440,7 +568,9 @@ mod tests {
     #[test]
     fn write_then_read_round_trips() {
         let mut ftl = Ftl::new(tiny_config()).unwrap();
-        let ops = ftl.write_chunk(0, Bytes::kib(4), &[Lpn(3)], Bytes::kib(4)).unwrap();
+        let ops = ftl
+            .write_chunk(0, Bytes::kib(4), &[Lpn(3)], Bytes::kib(4))
+            .unwrap();
         assert_eq!(ops.len(), 1);
         assert_eq!(ops[0].kind, crate::addr::OpKind::Program);
         let (reads, unmapped) = ftl.read_ops(&[Lpn(3), Lpn(4)]);
@@ -451,7 +581,8 @@ mod tests {
     #[test]
     fn shared_8k_page_reads_once() {
         let mut ftl = Ftl::new(hybrid_config()).unwrap();
-        ftl.write_chunk(0, Bytes::kib(8), &[Lpn(0), Lpn(1)], Bytes::kib(8)).unwrap();
+        ftl.write_chunk(0, Bytes::kib(8), &[Lpn(0), Lpn(1)], Bytes::kib(8))
+            .unwrap();
         let (reads, unmapped) = ftl.read_ops(&[Lpn(0), Lpn(1)]);
         assert_eq!(reads.len(), 1, "one physical read serves both LPNs");
         assert!(unmapped.is_empty());
@@ -470,7 +601,11 @@ mod tests {
                 .unwrap_or_else(|e| panic!("write {i} failed: {e}"));
         }
         assert!(ftl.stats().gc_runs > 0, "GC must have run");
-        assert_eq!(ftl.stats().gc_programs, 0, "fully-invalid victims migrate nothing");
+        assert_eq!(
+            ftl.stats().gc_programs,
+            0,
+            "fully-invalid victims migrate nothing"
+        );
         assert!(ftl.stats().erases >= ftl.stats().gc_runs);
         assert_eq!(ftl.mapped_lpns(), 1);
     }
@@ -481,11 +616,13 @@ mod tests {
         // Fill LPNs 0..8 (two blocks), then overwrite LPNs 0..4 many times.
         // GC victims will contain live pages from the first fill.
         for i in 0..8 {
-            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i)], Bytes::kib(4)).unwrap();
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i)], Bytes::kib(4))
+                .unwrap();
         }
         for _ in 0..10 {
             for i in 0..4 {
-                ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i)], Bytes::kib(4)).unwrap();
+                ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i)], Bytes::kib(4))
+                    .unwrap();
             }
         }
         // All 8 LPNs must still be mapped and readable.
@@ -535,7 +672,10 @@ mod tests {
         // All successfully written LPNs still resolve.
         let lpns: Vec<Lpn> = live.iter().map(|&l| Lpn(l)).collect();
         let (_, unmapped) = ftl.read_ops(&lpns);
-        assert!(unmapped.is_empty(), "failure corrupted mappings: {unmapped:?}");
+        assert!(
+            unmapped.is_empty(),
+            "failure corrupted mappings: {unmapped:?}"
+        );
         // Overwriting a live LPN must not panic, whatever it returns.
         let _ = ftl.write_chunk(0, Bytes::kib(4), &[Lpn(live[0])], Bytes::kib(4));
     }
@@ -544,14 +684,19 @@ mod tests {
     fn space_accounting_tracks_padding() {
         let mut ftl = Ftl::new(hybrid_config()).unwrap();
         // A 4 KiB payload padded into an 8 KiB page wastes half.
-        ftl.write_chunk(0, Bytes::kib(8), &[Lpn(9)], Bytes::kib(4)).unwrap();
+        ftl.write_chunk(0, Bytes::kib(8), &[Lpn(9)], Bytes::kib(4))
+            .unwrap();
         assert_eq!(ftl.space().waste(), Bytes::kib(4));
         assert!((ftl.space().utilization() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn write_amplification_counts_gc_programs() {
-        let stats = FtlStats { host_programs: 10, gc_programs: 5, ..Default::default() };
+        let stats = FtlStats {
+            host_programs: 10,
+            gc_programs: 5,
+            ..Default::default()
+        };
         assert!((stats.write_amplification() - 1.5).abs() < 1e-12);
         assert_eq!(FtlStats::default().write_amplification(), 1.0);
     }
@@ -560,15 +705,23 @@ mod tests {
     fn idle_gc_only_fires_for_idle_trigger() {
         let mut ftl = Ftl::new(tiny_config()).unwrap();
         for i in 0..8 {
-            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 2)], Bytes::kib(4)).unwrap();
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 2)], Bytes::kib(4))
+                .unwrap();
         }
-        assert!(ftl.idle_gc().unwrap().is_empty(), "threshold trigger never idles");
+        assert!(
+            ftl.idle_gc().unwrap().is_empty(),
+            "threshold trigger never idles"
+        );
 
         let mut cfg = tiny_config();
-        cfg.gc_trigger = GcTrigger::Idle { min_free_blocks: 1, min_invalid_pages: 2 };
+        cfg.gc_trigger = GcTrigger::Idle {
+            min_free_blocks: 1,
+            min_invalid_pages: 2,
+        };
         let mut ftl = Ftl::new(cfg).unwrap();
         for i in 0..8 {
-            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 2)], Bytes::kib(4)).unwrap();
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 2)], Bytes::kib(4))
+                .unwrap();
         }
         let ops = ftl.idle_gc().unwrap();
         assert!(!ops.is_empty(), "idle trigger collects reclaimable garbage");
@@ -579,7 +732,8 @@ mod tests {
     fn wear_spreads_with_simple_leveling() {
         let mut ftl = Ftl::new(tiny_config()).unwrap();
         for _ in 0..200 {
-            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(0)], Bytes::kib(4)).unwrap();
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(0)], Bytes::kib(4))
+                .unwrap();
         }
         let wear = ftl.wear();
         assert!(wear.total() > 0);

@@ -43,7 +43,9 @@ impl GcTrigger {
     pub fn min_free_blocks(&self) -> usize {
         match *self {
             GcTrigger::Threshold { min_free_blocks } => min_free_blocks,
-            GcTrigger::Idle { min_free_blocks, .. } => min_free_blocks,
+            GcTrigger::Idle {
+                min_free_blocks, ..
+            } => min_free_blocks,
         }
     }
 
@@ -81,7 +83,9 @@ pub fn select_victim(plane: &Plane, pool: &Pool) -> Option<BlockId> {
 pub fn idle_pass_worthwhile(plane: &Plane, pool: &Pool, trigger: GcTrigger) -> bool {
     match trigger {
         GcTrigger::Threshold { .. } => false,
-        GcTrigger::Idle { min_invalid_pages, .. } => {
+        GcTrigger::Idle {
+            min_invalid_pages, ..
+        } => {
             if plane.invalid_pages(pool.page_size()) < min_invalid_pages {
                 return false;
             }
@@ -149,7 +153,10 @@ mod tests {
         let t = GcTrigger::Threshold { min_free_blocks: 3 };
         assert_eq!(t.min_free_blocks(), 3);
         assert!(!t.collects_when_idle());
-        let i = GcTrigger::Idle { min_free_blocks: 1, min_invalid_pages: 10 };
+        let i = GcTrigger::Idle {
+            min_free_blocks: 1,
+            min_invalid_pages: 10,
+        };
         assert_eq!(i.min_free_blocks(), 1);
         assert!(i.collects_when_idle());
     }
@@ -157,7 +164,10 @@ mod tests {
     #[test]
     fn idle_pass_requires_idle_trigger_and_garbage() {
         let (mut plane, mut pool) = setup(3, 2);
-        let idle = GcTrigger::Idle { min_free_blocks: 1, min_invalid_pages: 1 };
+        let idle = GcTrigger::Idle {
+            min_free_blocks: 1,
+            min_invalid_pages: 1,
+        };
         assert!(!idle_pass_worthwhile(&plane, &pool, idle), "no garbage yet");
         let (b, p) = pool.allocate_page(&mut plane).unwrap();
         pool.allocate_page(&mut plane).unwrap(); // fill block
@@ -165,6 +175,9 @@ mod tests {
         pool.allocate_page(&mut plane).unwrap(); // retire it (new active)
         assert!(idle_pass_worthwhile(&plane, &pool, idle));
         let thr = GcTrigger::Threshold { min_free_blocks: 1 };
-        assert!(!idle_pass_worthwhile(&plane, &pool, thr), "threshold never idles");
+        assert!(
+            !idle_pass_worthwhile(&plane, &pool, thr),
+            "threshold never idles"
+        );
     }
 }

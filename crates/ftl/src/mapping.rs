@@ -93,7 +93,10 @@ impl ResidentTable {
     /// Panics if `ppn` has no residents or `lpn` is not among them — either
     /// indicates the mapping and resident tables have diverged.
     pub fn evict(&mut self, ppn: Ppn, lpn: Lpn) -> bool {
-        let residents = self.residents.get_mut(&ppn).expect("evict from unoccupied page");
+        let residents = self
+            .residents
+            .get_mut(&ppn)
+            .expect("evict from unoccupied page");
         let pos = residents
             .iter()
             .position(|&l| l == lpn)
@@ -130,7 +133,13 @@ mod tests {
     use hps_nand::{BlockId, PageAddr};
 
     fn ppn(plane: usize, block: usize, page: usize) -> Ppn {
-        Ppn { plane, addr: PageAddr { block: BlockId(block), page } }
+        Ppn {
+            plane,
+            addr: PageAddr {
+                block: BlockId(block),
+                page,
+            },
+        }
     }
 
     #[test]

@@ -30,13 +30,20 @@ impl Pool {
     /// Panics if the plane has no blocks of this page size, or if any of
     /// them is not erased (pools must be built on a fresh plane).
     pub fn new(plane: &Plane, page_size: Bytes) -> Self {
-        let members: Vec<BlockId> =
-            plane.iter_pool(page_size).map(|(id, _)| id).collect();
+        let members: Vec<BlockId> = plane.iter_pool(page_size).map(|(id, _)| id).collect();
         assert!(!members.is_empty(), "plane has no {page_size} blocks");
         for &id in &members {
-            assert!(plane.block(id).is_erased(), "pool must start from erased blocks");
+            assert!(
+                plane.block(id).is_erased(),
+                "pool must start from erased blocks"
+            );
         }
-        Pool { page_size, free: members.clone(), members, active: None }
+        Pool {
+            page_size,
+            free: members.clone(),
+            members,
+            active: None,
+        }
     }
 
     /// The page size this pool serves.
@@ -83,8 +90,14 @@ impl Pool {
     /// Panics if the block is not erased, belongs to another pool, or is
     /// already free/active.
     pub fn return_erased(&mut self, plane: &Plane, id: BlockId) {
-        assert!(plane.block(id).is_erased(), "only erased blocks return to the free list");
-        assert!(self.members.contains(&id), "block belongs to a different pool");
+        assert!(
+            plane.block(id).is_erased(),
+            "only erased blocks return to the free list"
+        );
+        assert!(
+            self.members.contains(&id),
+            "block belongs to a different pool"
+        );
         assert!(!self.free.contains(&id), "block already in the free list");
         assert_ne!(self.active, Some(id), "active block cannot be returned");
         self.free.push(id);
@@ -92,10 +105,7 @@ impl Pool {
 
     /// Candidate GC victims: member blocks that are neither active nor in
     /// the free list (i.e. fully or partially programmed).
-    pub fn victim_candidates<'a>(
-        &'a self,
-        plane: &'a Plane,
-    ) -> impl Iterator<Item = BlockId> + 'a {
+    pub fn victim_candidates<'a>(&'a self, plane: &'a Plane) -> impl Iterator<Item = BlockId> + 'a {
         self.members
             .iter()
             .copied()
@@ -193,7 +203,11 @@ mod tests {
             pool.allocate_page(&mut plane).unwrap();
         }
         let candidates: Vec<BlockId> = pool.victim_candidates(&plane).collect();
-        assert_eq!(candidates.len(), 1, "only the retired full block is a candidate");
+        assert_eq!(
+            candidates.len(),
+            1,
+            "only the retired full block is a candidate"
+        );
         assert_ne!(Some(candidates[0]), pool.active());
     }
 

@@ -7,8 +7,8 @@
 //! flash consumed. Higher utilization means fewer wasted programs, hence a
 //! longer device lifetime.
 
-use hps_core::Bytes;
 use core::fmt;
+use hps_core::Bytes;
 
 /// Accumulates data-written vs flash-consumed for one replay.
 ///
@@ -43,7 +43,10 @@ impl SpaceAccounting {
     /// Panics if `flash < data` — a write can never consume less flash than
     /// the data it stores.
     pub fn record_write(&mut self, data: Bytes, flash: Bytes) {
-        assert!(flash >= data, "flash consumed cannot be less than data written");
+        assert!(
+            flash >= data,
+            "flash consumed cannot be less than data written"
+        );
         self.data_written += data;
         self.flash_consumed += flash;
     }

@@ -179,7 +179,11 @@ mod tests {
         }
         let report = t.overhead();
         assert_eq!(report.flushes, 5);
-        assert!((25..=35).contains(&report.extra_ios), "extra {}", report.extra_ios);
+        assert!(
+            (25..=35).contains(&report.extra_ios),
+            "extra {}",
+            report.extra_ios
+        );
     }
 
     #[test]

@@ -58,16 +58,21 @@ pub fn pack_writes(
         match request.direction {
             Direction::Read => {
                 if !current.is_empty() {
-                    commands.push(PackedCommand { members: core::mem::take(&mut current) });
+                    commands.push(PackedCommand {
+                        members: core::mem::take(&mut current),
+                    });
                     current_bytes = Bytes::ZERO;
                 }
-                commands.push(PackedCommand { members: vec![request] });
+                commands.push(PackedCommand {
+                    members: vec![request],
+                });
             }
             Direction::Write => {
-                let fits = current.len() < max_members
-                    && current_bytes + request.size <= max_bytes;
+                let fits = current.len() < max_members && current_bytes + request.size <= max_bytes;
                 if !fits && !current.is_empty() {
-                    commands.push(PackedCommand { members: core::mem::take(&mut current) });
+                    commands.push(PackedCommand {
+                        members: core::mem::take(&mut current),
+                    });
                     current_bytes = Bytes::ZERO;
                 }
                 current_bytes += request.size;

@@ -66,7 +66,13 @@ impl Transaction {
         match self.mode {
             JournalMode::Rollback => {
                 // 1. Journal header.
-                push(&mut t, &mut id, Direction::Write, Bytes::kib(4), JOURNAL_BASE);
+                push(
+                    &mut t,
+                    &mut id,
+                    Direction::Write,
+                    Bytes::kib(4),
+                    JOURNAL_BASE,
+                );
                 t += gap;
                 // 2. Before-image of every dirtied page into the journal.
                 for p in 0..self.pages {
@@ -91,7 +97,13 @@ impl Transaction {
                 }
                 t += gap;
                 // 4. Journal invalidation (header rewrite).
-                push(&mut t, &mut id, Direction::Write, Bytes::kib(4), JOURNAL_BASE);
+                push(
+                    &mut t,
+                    &mut id,
+                    Direction::Write,
+                    Bytes::kib(4),
+                    JOURNAL_BASE,
+                );
             }
             JournalMode::Wal => {
                 // Pages appended to the WAL (one frame header + page each,
@@ -142,7 +154,10 @@ mod tests {
     fn rollback_triples_one_page_updates() {
         // 1 page: header + 1 journal page + 1 db page + invalidation = 4
         // writes for 1 logical page.
-        let txn = Transaction { pages: 1, mode: JournalMode::Rollback };
+        let txn = Transaction {
+            pages: 1,
+            mode: JournalMode::Rollback,
+        };
         assert_eq!(txn.bytes_written(), Bytes::kib(16));
         assert_eq!(txn.write_amplification(), 4.0);
         let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 100);
@@ -152,15 +167,24 @@ mod tests {
 
     #[test]
     fn amplification_amortizes_with_batch_size() {
-        let small = Transaction { pages: 1, mode: JournalMode::Rollback };
-        let big = Transaction { pages: 32, mode: JournalMode::Rollback };
+        let small = Transaction {
+            pages: 1,
+            mode: JournalMode::Rollback,
+        };
+        let big = Transaction {
+            pages: 32,
+            mode: JournalMode::Rollback,
+        };
         assert!(big.write_amplification() < small.write_amplification());
         assert!((big.write_amplification() - (2.0 + 2.0 / 32.0)).abs() < 1e-12);
     }
 
     #[test]
     fn wal_writes_once() {
-        let txn = Transaction { pages: 8, mode: JournalMode::Wal };
+        let txn = Transaction {
+            pages: 8,
+            mode: JournalMode::Wal,
+        };
         assert_eq!(txn.write_amplification(), 1.0);
         let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 0);
         assert_eq!(reqs.len(), 8);
@@ -172,7 +196,10 @@ mod tests {
 
     #[test]
     fn requests_are_time_ordered_with_barriers() {
-        let txn = Transaction { pages: 3, mode: JournalMode::Rollback };
+        let txn = Transaction {
+            pages: 3,
+            mode: JournalMode::Rollback,
+        };
         let reqs = txn.requests(SimTime::from_ms(10), SimDuration::from_ms(2), 5, 0);
         assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         assert_eq!(reqs.first().unwrap().id, 5);
@@ -183,7 +210,10 @@ mod tests {
 
     #[test]
     fn journal_and_db_regions_are_disjoint() {
-        let txn = Transaction { pages: 4, mode: JournalMode::Rollback };
+        let txn = Transaction {
+            pages: 4,
+            mode: JournalMode::Rollback,
+        };
         let reqs = txn.requests(SimTime::ZERO, SimDuration::from_ms(1), 0, 0);
         let (journal, db): (Vec<&IoRequest>, Vec<&IoRequest>) =
             reqs.iter().partition(|r| r.lba >= JOURNAL_BASE);

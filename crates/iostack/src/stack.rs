@@ -60,7 +60,10 @@ pub struct IoStack {
 impl IoStack {
     /// Creates a stack with the given configuration.
     pub fn new(config: StackConfig) -> Self {
-        IoStack { config, stats: StackStats::default() }
+        IoStack {
+            config,
+            stats: StackStats::default(),
+        }
     }
 
     /// Statistics of everything pushed through so far.
@@ -82,10 +85,10 @@ impl IoStack {
         let mut next_id = 0u64;
 
         let flush = |window: &mut Vec<IoRequest>,
-                         device: &mut EmmcDevice,
-                         out: &mut Trace,
-                         next_id: &mut u64,
-                         stats: &mut StackStats|
+                     device: &mut EmmcDevice,
+                     out: &mut Trace,
+                     next_id: &mut u64,
+                     stats: &mut StackStats|
          -> Result<()> {
             if window.is_empty() {
                 return Ok(());
@@ -96,13 +99,39 @@ impl IoStack {
             }
             let merged = block_layer.drain();
             stats.after_merge += merged.len() as u64;
-            let commands =
-                pack_writes(&merged, self.config.max_packed_members, self.config.max_packed_bytes);
+            let commands = pack_writes(
+                &merged,
+                self.config.max_packed_members,
+                self.config.max_packed_bytes,
+            );
+            if let Some(tel) = device.telemetry_mut() {
+                tel.registry.add("stack.submitted", window.len() as u64);
+                tel.registry.add("stack.windows", 1);
+                tel.registry.add("stack.block_merges", block_layer.merges());
+                tel.registry.add("stack.commands", commands.len() as u64);
+            }
             for command in &commands {
                 stats.commands += 1;
                 stats.largest_command = stats.largest_command.max(command.total_size());
                 let request = command_to_request(command, *next_id);
                 *next_id += 1;
+                if let Some(tel) = device.telemetry_mut() {
+                    tel.registry.record(
+                        "stack.command_kib",
+                        command.total_size().as_u64() as f64 / 1024.0,
+                    );
+                    tel.registry
+                        .record("stack.members_per_command", command.len() as f64);
+                    if tel.recording() {
+                        tel.emit(hps_obs::Event::instant(
+                            request.arrival,
+                            hps_obs::EventKind::Command {
+                                members: command.len() as u32,
+                                bytes: command.total_size().as_u64(),
+                            },
+                        ));
+                    }
+                }
                 let completion = device.submit(&request)?;
                 out.push(
                     TraceRecord::new(request)
@@ -119,7 +148,13 @@ impl IoStack {
             if !window.is_empty()
                 && request.arrival.saturating_since(window_start) > self.config.dispatch_window
             {
-                flush(&mut window, device, &mut device_trace, &mut next_id, &mut self.stats)?;
+                flush(
+                    &mut window,
+                    device,
+                    &mut device_trace,
+                    &mut next_id,
+                    &mut self.stats,
+                )?;
             }
             if window.is_empty() {
                 window_start = request.arrival;
@@ -127,7 +162,13 @@ impl IoStack {
             self.stats.submitted += 1;
             window.push(request);
         }
-        flush(&mut window, device, &mut device_trace, &mut next_id, &mut self.stats)?;
+        flush(
+            &mut window,
+            device,
+            &mut device_trace,
+            &mut next_id,
+            &mut self.stats,
+        )?;
         Ok(device_trace)
     }
 }
@@ -138,9 +179,18 @@ impl IoStack {
 /// size, and the shared direction.
 fn command_to_request(command: &PackedCommand, id: u64) -> IoRequest {
     let first = command.members.first().expect("commands are non-empty");
-    let arrival =
-        command.members.iter().map(|m| m.arrival).fold(first.arrival, SimTime::max);
-    IoRequest::new(id, arrival, first.direction, command.total_size(), first.lba)
+    let arrival = command
+        .members
+        .iter()
+        .map(|m| m.arrival)
+        .fold(first.arrival, SimTime::max);
+    IoRequest::new(
+        id,
+        arrival,
+        first.direction,
+        command.total_size(),
+        first.lba,
+    )
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ fn request_strategy() -> impl Strategy<Value = Vec<IoRequest>> {
             .into_iter()
             .enumerate()
             .map(|(i, (ms, is_write, pages, lba_page))| {
-                let dir = if is_write { Direction::Write } else { Direction::Read };
+                let dir = if is_write {
+                    Direction::Write
+                } else {
+                    Direction::Read
+                };
                 IoRequest::new(
                     i as u64,
                     SimTime::from_ms(ms),

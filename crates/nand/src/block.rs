@@ -63,7 +63,10 @@ impl Block {
     /// Panics if `page_size` is zero or `pages_per_block` is zero.
     pub fn new(page_size: Bytes, pages_per_block: usize) -> Self {
         assert!(!page_size.is_zero(), "page size must be non-zero");
-        assert!(pages_per_block > 0, "a block must contain at least one page");
+        assert!(
+            pages_per_block > 0,
+            "a block must contain at least one page"
+        );
         Block {
             page_size,
             pages: vec![PageState::Free; pages_per_block],
@@ -90,7 +93,11 @@ impl Block {
             return None;
         }
         let idx = self.write_ptr;
-        debug_assert_eq!(self.pages[idx], PageState::Free, "write pointer passed a non-free page");
+        debug_assert_eq!(
+            self.pages[idx],
+            PageState::Free,
+            "write pointer passed a non-free page"
+        );
         self.pages[idx] = PageState::Valid;
         self.valid += 1;
         self.write_ptr += 1;
@@ -133,7 +140,10 @@ impl Block {
     /// Panics if the block still holds valid pages — the FTL must migrate
     /// live data before erasing (this is what garbage collection does).
     pub fn erase(&mut self) {
-        assert_eq!(self.valid, 0, "erasing a block with live data would lose it");
+        assert_eq!(
+            self.valid, 0,
+            "erasing a block with live data would lose it"
+        );
         for p in &mut self.pages {
             *p = PageState::Free;
         }

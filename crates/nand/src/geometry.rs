@@ -34,8 +34,12 @@ pub struct Geometry {
 impl Geometry {
     /// The geometry used for all three schemes in Table V:
     /// 2 channels × 1 chip × 2 dies × 2 planes.
-    pub const TABLE_V: Geometry =
-        Geometry { channels: 2, chips_per_channel: 1, dies_per_chip: 2, planes_per_die: 2 };
+    pub const TABLE_V: Geometry = Geometry {
+        channels: 2,
+        chips_per_channel: 1,
+        dies_per_chip: 2,
+        planes_per_die: 2,
+    };
 
     /// Creates a geometry, validating that every dimension is non-zero.
     ///
@@ -53,7 +57,12 @@ impl Geometry {
                 "all geometry dimensions must be non-zero".into(),
             ));
         }
-        Ok(Geometry { channels, chips_per_channel, dies_per_chip, planes_per_die })
+        Ok(Geometry {
+            channels,
+            chips_per_channel,
+            dies_per_chip,
+            planes_per_die,
+        })
     }
 
     /// Total number of dies in the array.
@@ -79,7 +88,12 @@ impl Geometry {
         let rest = rest / self.dies_per_chip;
         let chip = rest % self.chips_per_channel;
         let channel = rest / self.chips_per_channel;
-        PlaneAddr { channel, chip, die, plane }
+        PlaneAddr {
+            channel,
+            chip,
+            die,
+            plane,
+        }
     }
 
     /// Encodes a hierarchical address back to its flat plane index.
@@ -153,7 +167,11 @@ pub struct PlaneAddr {
 
 impl fmt::Display for PlaneAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ch{}/chip{}/die{}/plane{}", self.channel, self.chip, self.die, self.plane)
+        write!(
+            f,
+            "ch{}/chip{}/die{}/plane{}",
+            self.channel, self.chip, self.die, self.plane
+        )
     }
 }
 

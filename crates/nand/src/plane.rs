@@ -7,8 +7,8 @@
 //! allocator and garbage collector operate on.
 
 use crate::block::Block;
-use hps_core::Bytes;
 use core::fmt;
+use hps_core::Bytes;
 
 /// Index of a block within its plane.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -72,7 +72,10 @@ impl Plane {
                 blocks.push(Block::new(page_size, pages_per_block));
             }
         }
-        assert!(!blocks.is_empty(), "a plane must contain at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "a plane must contain at least one block"
+        );
         Plane { blocks }
     }
 
@@ -116,17 +119,23 @@ impl Plane {
 
     /// Valid pages across all blocks of `page_size`.
     pub fn valid_pages(&self, page_size: Bytes) -> usize {
-        self.iter_pool(page_size).map(|(_, b)| b.valid_pages()).sum()
+        self.iter_pool(page_size)
+            .map(|(_, b)| b.valid_pages())
+            .sum()
     }
 
     /// Invalid (reclaimable) pages across all blocks of `page_size`.
     pub fn invalid_pages(&self, page_size: Bytes) -> usize {
-        self.iter_pool(page_size).map(|(_, b)| b.invalid_pages()).sum()
+        self.iter_pool(page_size)
+            .map(|(_, b)| b.invalid_pages())
+            .sum()
     }
 
     /// Number of completely erased blocks of `page_size`.
     pub fn erased_blocks(&self, page_size: Bytes) -> usize {
-        self.iter_pool(page_size).filter(|(_, b)| b.is_erased()).count()
+        self.iter_pool(page_size)
+            .filter(|(_, b)| b.is_erased())
+            .count()
     }
 
     /// Total erase operations performed on this plane.

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn transfer_scales_with_size() {
         let t = NandTiming::TABLE_V;
-        assert_eq!(t.transfer(Bytes::kib(8)).as_ns(), 2 * t.transfer(Bytes::kib(4)).as_ns());
+        assert_eq!(
+            t.transfer(Bytes::kib(8)).as_ns(),
+            2 * t.transfer(Bytes::kib(4)).as_ns()
+        );
     }
 
     #[test]

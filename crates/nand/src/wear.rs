@@ -34,7 +34,12 @@ pub struct WearStats {
 impl WearStats {
     /// Builds statistics from an iterator of per-block erase counts.
     pub fn from_counts<I: Iterator<Item = u64>>(counts: I) -> Self {
-        let mut stats = WearStats { blocks: 0, total: 0, max: 0, min: u64::MAX };
+        let mut stats = WearStats {
+            blocks: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        };
         for c in counts {
             stats.blocks += 1;
             stats.total += c;
@@ -90,6 +95,18 @@ impl WearStats {
         } else {
             self.max as f64 / mean
         }
+    }
+
+    /// Exports the wear summary into a metrics registry under `prefix`
+    /// (`<prefix>.blocks`, `.erases_total`, `.erases_max`, `.erases_min`).
+    pub fn record_into(&self, registry: &mut hps_obs::MetricsRegistry, prefix: &str) {
+        registry.add(&format!("{prefix}.blocks"), self.blocks);
+        registry.add(&format!("{prefix}.erases_total"), self.total);
+        registry.add(&format!("{prefix}.erases_max"), self.max);
+        registry.add(
+            &format!("{prefix}.erases_min"),
+            if self.blocks == 0 { 0 } else { self.min },
+        );
     }
 }
 

@@ -1,0 +1,231 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Object Format understood by Perfetto and
+//! `chrome://tracing`: spans as `"ph":"X"` complete events, instantaneous
+//! events as `"ph":"i"`, and one metadata record per track naming the
+//! Perfetto "thread" it renders on (requests, io-stack, gc, power, and
+//! one `chN/dieM` track per die). Timestamps are microseconds of
+//! simulated time; events are written in timestamp order, so every track
+//! is monotone non-decreasing in `ts`.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+
+use crate::event::{Event, EventKind, Track};
+use crate::json::{escape, number};
+
+/// The process id all tracks share (there is one simulated device).
+const PID: u64 = 0;
+
+fn category(track: Track) -> &'static str {
+    match track {
+        Track::Requests => "request",
+        Track::Stack => "stack",
+        Track::Gc => "gc",
+        Track::Power => "power",
+        Track::Die { .. } => "flash",
+    }
+}
+
+fn args_json(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Request {
+            id,
+            dir,
+            bytes,
+            lba,
+        } => format!(
+            "{{\"id\":{id},\"dir\":\"{}\",\"bytes\":{bytes},\"lba\":{lba}}}",
+            dir.code()
+        ),
+        EventKind::QueueWait { id } | EventKind::Wakeup { id } => format!("{{\"id\":{id}}}"),
+        EventKind::Split { id, chunks } => format!("{{\"id\":{id},\"chunks\":{chunks}}}"),
+        EventKind::FlashOp {
+            request,
+            op,
+            channel,
+            die,
+            bytes,
+            gc,
+        } => {
+            let req = match request {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"request\":{req},\"op\":\"{}\",\"channel\":{channel},\"die\":{die},\"bytes\":{bytes},\"gc\":{gc}}}",
+                op.name()
+            )
+        }
+        EventKind::GcPass { ops, idle } => format!("{{\"ops\":{ops},\"idle\":{idle}}}"),
+        EventKind::CacheAck { id, kind } => {
+            format!("{{\"id\":{id},\"kind\":\"{}\"}}", kind.name())
+        }
+        EventKind::Command { members, bytes } => {
+            format!("{{\"members\":{members},\"bytes\":{bytes}}}")
+        }
+        EventKind::PowerSleep => "{}".to_string(),
+    }
+}
+
+/// Writes `events` as a Chrome trace (JSON Object Format).
+///
+/// Events may be passed in any order; the export sorts by start time so
+/// per-track timestamps are monotone. Load the resulting file in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn write_chrome_trace<W: Write>(events: &[Event], mut w: W) -> io::Result<()> {
+    // Sort indices by start time (stable: ties keep emission order).
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].start);
+
+    // Name each track that actually appears, in tid order.
+    let tracks: BTreeSet<Track> = events.iter().map(Event::track).collect();
+    let mut named: Vec<Track> = tracks.into_iter().collect();
+    named.sort_by_key(Track::tid);
+
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(w, ",")
+        }
+    };
+
+    for track in named {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            track.tid(),
+            escape(&track.label())
+        )?;
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            track.tid(),
+            track.tid()
+        )?;
+    }
+
+    for &i in &order {
+        let event = &events[i];
+        let track = event.track();
+        let ts_us = event.start.as_ns() as f64 / 1_000.0;
+        sep(&mut w, &mut first)?;
+        if event.dur.is_zero() {
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{PID},\"tid\":{},\"args\":{}}}",
+                escape(&event.name()),
+                category(track),
+                number(ts_us),
+                track.tid(),
+                args_json(&event.kind)
+            )?;
+        } else {
+            let dur_us = event.dur.as_ns() as f64 / 1_000.0;
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{PID},\"tid\":{},\"args\":{}}}",
+                escape(&event.name()),
+                category(track),
+                number(ts_us),
+                number(dur_us),
+                track.tid(),
+                args_json(&event.kind)
+            )?;
+        }
+    }
+    writeln!(w, "\n]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpClass;
+    use crate::json;
+    use hps_core::{Direction, SimDuration, SimTime};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::span(
+                SimTime::from_us(10),
+                SimDuration::from_us(40),
+                EventKind::Request {
+                    id: 1,
+                    dir: Direction::Write,
+                    bytes: 4096,
+                    lba: 8,
+                },
+            ),
+            Event::instant(SimTime::from_us(12), EventKind::Split { id: 1, chunks: 2 }),
+            Event::span(
+                SimTime::from_us(12),
+                SimDuration::from_us(20),
+                EventKind::FlashOp {
+                    request: Some(1),
+                    op: OpClass::Program,
+                    channel: 0,
+                    die: 1,
+                    bytes: 4096,
+                    gc: false,
+                },
+            ),
+            Event::span(
+                SimTime::from_us(5),
+                SimDuration::from_us(3),
+                EventKind::GcPass { ops: 4, idle: true },
+            ),
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_named_tracks() {
+        let mut out = Vec::new();
+        write_chrome_trace(&sample_events(), &mut out).unwrap();
+        let doc = json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(names.contains(&"requests"));
+        assert!(names.contains(&"gc"));
+        assert!(names.contains(&"ch0/die1"));
+    }
+
+    #[test]
+    fn timestamps_sorted_within_each_track() {
+        let mut out = Vec::new();
+        write_chrome_trace(&sample_events(), &mut out).unwrap();
+        let doc = json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+        for e in events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))
+        {
+            let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            if let Some(&prev) = last_ts.get(&tid) {
+                assert!(ts >= prev, "track {tid} went backwards: {prev} -> {ts}");
+            }
+            last_ts.insert(tid, ts);
+        }
+        assert!(!last_ts.is_empty());
+    }
+}

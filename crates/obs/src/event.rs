@@ -1,0 +1,250 @@
+//! The request-lifecycle event model.
+//!
+//! Every event carries a start time and a duration on the *simulated*
+//! clock (a zero duration marks an instantaneous event) plus a typed
+//! [`EventKind`] payload. Exporters map each event onto a [`Track`]:
+//! request-lifecycle events share one track, flash operations land on a
+//! per-channel/die track (GC-induced operations on a dedicated GC track),
+//! and I/O-stack / power events get tracks of their own.
+
+use hps_core::{Direction, SimDuration, SimTime};
+
+/// Class of a physical flash-array operation.
+///
+/// Mirrors the FTL's op kinds; `hps-obs` sits below `hps-ftl` in the
+/// dependency graph, so it declares its own copy and the producing layer
+/// converts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Page read (sense + transfer).
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+impl OpClass {
+    /// Lower-case name used by exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Program => "program",
+            OpClass::Erase => "erase",
+        }
+    }
+}
+
+/// How a write was acknowledged early, before reaching the MLC array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AckKind {
+    /// Absorbed by the device write buffer (cache-on ack).
+    Buffer,
+    /// Absorbed by the SLC front log.
+    Slc,
+}
+
+impl AckKind {
+    /// Lower-case name used by exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AckKind::Buffer => "buffer-ack",
+            AckKind::Slc => "slc-ack",
+        }
+    }
+}
+
+/// What happened. Identifiers tie events back to the originating host
+/// request where one exists; GC and power events stand alone.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A host request's full lifetime: arrival to completion.
+    Request {
+        /// Host request id.
+        id: u64,
+        /// Read or write.
+        dir: Direction,
+        /// Request payload size in bytes.
+        bytes: u64,
+        /// Starting logical block address (512 B sectors).
+        lba: u64,
+    },
+    /// Time a request spent waiting behind the device's FIFO horizon.
+    QueueWait {
+        /// Host request id.
+        id: u64,
+    },
+    /// Power-state exit latency charged to a request that found the
+    /// device asleep.
+    Wakeup {
+        /// Host request id.
+        id: u64,
+    },
+    /// A request was split into per-plane chunks (instantaneous).
+    Split {
+        /// Host request id.
+        id: u64,
+        /// Number of flash operations the request produced.
+        chunks: u32,
+    },
+    /// A scheduled flash-array operation.
+    FlashOp {
+        /// Originating host request id; `None` for GC-internal work.
+        request: Option<u64>,
+        /// Read, program, or erase.
+        op: OpClass,
+        /// Channel the operation occupied.
+        channel: u32,
+        /// Die (flat index across the device) the operation occupied.
+        die: u32,
+        /// Bytes moved, zero for erases.
+        bytes: u64,
+        /// `true` if issued on behalf of garbage collection.
+        gc: bool,
+    },
+    /// One garbage-collection pass (threshold or idle-triggered).
+    GcPass {
+        /// Flash operations the pass issued.
+        ops: u32,
+        /// `true` if triggered by idle-time detection rather than a
+        /// free-space threshold.
+        idle: bool,
+    },
+    /// A write acknowledged early by a cache layer (instantaneous).
+    CacheAck {
+        /// Host request id.
+        id: u64,
+        /// Which layer absorbed it.
+        kind: AckKind,
+    },
+    /// An I/O-stack packed/merged command handed to the device
+    /// (instantaneous).
+    Command {
+        /// Host requests folded into the command.
+        members: u32,
+        /// Total bytes carried.
+        bytes: u64,
+    },
+    /// A span the device spent in a low-power state.
+    PowerSleep,
+}
+
+/// One telemetry event on the simulated timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// When the event (or span) started.
+    pub start: SimTime,
+    /// Span length; zero for instantaneous events.
+    pub dur: SimDuration,
+    /// Typed payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A spanning event.
+    pub fn span(start: SimTime, dur: SimDuration, kind: EventKind) -> Self {
+        Event { start, dur, kind }
+    }
+
+    /// An instantaneous event.
+    pub fn instant(at: SimTime, kind: EventKind) -> Self {
+        Event {
+            start: at,
+            dur: SimDuration::ZERO,
+            kind,
+        }
+    }
+
+    /// The track this event is drawn on.
+    pub fn track(&self) -> Track {
+        match &self.kind {
+            EventKind::Request { .. }
+            | EventKind::QueueWait { .. }
+            | EventKind::Wakeup { .. }
+            | EventKind::Split { .. }
+            | EventKind::CacheAck { .. } => Track::Requests,
+            EventKind::FlashOp { gc: true, .. } | EventKind::GcPass { .. } => Track::Gc,
+            EventKind::FlashOp { channel, die, .. } => Track::Die {
+                channel: *channel,
+                die: *die,
+            },
+            EventKind::Command { .. } => Track::Stack,
+            EventKind::PowerSleep => Track::Power,
+        }
+    }
+
+    /// Short display name used by exporters.
+    pub fn name(&self) -> String {
+        match &self.kind {
+            EventKind::Request { id, dir, .. } => {
+                format!("{} #{id}", if dir.is_write() { "write" } else { "read" })
+            }
+            EventKind::QueueWait { id } => format!("queue #{id}"),
+            EventKind::Wakeup { id } => format!("wakeup #{id}"),
+            EventKind::Split { id, chunks } => format!("split #{id} x{chunks}"),
+            EventKind::FlashOp { op, gc, .. } => {
+                if *gc {
+                    format!("gc-{}", op.name())
+                } else {
+                    op.name().to_string()
+                }
+            }
+            EventKind::GcPass { idle, .. } => {
+                if *idle {
+                    "gc-pass (idle)".to_string()
+                } else {
+                    "gc-pass".to_string()
+                }
+            }
+            EventKind::CacheAck { kind, .. } => kind.name().to_string(),
+            EventKind::Command { .. } => "command".to_string(),
+            EventKind::PowerSleep => "sleep".to_string(),
+        }
+    }
+}
+
+/// Where an event is drawn in track-oriented exporters (one Perfetto
+/// "thread" per track).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Track {
+    /// Host request lifecycle spans.
+    Requests,
+    /// I/O-stack command formation.
+    Stack,
+    /// Garbage collection.
+    Gc,
+    /// Device power state.
+    Power,
+    /// One flash die, labelled with its channel.
+    Die {
+        /// Owning channel index.
+        channel: u32,
+        /// Flat die index across the device.
+        die: u32,
+    },
+}
+
+impl Track {
+    /// Stable thread id for Chrome trace export. Die tracks start at 16,
+    /// leaving the low ids for the fixed tracks.
+    pub fn tid(&self) -> u64 {
+        match self {
+            Track::Requests => 0,
+            Track::Stack => 1,
+            Track::Gc => 2,
+            Track::Power => 3,
+            Track::Die { die, .. } => 16 + u64::from(*die),
+        }
+    }
+
+    /// Human-readable track label.
+    pub fn label(&self) -> String {
+        match self {
+            Track::Requests => "requests".to_string(),
+            Track::Stack => "io-stack".to_string(),
+            Track::Gc => "gc".to_string(),
+            Track::Power => "power".to_string(),
+            Track::Die { channel, die } => format!("ch{channel}/die{die}"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Cross-layer telemetry for the eMMC reproduction.
+//!
+//! The paper's whole method rests on *seeing inside* the I/O stack —
+//! BIOtracer exists because block-level behaviour is invisible from
+//! userspace. This crate gives the simulator the same power over itself:
+//!
+//! * [`event`] — the request-lifecycle event model: arrival → queue →
+//!   split → per-chunk flash op → completion, plus GC, cache, power, and
+//!   I/O-stack events, all keyed by request id and simulated time;
+//! * [`sink`] — the [`Sink`] trait events flow into, with a buffering
+//!   [`VecSink`] and the no-op fast path (recording costs one branch when
+//!   disabled);
+//! * [`registry`] — [`MetricsRegistry`]: named counters and log-bucketed
+//!   [`LogHistogram`]s, mergeable so parallel replays can aggregate;
+//! * [`chrome`] — Chrome `trace_event` JSON export (open in Perfetto or
+//!   `chrome://tracing`), one track per channel/die plus GC, stack, and
+//!   request tracks;
+//! * [`jsonl`] — a line-per-event JSON stream for ad-hoc analysis;
+//! * [`summary`] — a plain-text registry report;
+//! * [`json`] — the dependency-free JSON writer/parser behind the
+//!   exporters (the build environment has no serde).
+//!
+//! The [`Telemetry`] bundle (registry + optional recorder) is what the
+//! simulation layers carry: `hps-emmc` attaches one to a device, `hps-ftl`
+//! and `hps-iostack` record through it when present, and `hps-bench`'s
+//! `repro`/`trace-tool` binaries expose it via `--trace-out` /
+//! `--metrics-out`.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod registry;
+pub mod sink;
+pub mod summary;
+
+pub use chrome::write_chrome_trace;
+pub use event::{AckKind, Event, EventKind, OpClass, Track};
+pub use jsonl::write_jsonl;
+pub use registry::{CounterId, HistogramId, LogHistogram, Metric, MetricsRegistry};
+pub use sink::{NullSink, Sink, Telemetry, VecSink};
+pub use summary::render_summary;

@@ -1,0 +1,160 @@
+//! Property-based tests for the log-bucketed histogram and the Chrome
+//! trace exporter.
+
+use hps_core::{SimDuration, SimTime};
+use hps_obs::json::{parse, Value};
+use hps_obs::{write_chrome_trace, Event, EventKind, LogHistogram, OpClass};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn every_sample_lands_in_its_bracket(samples in prop::collection::vec(1e-7f64..1e12, 1..200)) {
+        // A sample observed into bucket i must satisfy
+        // edge(i-1) < sample <= edge(i): the bucket brackets the value.
+        for &s in &samples {
+            let i = LogHistogram::bucket_index(s);
+            let upper = LogHistogram::bucket_upper_edge(i);
+            prop_assert!(s <= upper, "sample {s} above bucket {i} edge {upper}");
+            if i > 0 {
+                let lower = LogHistogram::bucket_upper_edge(i - 1);
+                prop_assert!(s > lower, "sample {s} not above bucket {}'s edge {lower}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_extremes_are_exact(samples in prop::collection::vec(1e-6f64..1e9, 1..300)) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(min));
+        prop_assert_eq!(h.max(), Some(max));
+        prop_assert!((h.sum() - samples.iter().sum::<f64>()).abs() <= 1e-6 * h.sum().abs());
+    }
+
+    #[test]
+    fn merge_is_associative_on_counts(
+        a in prop::collection::vec(1e-6f64..1e9, 0..100),
+        b in prop::collection::vec(1e-6f64..1e9, 0..100),
+        c in prop::collection::vec(1e-6f64..1e9, 0..100),
+    ) {
+        let hist = |samples: &[f64]| {
+            let mut h = LogHistogram::new();
+            for &s in samples {
+                h.observe(s);
+            }
+            h
+        };
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c): bucket counts are integers, so the
+        // merge is exact regardless of grouping.
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation(
+        a in prop::collection::vec(1e-6f64..1e9, 1..150),
+        b in prop::collection::vec(1e-6f64..1e9, 1..150),
+    ) {
+        let mut merged = LogHistogram::new();
+        for &s in &a {
+            merged.observe(s);
+        }
+        let mut other = LogHistogram::new();
+        for &s in &b {
+            other.observe(s);
+        }
+        merged.merge(&other);
+        let mut seq = LogHistogram::new();
+        for &s in a.iter().chain(&b) {
+            seq.observe(s);
+        }
+        prop_assert_eq!(merged.bucket_counts(), seq.bucket_counts());
+        prop_assert_eq!(merged.min(), seq.min());
+        prop_assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        samples in prop::collection::vec(1e-6f64..1e9, 1..300),
+        qs in prop::collection::vec(0f64..=1.0, 2..20),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(v >= prev, "quantile({q})={v} dropped below {prev}");
+            prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_and_tracks_are_ordered(
+        spans in prop::collection::vec(
+            ((0u64..1u64 << 40), (0u64..1u64 << 20), (0u32..2), (0u32..4)),
+            1..100,
+        ),
+    ) {
+        let events: Vec<Event> = spans
+            .iter()
+            .map(|&(start, dur, channel, die)| Event::span(
+                SimTime::from_ns(start),
+                SimDuration::from_ns(dur),
+                EventKind::FlashOp {
+                    request: Some(1),
+                    op: OpClass::Program,
+                    channel,
+                    die,
+                    bytes: 4096,
+                    gc: false,
+                },
+            ))
+            .collect();
+        let mut out = Vec::new();
+        write_chrome_trace(&events, &mut out).unwrap();
+        let doc = parse(std::str::from_utf8(&out).unwrap()).expect("valid JSON");
+        let trace_events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        // ts must be monotone non-decreasing per track (tid).
+        let mut last_ts: HashMap<i64, f64> = HashMap::new();
+        let mut spans_seen = 0usize;
+        for e in trace_events {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+            if ph == "M" {
+                continue;
+            }
+            spans_seen += 1;
+            let tid = e.get("tid").and_then(Value::as_f64).expect("tid") as i64;
+            let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+            if let Some(&prev) = last_ts.get(&tid) {
+                prop_assert!(ts >= prev, "track {tid} went backwards: {prev} -> {ts}");
+            }
+            last_ts.insert(tid, ts);
+        }
+        prop_assert_eq!(spans_seen, events.len());
+    }
+}

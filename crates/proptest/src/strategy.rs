@@ -1,0 +1,349 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Something that can generate values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic sampler over a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Values sampleable from numeric ranges.
+pub trait SampleValue: Copy {
+    /// Uniform sample from `[lo, hi]` (both inclusive).
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The greatest representable value (upper end of `lo..`).
+    const MAX_VALUE: Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                if span == u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64 + 1) as i128) as $t
+            }
+            fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                Self::sample_inclusive(rng, lo, hi - 1)
+            }
+            const MAX_VALUE: Self = <$t>::MAX;
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleValue for f64 {
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+    const MAX_VALUE: Self = f64::MAX;
+}
+
+impl SampleValue for f32 {
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_exclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        f64::sample_exclusive(rng, lo as f64, hi as f64) as f32
+    }
+    const MAX_VALUE: Self = f32::MAX;
+}
+
+impl<T: SampleValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleValue> Strategy for RangeFrom<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, self.start, T::MAX_VALUE)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Length specification for [`vec`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = usize::sample_inclusive(rng, self.size.lo, self.size.hi_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A weighted choice among boxed strategies — the engine of `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut target = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if target < *weight as u64 {
+                return strat.generate(rng);
+            }
+            target -= *weight as u64;
+        }
+        self.arms.last().expect("non-empty union").1.generate(rng)
+    }
+}
+
+/// Boxes one `prop_oneof!` arm (helper so all arms unify to one type).
+pub fn weighted_arm<V, S>(weight: u32, strat: S) -> (u32, BoxedStrategy<V>)
+where
+    S: Strategy<Value = V> + 'static,
+{
+    (weight, Box::new(strat))
+}
+
+/// Canonical strategy for a type (`any::<bool>()` and friends).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    /// The canonical strategy's type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (5u64..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let w = (1.5f64..=2.5).generate(&mut rng);
+            assert!((1.5..=2.5).contains(&w));
+            let x = (3usize..).generate(&mut rng);
+            assert!(x >= 3);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let v = vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_honours_weights() {
+        let mut rng = TestRng::from_seed(3);
+        let u = Union::new(vec![weighted_arm(1, Just(0u8)), weighted_arm(9, Just(1u8))]);
+        let ones: u32 = (0..2000).map(|_| u.generate(&mut rng) as u32).sum();
+        assert!(ones > 1500, "ones = {ones}");
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let mut rng = TestRng::from_seed(4);
+        let s = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -22,8 +22,10 @@ pub const INTERARRIVAL_EDGES_MS: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0
 /// Human-readable labels for the buckets of a histogram built over `edges`
 /// with the given unit suffix, e.g. `["<=4KB", "<=8KB", ..., ">256KB"]`.
 pub fn bucket_labels(edges: &[f64], unit: &str) -> Vec<String> {
-    let mut labels: Vec<String> =
-        edges.iter().map(|e| format!("<={}{}", trim_float(*e), unit)).collect();
+    let mut labels: Vec<String> = edges
+        .iter()
+        .map(|e| format!("<={}{}", trim_float(*e), unit))
+        .collect();
     if let Some(last) = edges.last() {
         labels.push(format!(">{}{}", trim_float(*last), unit));
     }

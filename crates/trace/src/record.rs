@@ -1,7 +1,7 @@
 //! One BIOtracer record: a request and its three timestamps.
 
-use hps_core::{Direction, IoRequest, SimDuration, SimTime};
 use core::fmt;
+use hps_core::{Direction, IoRequest, SimDuration, SimTime};
 
 /// A block-level request together with the timestamps BIOtracer captures
 /// (Fig. 2 of the paper): arrival at the block layer, service start at the
@@ -40,7 +40,11 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Wraps a raw request with no service timestamps yet.
     pub fn new(request: IoRequest) -> Self {
-        TraceRecord { request, service_start: None, finish: None }
+        TraceRecord {
+            request,
+            service_start: None,
+            finish: None,
+        }
     }
 
     /// Sets the service-start timestamp.
@@ -49,7 +53,10 @@ impl TraceRecord {
     ///
     /// Panics if `t` precedes the request's arrival.
     pub fn with_service_start(mut self, t: SimTime) -> Self {
-        assert!(t >= self.request.arrival, "service cannot start before arrival");
+        assert!(
+            t >= self.request.arrival,
+            "service cannot start before arrival"
+        );
         self.service_start = Some(t);
         self
     }
@@ -175,6 +182,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "precede service start")]
     fn finish_before_service_panics() {
-        let _ = rec().with_service_start(SimTime::from_ms(105)).with_finish(SimTime::from_ms(104));
+        let _ = rec()
+            .with_service_start(SimTime::from_ms(105))
+            .with_finish(SimTime::from_ms(104));
     }
 }

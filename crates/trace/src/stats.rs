@@ -211,7 +211,13 @@ mod tests {
 
     fn push(t: &mut Trace, ms: u64, dir: Direction, kib: u64, lba: u64) {
         let id = t.len() as u64;
-        t.push_request(IoRequest::new(id, SimTime::from_ms(ms), dir, Bytes::kib(kib), lba));
+        t.push_request(IoRequest::new(
+            id,
+            SimTime::from_ms(ms),
+            dir,
+            Bytes::kib(kib),
+            lba,
+        ));
     }
 
     #[test]

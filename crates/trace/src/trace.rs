@@ -1,8 +1,8 @@
 //! An ordered collection of trace records.
 
 use crate::record::TraceRecord;
-use hps_core::{Bytes, Error, IoRequest, Result, SimDuration, SimTime};
 use core::fmt;
+use hps_core::{Bytes, Error, IoRequest, Result, SimDuration, SimTime};
 
 /// A named block-level I/O trace, ordered by arrival time.
 ///
@@ -28,7 +28,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), records: Vec::new() }
+        Trace {
+            name: name.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Builds a trace from pre-ordered records.
@@ -38,9 +41,14 @@ impl Trace {
     /// Returns [`Error::InvalidConfig`] if records are not sorted by arrival.
     pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>) -> Result<Self> {
         if records.windows(2).any(|w| w[0].arrival() > w[1].arrival()) {
-            return Err(Error::InvalidConfig("trace records must be sorted by arrival".into()));
+            return Err(Error::InvalidConfig(
+                "trace records must be sorted by arrival".into(),
+            ));
         }
-        Ok(Trace { name: name.into(), records })
+        Ok(Trace {
+            name: name.into(),
+            records,
+        })
     }
 
     /// The trace's name (the application it models, e.g. `"Twitter"`).
@@ -148,7 +156,11 @@ impl Trace {
                 )));
             }
         }
-        if self.records.windows(2).any(|w| w[0].arrival() > w[1].arrival()) {
+        if self
+            .records
+            .windows(2)
+            .any(|w| w[0].arrival() > w[1].arrival())
+        {
             return Err(Error::InvalidConfig("records out of arrival order".into()));
         }
         Ok(())

@@ -11,14 +11,25 @@ use proptest::prelude::*;
 /// sizes, optional replay timestamps.
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     prop::collection::vec(
-        (0u64..10_000, prop::bool::ANY, 1u64..64, 0u64..1_000_000, prop::bool::ANY, 0u64..5_000),
+        (
+            0u64..10_000,
+            prop::bool::ANY,
+            1u64..64,
+            0u64..1_000_000,
+            prop::bool::ANY,
+            0u64..5_000,
+        ),
         0..120,
     )
     .prop_map(|mut raw| {
         raw.sort_by_key(|r| r.0);
         let mut trace = Trace::new("prop");
         for (i, (ms, is_write, pages, lba_page, replayed, svc_ms)) in raw.into_iter().enumerate() {
-            let dir = if is_write { Direction::Write } else { Direction::Read };
+            let dir = if is_write {
+                Direction::Write
+            } else {
+                Direction::Read
+            };
             let req = IoRequest::new(
                 i as u64,
                 SimTime::from_ms(ms),
@@ -29,7 +40,9 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
             let mut rec = TraceRecord::new(req);
             if replayed {
                 let start = SimTime::from_ms(ms + svc_ms / 10);
-                rec = rec.with_service_start(start).with_finish(start + hps_core::SimDuration::from_ms(svc_ms));
+                rec = rec
+                    .with_service_start(start)
+                    .with_finish(start + hps_core::SimDuration::from_ms(svc_ms));
             }
             trace.push(rec);
         }

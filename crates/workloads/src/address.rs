@@ -57,10 +57,22 @@ impl AddressModel {
     /// Panics if percentages are outside `[0, 100]`, their sum exceeds 100,
     /// or the footprint is smaller than 1 MiB.
     pub fn new(spatial_pct: f64, temporal_pct: f64, footprint: Bytes) -> Self {
-        assert!((0.0..=100.0).contains(&spatial_pct), "spatial pct out of range");
-        assert!((0.0..=100.0).contains(&temporal_pct), "temporal pct out of range");
-        assert!(spatial_pct + temporal_pct <= 100.0, "locality targets exceed 100%");
-        assert!(footprint >= Bytes::mib(1), "footprint must be at least 1 MiB");
+        assert!(
+            (0.0..=100.0).contains(&spatial_pct),
+            "spatial pct out of range"
+        );
+        assert!(
+            (0.0..=100.0).contains(&temporal_pct),
+            "temporal pct out of range"
+        );
+        assert!(
+            spatial_pct + temporal_pct <= 100.0,
+            "locality targets exceed 100%"
+        );
+        assert!(
+            footprint >= Bytes::mib(1),
+            "footprint must be at least 1 MiB"
+        );
         AddressModel {
             p_seq: spatial_pct / 100.0,
             p_reuse: temporal_pct / 100.0,
@@ -90,10 +102,8 @@ impl AddressModel {
         let total = self.total.max(1) as f64;
         let seq_measured = self.seq_count as f64 / total;
         let hit_measured = self.hit_count as f64 / total;
-        let p_seq_eff =
-            (self.p_seq - GAIN * (seq_measured - self.p_seq)).clamp(0.0, 1.0);
-        let p_hit_eff =
-            (self.p_reuse - GAIN * (hit_measured - self.p_reuse)).clamp(0.0, 1.0);
+        let p_seq_eff = (self.p_seq - GAIN * (seq_measured - self.p_seq)).clamp(0.0, 1.0);
+        let p_hit_eff = (self.p_reuse - GAIN * (hit_measured - self.p_reuse)).clamp(0.0, 1.0);
         // The reuse branch is only reached when not sequential.
         let p_reuse_cond = if p_seq_eff >= 1.0 {
             0.0
@@ -234,9 +244,15 @@ mod tests {
         let mut rng = SimRng::seed_from(13);
         let mut trace = Trace::new("mixed");
         for i in 0..20_000u64 {
-            let size = Bytes::kib(*rng.pick(&[4u64, 8, 16, 64])) ;
+            let size = Bytes::kib(*rng.pick(&[4u64, 8, 16, 64]));
             let lba = model.sample(&mut rng, size);
-            trace.push_request(IoRequest::new(i, SimTime::from_ms(i), Direction::Write, size, lba));
+            trace.push_request(IoRequest::new(
+                i,
+                SimTime::from_ms(i),
+                Direction::Write,
+                size,
+                lba,
+            ));
         }
         let sp = stats::spatial_locality(&trace);
         let tp = stats::temporal_locality(&trace);
@@ -259,11 +275,15 @@ mod tests {
         for i in 0..5_000u64 {
             let size = Bytes::kib(4);
             let lba = model.sample(&mut rng, size);
-            trace.push_request(IoRequest::new(i, SimTime::from_ms(i), Direction::Write, size, lba));
+            trace.push_request(IoRequest::new(
+                i,
+                SimTime::from_ms(i),
+                Direction::Write,
+                size,
+                lba,
+            ));
         }
-        assert!(
-            (model.measured_temporal_pct() - stats::temporal_locality(&trace)).abs() < 1e-9
-        );
+        assert!((model.measured_temporal_pct() - stats::temporal_locality(&trace)).abs() < 1e-9);
     }
 
     #[test]

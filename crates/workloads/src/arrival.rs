@@ -39,7 +39,10 @@ impl ArrivalModel {
     /// `[0, 1)`.
     pub fn new(mean_gap_ms: f64, burst_frac: f64, burst_mean_ms: f64, sigma: f64) -> Self {
         assert!(mean_gap_ms > 0.0, "mean gap must be positive");
-        assert!((0.0..1.0).contains(&burst_frac), "burst fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&burst_frac),
+            "burst fraction must be in [0, 1)"
+        );
         let burst_mean_ms = if burst_frac > 0.0 && burst_mean_ms * burst_frac >= mean_gap_ms {
             mean_gap_ms / 2.0
         } else {
@@ -50,7 +53,12 @@ impl ArrivalModel {
         } else {
             (mean_gap_ms - burst_frac * burst_mean_ms) / (1.0 - burst_frac)
         };
-        ArrivalModel { burst_frac, burst_mean_ms, think_mean_ms, sigma }
+        ArrivalModel {
+            burst_frac,
+            burst_mean_ms,
+            think_mean_ms,
+            sigma,
+        }
     }
 
     /// The model's exact overall mean gap in milliseconds.
@@ -94,12 +102,16 @@ mod tests {
     fn bursty_model_has_many_small_and_some_huge_gaps() {
         let m = ArrivalModel::new(200.0, 0.7, 2.0, 1.2);
         let mut rng = SimRng::seed_from(4);
-        let samples: Vec<f64> =
-            (0..10_000).map(|_| m.sample(&mut rng).as_secs_f64() * 1e3).collect();
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| m.sample(&mut rng).as_secs_f64() * 1e3)
+            .collect();
         let small = samples.iter().filter(|&&g| g <= 16.0).count() as f64 / 10_000.0;
         let large = samples.iter().filter(|&&g| g > 16.0).count() as f64 / 10_000.0;
         assert!(small > 0.5, "bursts dominate counts: {small}");
-        assert!(large > 0.2, "Characteristic 6: >20% of gaps above 16 ms, got {large}");
+        assert!(
+            large > 0.2,
+            "Characteristic 6: >20% of gaps above 16 ms, got {large}"
+        );
     }
 
     #[test]

@@ -104,8 +104,11 @@ pub fn merge_traces(a: &Trace, b: &Trace, name: impl Into<String>) -> Trace {
             (None, Some(_)) => false,
             (None, None) => break,
         };
-        let (rec, shift) =
-            if take_a { (*ia.next().expect("peeked"), 0) } else { (*ib.next().expect("peeked"), offset) };
+        let (rec, shift) = if take_a {
+            (*ia.next().expect("peeked"), 0)
+        } else {
+            (*ib.next().expect("peeked"), offset)
+        };
         let req = rec.request;
         let id = merged.len() as u64;
         merged.push(TraceRecord::new(IoRequest::new(

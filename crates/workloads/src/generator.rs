@@ -126,9 +126,14 @@ mod tests {
     fn duration_matches_table_within_noise() {
         let t = generate(&profiles::MESSAGING, 5);
         let s = TimingStats::from_trace(&t);
-        let err = (s.duration_s - profiles::MESSAGING.duration_s).abs()
-            / profiles::MESSAGING.duration_s;
-        assert!(err < 0.15, "duration {} vs {}", s.duration_s, profiles::MESSAGING.duration_s);
+        let err =
+            (s.duration_s - profiles::MESSAGING.duration_s).abs() / profiles::MESSAGING.duration_s;
+        assert!(
+            err < 0.15,
+            "duration {} vs {}",
+            s.duration_s,
+            profiles::MESSAGING.duration_s
+        );
     }
 
     #[test]

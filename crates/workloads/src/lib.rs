@@ -34,4 +34,4 @@ pub mod size;
 pub use combo::{generate_combo, ComboProfile};
 pub use generator::generate;
 pub use profile::AppProfile;
-pub use profiles::{all_individual, all_combos, by_name, COMBO_NAMES, INDIVIDUAL_NAMES};
+pub use profiles::{all_combos, all_individual, by_name, COMBO_NAMES, INDIVIDUAL_NAMES};

@@ -19,14 +19,36 @@ use crate::profile::{AppProfile, SizeShape};
 
 /// Names of the 18 individual traces, in the tables' order.
 pub const INDIVIDUAL_NAMES: [&str; 18] = [
-    "Idle", "CallIn", "CallOut", "Booting", "Movie", "Music", "AngryBirds", "CameraVideo",
-    "GoogleMaps", "Messaging", "Twitter", "Email", "Facebook", "Amazon", "YouTube", "Radio",
-    "Installing", "WebBrowsing",
+    "Idle",
+    "CallIn",
+    "CallOut",
+    "Booting",
+    "Movie",
+    "Music",
+    "AngryBirds",
+    "CameraVideo",
+    "GoogleMaps",
+    "Messaging",
+    "Twitter",
+    "Email",
+    "Facebook",
+    "Amazon",
+    "YouTube",
+    "Radio",
+    "Installing",
+    "WebBrowsing",
 ];
 
 /// Names of the 7 combo traces, in the tables' order.
-pub const COMBO_NAMES: [&str; 7] =
-    ["Music/WB", "Radio/WB", "Music/FB", "Radio/FB", "Music/Msg", "Radio/Msg", "FB/Msg"];
+pub const COMBO_NAMES: [&str; 7] = [
+    "Music/WB",
+    "Radio/WB",
+    "Music/FB",
+    "Radio/FB",
+    "Music/Msg",
+    "Radio/Msg",
+    "FB/Msg",
+];
 
 /// Movie's hand-shaped read sizes: Fig. 4 shows >65% of requests between
 /// 16 and 64 KiB; Table III gives a 27.5 KiB read mean and 512 KiB max.
@@ -76,148 +98,497 @@ macro_rules! profile {
 }
 
 /// Idle: the phone overnight (10 pm–6 am); background services only.
-pub const IDLE: AppProfile = profile!("Idle", n = 6_932, dur = 29_363.0, wpct = 88.94,
-    r = 39.5, w = 15.0, max = 1_536, f4 = 0.50, spat = 25.32, temp = 34.22,
-    burst = 0.55, bmean = 8.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const IDLE: AppProfile = profile!(
+    "Idle",
+    n = 6_932,
+    dur = 29_363.0,
+    wpct = 88.94,
+    r = 39.5,
+    w = 15.0,
+    max = 1_536,
+    f4 = 0.50,
+    spat = 25.32,
+    temp = 34.22,
+    burst = 0.55,
+    bmean = 8.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 /// CallIn: answering an incoming call; almost pure logging writes.
-pub const CALL_IN: AppProfile = profile!("CallIn", n = 1_491, dur = 3_767.0, wpct = 99.93,
-    r = 12.0, w = 18.0, max = 1_536, f4 = 0.52, spat = 29.59, temp = 31.00,
-    burst = 0.40, bmean = 8.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const CALL_IN: AppProfile = profile!(
+    "CallIn",
+    n = 1_491,
+    dur = 3_767.0,
+    wpct = 99.93,
+    r = 12.0,
+    w = 18.0,
+    max = 1_536,
+    f4 = 0.52,
+    spat = 29.59,
+    temp = 31.00,
+    burst = 0.40,
+    bmean = 8.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// CallOut: making a phone call.
-pub const CALL_OUT: AppProfile = profile!("CallOut", n = 1_569, dur = 3_700.0, wpct = 98.92,
-    r = 10.0, w = 17.5, max = 1_536, f4 = 0.52, spat = 27.29, temp = 35.14,
-    burst = 0.40, bmean = 8.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const CALL_OUT: AppProfile = profile!(
+    "CallOut",
+    n = 1_569,
+    dur = 3_700.0,
+    wpct = 98.92,
+    r = 10.0,
+    w = 17.5,
+    max = 1_536,
+    f4 = 0.52,
+    spat = 27.29,
+    temp = 35.14,
+    burst = 0.40,
+    bmean = 8.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Booting: 40 s of read-dominated program/config loading at 460 req/s.
-pub const BOOTING: AppProfile = profile!("Booting", n = 18_417, dur = 40.0, wpct = 33.07,
-    r = 61.0, w = 37.5, max = 20_816, f4 = 0.30, spat = 28.19, temp = 19.70,
-    burst = 0.90, bmean = 1.2, sigma = 1.0, shape = SizeShape::Calibrated);
+pub const BOOTING: AppProfile = profile!(
+    "Booting",
+    n = 18_417,
+    dur = 40.0,
+    wpct = 33.07,
+    r = 61.0,
+    w = 37.5,
+    max = 20_816,
+    f4 = 0.30,
+    spat = 28.19,
+    temp = 19.70,
+    burst = 0.90,
+    bmean = 1.2,
+    sigma = 1.0,
+    shape = SizeShape::Calibrated
+);
 
 /// Movie: locally stored video; >65% of requests 16–64 KiB, sub-ms bursts.
-pub const MOVIE: AppProfile = profile!("Movie", n = 4_781, dur = 998.0, wpct = 5.40,
-    r = 27.5, w = 17.0, max = 512, f4 = 0.08, spat = 17.25, temp = 1.72,
-    burst = 0.85, bmean = 0.6, sigma = 1.5, shape = SizeShape::Custom { read: MOVIE_READ, write: MOVIE_WRITE });
+pub const MOVIE: AppProfile = profile!(
+    "Movie",
+    n = 4_781,
+    dur = 998.0,
+    wpct = 5.40,
+    r = 27.5,
+    w = 17.0,
+    max = 512,
+    f4 = 0.08,
+    spat = 17.25,
+    temp = 1.72,
+    burst = 0.85,
+    bmean = 0.6,
+    sigma = 1.5,
+    shape = SizeShape::Custom {
+        read: MOVIE_READ,
+        write: MOVIE_WRITE
+    }
+);
 
 /// Music: local playback; large media reads, small log writes.
-pub const MUSIC: AppProfile = profile!("Music", n = 6_913, dur = 3_801.0, wpct = 52.80,
-    r = 62.5, w = 9.5, max = 940, f4 = 0.55, spat = 21.51, temp = 31.86,
-    burst = 0.60, bmean = 8.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const MUSIC: AppProfile = profile!(
+    "Music",
+    n = 6_913,
+    dur = 3_801.0,
+    wpct = 52.80,
+    r = 62.5,
+    w = 9.5,
+    max = 940,
+    f4 = 0.55,
+    spat = 21.51,
+    temp = 31.86,
+    burst = 0.60,
+    bmean = 8.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 /// AngryBirds: continuous log/status writes while playing.
-pub const ANGRY_BIRDS: AppProfile = profile!("AngryBirds", n = 3_215, dur = 2_023.0, wpct = 84.51,
-    r = 51.0, w = 25.0, max = 3_940, f4 = 0.50, spat = 30.08, temp = 26.07,
-    burst = 0.55, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const ANGRY_BIRDS: AppProfile = profile!(
+    "AngryBirds",
+    n = 3_215,
+    dur = 2_023.0,
+    wpct = 84.51,
+    r = 51.0,
+    w = 25.0,
+    max = 3_940,
+    f4 = 0.50,
+    spat = 30.08,
+    temp = 26.07,
+    burst = 0.55,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// CameraVideo: video recording; huge sequential packed writes.
-pub const CAMERA_VIDEO: AppProfile = profile!("CameraVideo", n = 9_348, dur = 3_417.0, wpct = 29.46,
-    r = 38.5, w = 736.5, max = 10_104, f4 = 0.60, spat = 20.34, temp = 16.30,
-    burst = 0.70, bmean = 4.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const CAMERA_VIDEO: AppProfile = profile!(
+    "CameraVideo",
+    n = 9_348,
+    dur = 3_417.0,
+    wpct = 29.46,
+    r = 38.5,
+    w = 736.5,
+    max = 10_104,
+    f4 = 0.60,
+    spat = 20.34,
+    temp = 16.30,
+    burst = 0.70,
+    bmean = 4.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// GoogleMaps: navigation; map-tile cache writes.
-pub const GOOGLE_MAPS: AppProfile = profile!("GoogleMaps", n = 12_603, dur = 1_720.0, wpct = 86.78,
-    r = 28.5, w = 13.5, max = 8_174, f4 = 0.52, spat = 21.10, temp = 42.78,
-    burst = 0.65, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const GOOGLE_MAPS: AppProfile = profile!(
+    "GoogleMaps",
+    n = 12_603,
+    dur = 1_720.0,
+    wpct = 86.78,
+    r = 28.5,
+    w = 13.5,
+    max = 8_174,
+    f4 = 0.52,
+    spat = 21.10,
+    temp = 42.78,
+    burst = 0.65,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Messaging: SQLite-heavy small writes.
-pub const MESSAGING: AppProfile = profile!("Messaging", n = 5_702, dur = 589.0, wpct = 97.30,
-    r = 23.0, w = 10.5, max = 128, f4 = 0.57, spat = 28.85, temp = 50.82,
-    burst = 0.65, bmean = 6.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const MESSAGING: AppProfile = profile!(
+    "Messaging",
+    n = 5_702,
+    dur = 589.0,
+    wpct = 97.30,
+    r = 23.0,
+    w = 10.5,
+    max = 128,
+    f4 = 0.57,
+    spat = 28.85,
+    temp = 50.82,
+    burst = 0.65,
+    bmean = 6.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// Twitter: timeline caching; the densest online workload.
-pub const TWITTER: AppProfile = profile!("Twitter", n = 13_807, dur = 856.0, wpct = 88.48,
-    r = 35.5, w = 10.5, max = 2_216, f4 = 0.55, spat = 26.57, temp = 52.90,
-    burst = 0.70, bmean = 6.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const TWITTER: AppProfile = profile!(
+    "Twitter",
+    n = 13_807,
+    dur = 856.0,
+    wpct = 88.48,
+    r = 35.5,
+    w = 10.5,
+    max = 2_216,
+    f4 = 0.55,
+    spat = 26.57,
+    temp = 52.90,
+    burst = 0.70,
+    bmean = 6.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// Email: fetch-and-cache with moderate writes.
-pub const EMAIL: AppProfile = profile!("Email", n = 2_906, dur = 740.0, wpct = 70.37,
-    r = 14.5, w = 22.5, max = 388, f4 = 0.50, spat = 14.49, temp = 34.87,
-    burst = 0.60, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const EMAIL: AppProfile = profile!(
+    "Email",
+    n = 2_906,
+    dur = 740.0,
+    wpct = 70.37,
+    r = 14.5,
+    w = 22.5,
+    max = 388,
+    f4 = 0.50,
+    spat = 14.49,
+    temp = 34.87,
+    burst = 0.60,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Facebook: picture viewing and comment caching.
-pub const FACEBOOK: AppProfile = profile!("Facebook", n = 3_897, dur = 1_112.0, wpct = 74.42,
-    r = 28.5, w = 23.5, max = 2_680, f4 = 0.50, spat = 19.89, temp = 34.21,
-    burst = 0.60, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const FACEBOOK: AppProfile = profile!(
+    "Facebook",
+    n = 3_897,
+    dur = 1_112.0,
+    wpct = 74.42,
+    r = 28.5,
+    w = 23.5,
+    max = 2_680,
+    f4 = 0.50,
+    spat = 19.89,
+    temp = 34.21,
+    burst = 0.60,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Amazon: shopping; a distinctive response-time pattern per the paper.
-pub const AMAZON: AppProfile = profile!("Amazon", n = 3_272, dur = 819.0, wpct = 63.02,
-    r = 24.5, w = 18.0, max = 1_392, f4 = 0.52, spat = 17.79, temp = 26.38,
-    burst = 0.75, bmean = 6.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const AMAZON: AppProfile = profile!(
+    "Amazon",
+    n = 3_272,
+    dur = 819.0,
+    wpct = 63.02,
+    r = 24.5,
+    w = 18.0,
+    max = 1_392,
+    f4 = 0.52,
+    spat = 17.79,
+    temp = 26.38,
+    burst = 0.75,
+    bmean = 6.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 /// YouTube: streaming buffers in RAM; sparse device I/O.
-pub const YOUTUBE: AppProfile = profile!("YouTube", n = 2_080, dur = 4_690.0, wpct = 97.50,
-    r = 19.5, w = 13.5, max = 1_536, f4 = 0.55, spat = 47.61, temp = 16.35,
-    burst = 0.45, bmean = 8.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const YOUTUBE: AppProfile = profile!(
+    "YouTube",
+    n = 2_080,
+    dur = 4_690.0,
+    wpct = 97.50,
+    r = 19.5,
+    w = 13.5,
+    max = 1_536,
+    f4 = 0.55,
+    spat = 47.61,
+    temp = 16.35,
+    burst = 0.45,
+    bmean = 8.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 /// Radio: online radio; periodic cache flushes.
-pub const RADIO: AppProfile = profile!("Radio", n = 5_820, dur = 4_454.0, wpct = 98.68,
-    r = 36.0, w = 19.5, max = 11_164, f4 = 0.46, spat = 23.90, temp = 29.18,
-    burst = 0.50, bmean = 8.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const RADIO: AppProfile = profile!(
+    "Radio",
+    n = 5_820,
+    dur = 4_454.0,
+    wpct = 98.68,
+    r = 36.0,
+    w = 19.5,
+    max = 11_164,
+    f4 = 0.46,
+    spat = 23.90,
+    temp = 29.18,
+    burst = 0.50,
+    bmean = 8.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 /// Installing: Google Play downloads; write-dominated bulk.
-pub const INSTALLING: AppProfile = profile!("Installing", n = 17_952, dur = 977.0, wpct = 98.26,
-    r = 22.0, w = 93.0, max = 22_144, f4 = 0.45, spat = 22.59, temp = 49.57,
-    burst = 0.80, bmean = 3.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const INSTALLING: AppProfile = profile!(
+    "Installing",
+    n = 17_952,
+    dur = 977.0,
+    wpct = 98.26,
+    r = 22.0,
+    w = 93.0,
+    max = 22_144,
+    f4 = 0.45,
+    spat = 22.59,
+    temp = 49.57,
+    burst = 0.80,
+    bmean = 3.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// WebBrowsing: reading news on the TIME website.
-pub const WEB_BROWSING: AppProfile = profile!("WebBrowsing", n = 4_090, dur = 4_901.0, wpct = 80.71,
-    r = 21.5, w = 23.5, max = 1_536, f4 = 0.50, spat = 23.77, temp = 30.83,
-    burst = 0.50, bmean = 8.0, sigma = 1.3, shape = SizeShape::Calibrated);
+pub const WEB_BROWSING: AppProfile = profile!(
+    "WebBrowsing",
+    n = 4_090,
+    dur = 4_901.0,
+    wpct = 80.71,
+    r = 21.5,
+    w = 23.5,
+    max = 1_536,
+    f4 = 0.50,
+    spat = 23.77,
+    temp = 30.83,
+    burst = 0.50,
+    bmean = 8.0,
+    sigma = 1.3,
+    shape = SizeShape::Calibrated
+);
 
 // --- Combo traces (their own Table III/IV rows) ---
 
 /// Music + WebBrowsing running concurrently.
-pub const MUSIC_WB: AppProfile = profile!("Music/WB", n = 13_206, dur = 2_165.0, wpct = 81.68,
-    r = 50.5, w = 15.0, max = 1_544, f4 = 0.56, spat = 18.40, temp = 38.40,
-    burst = 0.65, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const MUSIC_WB: AppProfile = profile!(
+    "Music/WB",
+    n = 13_206,
+    dur = 2_165.0,
+    wpct = 81.68,
+    r = 50.5,
+    w = 15.0,
+    max = 1_544,
+    f4 = 0.56,
+    spat = 18.40,
+    temp = 38.40,
+    burst = 0.65,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Radio + WebBrowsing.
-pub const RADIO_WB: AppProfile = profile!("Radio/WB", n = 12_000, dur = 1_227.0, wpct = 72.02,
-    r = 29.0, w = 19.5, max = 2_716, f4 = 0.47, spat = 18.66, temp = 28.48,
-    burst = 0.60, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const RADIO_WB: AppProfile = profile!(
+    "Radio/WB",
+    n = 12_000,
+    dur = 1_227.0,
+    wpct = 72.02,
+    r = 29.0,
+    w = 19.5,
+    max = 2_716,
+    f4 = 0.47,
+    spat = 18.66,
+    temp = 28.48,
+    burst = 0.60,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Music + Facebook.
-pub const MUSIC_FB: AppProfile = profile!("Music/FB", n = 35_131, dur = 2_026.0, wpct = 87.67,
-    r = 38.0, w = 8.5, max = 2_424, f4 = 0.57, spat = 14.19, temp = 60.50,
-    burst = 0.75, bmean = 6.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const MUSIC_FB: AppProfile = profile!(
+    "Music/FB",
+    n = 35_131,
+    dur = 2_026.0,
+    wpct = 87.67,
+    r = 38.0,
+    w = 8.5,
+    max = 2_424,
+    f4 = 0.57,
+    spat = 14.19,
+    temp = 60.50,
+    burst = 0.75,
+    bmean = 6.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// Radio + Facebook.
-pub const RADIO_FB: AppProfile = profile!("Radio/FB", n = 10_494, dur = 900.0, wpct = 91.68,
-    r = 23.0, w = 13.5, max = 1_368, f4 = 0.47, spat = 19.12, temp = 52.70,
-    burst = 0.65, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const RADIO_FB: AppProfile = profile!(
+    "Radio/FB",
+    n = 10_494,
+    dur = 900.0,
+    wpct = 91.68,
+    r = 23.0,
+    w = 13.5,
+    max = 1_368,
+    f4 = 0.47,
+    spat = 19.12,
+    temp = 52.70,
+    burst = 0.65,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Music + Messaging.
-pub const MUSIC_MSG: AppProfile = profile!("Music/Msg", n = 16_501, dur = 926.0, wpct = 94.43,
-    r = 56.0, w = 11.5, max = 472, f4 = 0.56, spat = 20.68, temp = 53.84,
-    burst = 0.70, bmean = 6.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const MUSIC_MSG: AppProfile = profile!(
+    "Music/Msg",
+    n = 16_501,
+    dur = 926.0,
+    wpct = 94.43,
+    r = 56.0,
+    w = 11.5,
+    max = 472,
+    f4 = 0.56,
+    spat = 20.68,
+    temp = 53.84,
+    burst = 0.70,
+    bmean = 6.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// Radio + Messaging.
-pub const RADIO_MSG: AppProfile = profile!("Radio/Msg", n = 11_101, dur = 660.0, wpct = 98.15,
-    r = 17.5, w = 13.0, max = 1_536, f4 = 0.47, spat = 27.25, temp = 49.48,
-    burst = 0.65, bmean = 6.0, sigma = 1.2, shape = SizeShape::Calibrated);
+pub const RADIO_MSG: AppProfile = profile!(
+    "Radio/Msg",
+    n = 11_101,
+    dur = 660.0,
+    wpct = 98.15,
+    r = 17.5,
+    w = 13.0,
+    max = 1_536,
+    f4 = 0.47,
+    spat = 27.25,
+    temp = 49.48,
+    burst = 0.65,
+    bmean = 6.0,
+    sigma = 1.2,
+    shape = SizeShape::Calibrated
+);
 
 /// Facebook with message-driven task switching.
-pub const FB_MSG: AppProfile = profile!("FB/Msg", n = 15_602, dur = 699.0, wpct = 84.72,
-    r = 21.5, w = 9.5, max = 732, f4 = 0.52, spat = 15.80, temp = 54.04,
-    burst = 0.70, bmean = 6.0, sigma = 1.1, shape = SizeShape::Calibrated);
+pub const FB_MSG: AppProfile = profile!(
+    "FB/Msg",
+    n = 15_602,
+    dur = 699.0,
+    wpct = 84.72,
+    r = 21.5,
+    w = 9.5,
+    max = 732,
+    f4 = 0.52,
+    spat = 15.80,
+    temp = 54.04,
+    burst = 0.70,
+    bmean = 6.0,
+    sigma = 1.1,
+    shape = SizeShape::Calibrated
+);
 
 /// The 18 individual application profiles, in table order.
 pub fn all_individual() -> Vec<AppProfile> {
     vec![
-        IDLE, CALL_IN, CALL_OUT, BOOTING, MOVIE, MUSIC, ANGRY_BIRDS, CAMERA_VIDEO, GOOGLE_MAPS,
-        MESSAGING, TWITTER, EMAIL, FACEBOOK, AMAZON, YOUTUBE, RADIO, INSTALLING, WEB_BROWSING,
+        IDLE,
+        CALL_IN,
+        CALL_OUT,
+        BOOTING,
+        MOVIE,
+        MUSIC,
+        ANGRY_BIRDS,
+        CAMERA_VIDEO,
+        GOOGLE_MAPS,
+        MESSAGING,
+        TWITTER,
+        EMAIL,
+        FACEBOOK,
+        AMAZON,
+        YOUTUBE,
+        RADIO,
+        INSTALLING,
+        WEB_BROWSING,
     ]
 }
 
 /// The 7 combo profiles, in table order.
 pub fn all_combos() -> Vec<AppProfile> {
-    vec![MUSIC_WB, RADIO_WB, MUSIC_FB, RADIO_FB, MUSIC_MSG, RADIO_MSG, FB_MSG]
+    vec![
+        MUSIC_WB, RADIO_WB, MUSIC_FB, RADIO_FB, MUSIC_MSG, RADIO_MSG, FB_MSG,
+    ]
 }
 
 /// Looks a profile up by its paper name (individual or combo).
 pub fn by_name(name: &str) -> Option<AppProfile> {
-    all_individual().into_iter().chain(all_combos()).find(|p| p.name == name)
+    all_individual()
+        .into_iter()
+        .chain(all_combos())
+        .find(|p| p.name == name)
 }
 
 #[cfg(test)]
@@ -297,8 +668,20 @@ mod tests {
             if matches!(p.shape, SizeShape::Calibrated) {
                 let r_err = (r.mean_kib() - p.avg_read_kib).abs() / p.avg_read_kib;
                 let w_err = (w.mean_kib() - p.avg_write_kib).abs() / p.avg_write_kib;
-                assert!(r_err < 0.10, "{} read mean {} vs {}", p.name, r.mean_kib(), p.avg_read_kib);
-                assert!(w_err < 0.10, "{} write mean {} vs {}", p.name, w.mean_kib(), p.avg_write_kib);
+                assert!(
+                    r_err < 0.10,
+                    "{} read mean {} vs {}",
+                    p.name,
+                    r.mean_kib(),
+                    p.avg_read_kib
+                );
+                assert!(
+                    w_err < 0.10,
+                    "{} write mean {} vs {}",
+                    p.name,
+                    w.mean_kib(),
+                    p.avg_write_kib
+                );
             }
             let _ = p.arrival_model();
             let _ = p.address_model();
@@ -316,6 +699,10 @@ mod tests {
             .map(|&(_, w)| w)
             .sum();
         assert!(hump > 0.63, "hump {hump}");
-        assert!((r.mean_kib() - 27.5).abs() / 27.5 < 0.10, "mean {}", r.mean_kib());
+        assert!(
+            (r.mean_kib() - 27.5).abs() / 27.5 < 0.10,
+            "mean {}",
+            r.mean_kib()
+        );
     }
 }

@@ -32,7 +32,10 @@ impl SizeModel {
             .iter()
             .map(|&(kib, w)| {
                 assert!(w > 0.0, "weights must be positive");
-                assert!(kib > 0 && kib % 4 == 0, "sizes must be positive multiples of 4 KiB");
+                assert!(
+                    kib > 0 && kib % 4 == 0,
+                    "sizes must be positive multiples of 4 KiB"
+                );
                 (Bytes::kib(kib), w)
             })
             .collect();
@@ -132,7 +135,11 @@ impl SizeModel {
     /// The model's exact mean, in KiB.
     pub fn mean_kib(&self) -> f64 {
         let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
-        self.entries.iter().map(|&(s, w)| s.as_kib_f64() * w).sum::<f64>() / total
+        self.entries
+            .iter()
+            .map(|&(s, w)| s.as_kib_f64() * w)
+            .sum::<f64>()
+            / total
     }
 
     /// The probability of drawing exactly 4 KiB.
@@ -148,7 +155,11 @@ impl SizeModel {
 
     /// The largest size the model can draw.
     pub fn max_size(&self) -> Bytes {
-        self.entries.iter().map(|&(s, _)| s).max().expect("non-empty")
+        self.entries
+            .iter()
+            .map(|&(s, _)| s)
+            .max()
+            .expect("non-empty")
     }
 
     /// The `(size, weight)` entries.
@@ -176,7 +187,11 @@ mod tests {
     fn calibrated_hits_mean_for_typical_app() {
         // Twitter-like: 50% 4K, mean 13.5 KiB, max 2216 KiB.
         let m = SizeModel::calibrated(0.50, 13.5, 2216);
-        assert!((m.mean_kib() - 13.5).abs() / 13.5 < 0.05, "mean {}", m.mean_kib());
+        assert!(
+            (m.mean_kib() - 13.5).abs() / 13.5 < 0.05,
+            "mean {}",
+            m.mean_kib()
+        );
         assert!((m.frac_4k() - 0.50).abs() < 1e-9);
         assert!(m.max_size() <= Bytes::kib(2216));
     }
@@ -185,14 +200,22 @@ mod tests {
     fn calibrated_hits_mean_for_small_mean_app() {
         // Music-write-like: mean 9.5 KiB.
         let m = SizeModel::calibrated(0.55, 9.5, 940);
-        assert!((m.mean_kib() - 9.5).abs() / 9.5 < 0.05, "mean {}", m.mean_kib());
+        assert!(
+            (m.mean_kib() - 9.5).abs() / 9.5 < 0.05,
+            "mean {}",
+            m.mean_kib()
+        );
     }
 
     #[test]
     fn calibrated_handles_huge_mean_with_clamped_max() {
         // CameraVideo-write-like: mean 736.5 KiB, max 10104 KiB.
         let m = SizeModel::calibrated(0.30, 736.5, 10_104);
-        assert!((m.mean_kib() - 736.5).abs() / 736.5 < 0.05, "mean {}", m.mean_kib());
+        assert!(
+            (m.mean_kib() - 736.5).abs() / 736.5 < 0.05,
+            "mean {}",
+            m.mean_kib()
+        );
         assert!(m.max_size() <= Bytes::kib(10_104));
     }
 
@@ -200,7 +223,11 @@ mod tests {
     fn calibrated_handles_bulk_within_range() {
         // Booting-like: mean 53, f4 0.30, max 20816.
         let m = SizeModel::calibrated(0.30, 53.0, 20_816);
-        assert!((m.mean_kib() - 53.0).abs() / 53.0 < 0.08, "mean {}", m.mean_kib());
+        assert!(
+            (m.mean_kib() - 53.0).abs() / 53.0 < 0.08,
+            "mean {}",
+            m.mean_kib()
+        );
     }
 
     #[test]
@@ -225,12 +252,19 @@ mod tests {
         let n = 50_000;
         let total: f64 = (0..n).map(|_| m.sample(&mut rng).as_kib_f64()).sum();
         let sampled = total / n as f64;
-        assert!((sampled - m.mean_kib()).abs() / m.mean_kib() < 0.05, "sampled {sampled}");
+        assert!(
+            (sampled - m.mean_kib()).abs() / m.mean_kib() < 0.05,
+            "sampled {sampled}"
+        );
     }
 
     #[test]
     fn all_sizes_are_page_aligned() {
-        for (f4, mean, max) in [(0.45, 53.0, 20_816u64), (0.3, 736.5, 10_104), (0.57, 11.0, 128)] {
+        for (f4, mean, max) in [
+            (0.45, 53.0, 20_816u64),
+            (0.3, 736.5, 10_104),
+            (0.57, 11.0, 128),
+        ] {
             let m = SizeModel::calibrated(f4, mean, max);
             for &(s, _) in m.entries() {
                 assert!(s.is_multiple_of(Bytes::kib(4)), "{s}");
@@ -259,7 +293,11 @@ mod tests {
         for (f4, mean, max) in cases {
             let m = SizeModel::calibrated(f4, mean, max);
             let err = (m.mean_kib() - mean).abs() / mean;
-            assert!(err < 0.08, "f4={f4} mean={mean} max={max}: got {}", m.mean_kib());
+            assert!(
+                err < 0.08,
+                "f4={f4} mean={mean} max={max}: got {}",
+                m.mean_kib()
+            );
         }
     }
 

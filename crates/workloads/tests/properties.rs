@@ -9,33 +9,31 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = AppProfile> {
     (
-        200u64..800,              // num_reqs (small for test speed)
-        10.0f64..500.0,           // duration_s
-        5.0f64..95.0,             // write_req_pct
-        4.0f64..80.0,             // avg_read_kib
-        4.0f64..80.0,             // avg_write_kib
+        200u64..800,                  // num_reqs (small for test speed)
+        10.0f64..500.0,               // duration_s
+        5.0f64..95.0,                 // write_req_pct
+        4.0f64..80.0,                 // avg_read_kib
+        4.0f64..80.0,                 // avg_write_kib
         (5.0f64..40.0, 5.0f64..45.0), // spatial, temporal (sum < 100)
-        0.0f64..0.9,              // burst_frac
-        0.45f64..0.58,            // frac_4k
+        0.0f64..0.9,                  // burst_frac
+        0.45f64..0.58,                // frac_4k
     )
-        .prop_map(
-            |(n, dur, wpct, r, w, (spat, temp), burst, f4)| AppProfile {
-                name: "prop",
-                num_reqs: n,
-                duration_s: dur,
-                write_req_pct: wpct,
-                avg_read_kib: r,
-                avg_write_kib: w,
-                max_kib: 2_048,
-                frac_4k: f4,
-                spatial_pct: spat,
-                temporal_pct: temp,
-                burst_frac: burst,
-                burst_mean_ms: 4.0,
-                sigma: 1.0,
-                shape: SizeShape::Calibrated,
-            },
-        )
+        .prop_map(|(n, dur, wpct, r, w, (spat, temp), burst, f4)| AppProfile {
+            name: "prop",
+            num_reqs: n,
+            duration_s: dur,
+            write_req_pct: wpct,
+            avg_read_kib: r,
+            avg_write_kib: w,
+            max_kib: 2_048,
+            frac_4k: f4,
+            spatial_pct: spat,
+            temporal_pct: temp,
+            burst_frac: burst,
+            burst_mean_ms: 4.0,
+            sigma: 1.0,
+            shape: SizeShape::Calibrated,
+        })
 }
 
 proptest! {

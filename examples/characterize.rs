@@ -19,7 +19,9 @@ use hps::workloads::{by_name, generate};
 use hps_core::Bytes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Email".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Email".to_string());
     let profile = by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let mut trace = generate(&profile, 42);
 
@@ -33,9 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let traces = [trace];
     println!("== Table III row ==\n{}", table_iii(&traces).render());
     println!("== Table IV row ==\n{}", table_iv(&traces).render());
-    println!("== Fig. 4 buckets (size, % per bucket) ==\n{}", fig4_size_distributions(&traces).render());
-    println!("== Fig. 5 buckets (response time) ==\n{}", fig5_response_distributions(&traces).render());
-    println!("== Fig. 6 buckets (inter-arrival) ==\n{}", fig6_interarrival_distributions(&traces).render());
+    println!(
+        "== Fig. 4 buckets (size, % per bucket) ==\n{}",
+        fig4_size_distributions(&traces).render()
+    );
+    println!(
+        "== Fig. 5 buckets (response time) ==\n{}",
+        fig5_response_distributions(&traces).render()
+    );
+    println!(
+        "== Fig. 6 buckets (inter-arrival) ==\n{}",
+        fig6_interarrival_distributions(&traces).render()
+    );
     println!(
         "replay: NoWait {:.0}%, {} GC runs, {} power-mode switches",
         metrics.nowait_pct(),

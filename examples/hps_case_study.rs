@@ -24,8 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(run_case_study(&trace)?);
     }
 
-    println!("\nFig. 8 (mean response time):\n{}", fig8_table(&rows).render());
-    println!("Fig. 9 (space utilization, normalized to 4PS):\n{}", fig9_table(&rows).render());
+    println!(
+        "\nFig. 8 (mean response time):\n{}",
+        fig8_table(&rows).render()
+    );
+    println!(
+        "Fig. 9 (space utilization, normalized to 4PS):\n{}",
+        fig9_table(&rows).render()
+    );
 
     for row in &rows {
         println!(

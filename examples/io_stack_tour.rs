@@ -36,7 +36,11 @@ fn main() {
     //    the traces show requests far above the 512 KiB kernel limit (the
     //    largest write in the paper's traces is 16 MiB).
     let packed = pack_writes(&merged, 32, Bytes::mib(16));
-    let largest = packed.iter().map(|c| c.total_size()).max().unwrap_or(Bytes::ZERO);
+    let largest = packed
+        .iter()
+        .map(|c| c.total_size())
+        .max()
+        .unwrap_or(Bytes::ZERO);
     println!(
         "driver: {} requests -> {} packed commands (largest {largest})",
         merged.len(),
@@ -53,11 +57,16 @@ fn main() {
     let report = tracer.overhead();
     println!(
         "BIOtracer: {} records, {} flushes, {} extra I/Os -> {:.2}% overhead",
-        report.recorded, report.flushes, report.extra_ios,
+        report.recorded,
+        report.flushes,
+        report.extra_ios,
         report.overhead_pct()
     );
 
     // The paper's Section II-C headline, over a long run:
     let long = measure_overhead(30_000, 42);
-    println!("long-run overhead: {:.2}% (paper: ~2%)", long.overhead_pct());
+    println!(
+        "long-run overhead: {:.2}% (paper: ~2%)",
+        long.overhead_pct()
+    );
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Replay it on each Table V device: pure 4 KiB pages, pure 8 KiB
     //    pages, and the paper's hybrid-page-size scheme.
-    println!("\n{:<8} {:>12} {:>12} {:>14}", "scheme", "MRT (ms)", "serv (ms)", "space util (%)");
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>14}",
+        "scheme", "MRT (ms)", "serv (ms)", "space util (%)"
+    );
     let mut results = Vec::new();
     for scheme in SchemeKind::ALL {
         let mut device = EmmcDevice::new(DeviceConfig::table_v(scheme))?;

@@ -19,7 +19,10 @@ fn run_mode(mode: JournalMode) -> Result<(), Box<dyn std::error::Error>> {
     let mut id = 0;
     let mut logical = Bytes::ZERO;
     for action in 0..200u64 {
-        let txn = Transaction { pages: 1 + action % 4, mode };
+        let txn = Transaction {
+            pages: 1 + action % 4,
+            mode,
+        };
         logical += txn.logical_bytes();
         for req in txn.requests(t, SimDuration::from_ms(1), id, action * 64) {
             id = req.id + 1;

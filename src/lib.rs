@@ -16,7 +16,9 @@
 //! * [`trace`] — BIOtracer-style traces and their statistics;
 //! * [`workloads`] — the 25 reconstructed workloads;
 //! * [`iostack`] — block layer, driver packing, BIOtracer;
-//! * [`analysis`] — tables, figures, and the case study.
+//! * [`analysis`] — tables, figures, and the case study;
+//! * [`obs`] — cross-layer telemetry: request-lifecycle spans, the
+//!   counter/histogram registry, and the Chrome-trace exporter.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use hps_emmc as emmc;
 pub use hps_ftl as ftl;
 pub use hps_iostack as iostack;
 pub use hps_nand as nand;
+pub use hps_obs as obs;
 pub use hps_trace as trace;
 pub use hps_workloads as workloads;
 

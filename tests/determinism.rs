@@ -33,7 +33,10 @@ fn replay_is_deterministic() {
     assert_eq!(t1.records(), t2.records(), "timestamps identical too");
 
     let (mrt3, ..) = run(6);
-    assert_ne!(mrt1, mrt3, "different seed, different workload, different MRT");
+    assert_ne!(
+        mrt1, mrt3,
+        "different seed, different workload, different MRT"
+    );
 }
 
 #[test]

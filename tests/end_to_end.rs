@@ -101,8 +101,14 @@ fn real_device_and_simulator_semantics_differ() {
 
     let mut trace_a = small_trace("Twitter", 500);
     let mut trace_b = trace_a.clone();
-    let bare = EmmcDevice::new(bare_cfg).unwrap().replay(&mut trace_a).unwrap();
-    let real = EmmcDevice::new(real_cfg).unwrap().replay(&mut trace_b).unwrap();
+    let bare = EmmcDevice::new(bare_cfg)
+        .unwrap()
+        .replay(&mut trace_a)
+        .unwrap();
+    let real = EmmcDevice::new(real_cfg)
+        .unwrap()
+        .replay(&mut trace_b)
+        .unwrap();
     assert!(
         real.mean_response_ms() < bare.mean_response_ms(),
         "cache+interleave {} vs bare {}",

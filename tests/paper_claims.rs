@@ -34,7 +34,10 @@ fn movie_is_a_weak_case_but_hps_never_wastes_space() {
     let row = run_case_study(&prefix("Movie", 1_200)).unwrap();
     // The paper's worst case: still a modest improvement, not a regression.
     let reduction = row.hps_mrt_reduction_pct();
-    assert!(reduction > 5.0 && reduction < 60.0, "Movie reduction {reduction}%");
+    assert!(
+        reduction > 5.0 && reduction < 60.0,
+        "Movie reduction {reduction}%"
+    );
     let u4 = row.metrics_for(SchemeKind::Ps4).space_utilization();
     let uh = row.metrics_for(SchemeKind::Hps).space_utilization();
     assert!((u4 - uh).abs() < 1e-9);
@@ -105,5 +108,9 @@ fn implication_5_small_requests_want_small_pages() {
 #[test]
 fn section_2c_overhead_is_two_percent() {
     let report = hps::iostack::biotracer::measure_overhead(15_000, 3);
-    assert!((1.5..=2.5).contains(&report.overhead_pct()), "{}", report.overhead_pct());
+    assert!(
+        (1.5..=2.5).contains(&report.overhead_pct()),
+        "{}",
+        report.overhead_pct()
+    );
 }
