@@ -10,7 +10,7 @@
 //!   (HPS always matches 4PS; 8PS wastes padding).
 
 use crate::report::{fnum, Table};
-use hps_core::Result;
+use hps_core::{par, Result};
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, PowerConfig, ReplayMetrics, SchemeKind};
 use hps_trace::Trace;
 
@@ -74,13 +74,14 @@ pub fn case_study_device(scheme: SchemeKind) -> Result<EmmcDevice> {
 /// Propagates device errors (e.g. capacity exhaustion — impossible with
 /// Table V capacities and the paper's workloads).
 pub fn run_case_study(trace: &Trace) -> Result<CaseStudyRow> {
-    let mut metrics = Vec::with_capacity(3);
-    for scheme in SchemeKind::ALL {
+    let metrics: Vec<ReplayMetrics> = par::par_map(SchemeKind::ALL.to_vec(), |scheme| {
         let mut dev = case_study_device(scheme)?;
         let mut replayed = trace.clone();
         replayed.reset_replay();
-        metrics.push(dev.replay(&mut replayed)?);
-    }
+        dev.replay(&mut replayed)
+    })
+    .into_iter()
+    .collect::<Result<_>>()?;
     let metrics: [ReplayMetrics; 3] = metrics.try_into().expect("exactly three schemes replayed");
     Ok(CaseStudyRow {
         trace: trace.name().to_string(),

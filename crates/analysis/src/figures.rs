@@ -6,7 +6,7 @@
 //! stacked-bar charts.
 
 use crate::report::{fnum, Table};
-use hps_core::Histogram;
+use hps_core::{par, Histogram};
 use hps_trace::{
     bucket_labels, interarrival_histogram, response_histogram, size_histogram, Trace,
     INTERARRIVAL_EDGES_MS, RESPONSE_EDGES_MS, SIZE_EDGES_KIB,
@@ -16,17 +16,19 @@ fn distribution_table(
     traces: &[Trace],
     edges: &[f64],
     unit: &str,
-    hist_of: impl Fn(&Trace) -> Histogram,
+    hist_of: impl Fn(&Trace) -> Histogram + Sync,
 ) -> Table {
     let labels = bucket_labels(edges, unit);
     let mut headers: Vec<&str> = vec!["Application"];
     headers.extend(labels.iter().map(String::as_str));
     let mut t = Table::new(&headers);
-    for trace in traces {
+    for row in par::par_map(traces.iter().collect(), |trace: &Trace| {
         let h = hist_of(trace);
         let mut cells = vec![trace.name().to_string()];
         cells.extend(h.fractions().iter().map(|f| fnum(100.0 * f, 1)));
-        t.row(cells);
+        cells
+    }) {
+        t.row(row);
     }
     t
 }

@@ -1,6 +1,7 @@
 //! Tables III and IV over a set of traces.
 
 use crate::report::{fnum, Table};
+use hps_core::par;
 use hps_trace::{SizeStats, TimingStats, Trace};
 
 /// Computes Table III (size-related characteristics) for the given traces.
@@ -16,9 +17,9 @@ pub fn table_iii(traces: &[Trace]) -> Table {
         "Write Reqs. Pct.(%)",
         "Write Size Pct.(%)",
     ]);
-    for trace in traces {
+    for row in par::par_map(traces.iter().collect(), |trace: &Trace| {
         let s = SizeStats::from_trace(trace);
-        t.row(vec![
+        vec![
             s.name.clone(),
             s.data_size.as_kib().to_string(),
             s.num_reqs.to_string(),
@@ -28,7 +29,9 @@ pub fn table_iii(traces: &[Trace]) -> Table {
             fnum(s.avg_write_size_kib, 1),
             fnum(s.write_req_pct, 2),
             fnum(s.write_size_pct, 2),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -47,9 +50,9 @@ pub fn table_iv(traces: &[Trace]) -> Table {
         "Spatial Locality (%)",
         "Temporal Locality (%)",
     ]);
-    for trace in traces {
+    for row in par::par_map(traces.iter().collect(), |trace: &Trace| {
         let s = TimingStats::from_trace(trace);
-        t.row(vec![
+        vec![
             s.name.clone(),
             fnum(s.duration_s, 0),
             fnum(s.arrival_rate, 2),
@@ -59,7 +62,9 @@ pub fn table_iv(traces: &[Trace]) -> Table {
             fnum(s.mean_response_ms, 2),
             fnum(s.spatial_locality_pct, 2),
             fnum(s.temporal_locality_pct, 2),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

@@ -10,7 +10,7 @@
 //! grows with request size, reads beat writes at equal size, and the
 //! curves flatten once the request saturates the device's parallelism.
 
-use hps_core::{Bytes, Direction, IoRequest, SimTime};
+use hps_core::{par, Bytes, Direction, IoRequest, SimTime};
 use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
 
 /// One point of the Fig. 3 curve.
@@ -78,12 +78,30 @@ pub fn measure_throughput(
 /// the largest read the traces contain; larger points carry the last read
 /// value (the paper's read curve simply terminates there).
 pub fn throughput_sweep() -> Vec<ThroughputPoint> {
+    let sizes = fig3_sizes();
+    // Every (size, direction) measurement is independent; fan them all out
+    // at once and assemble the carry-forward read curve afterwards.
+    let jobs: Vec<(Bytes, Direction)> = sizes
+        .iter()
+        .map(|&size| (size, Direction::Write))
+        .chain(
+            sizes
+                .iter()
+                .filter(|&&size| size <= Bytes::kib(256))
+                .map(|&size| (size, Direction::Read)),
+        )
+        .collect();
+    let measured = par::par_map(jobs, |(size, direction)| {
+        measure_throughput(SchemeKind::Ps4, direction, size, Bytes::mib(64))
+    });
+    let (writes, reads) = measured.split_at(sizes.len());
+
     let mut points = Vec::new();
     let mut last_read = 0.0;
-    for size in fig3_sizes() {
-        let write_mbs = measure_throughput(SchemeKind::Ps4, Direction::Write, size, Bytes::mib(64));
+    let mut reads = reads.iter();
+    for (&size, &write_mbs) in sizes.iter().zip(writes) {
         let read_mbs = if size <= Bytes::kib(256) {
-            last_read = measure_throughput(SchemeKind::Ps4, Direction::Read, size, Bytes::mib(64));
+            last_read = *reads.next().expect("one read point per small size");
             last_read
         } else {
             last_read

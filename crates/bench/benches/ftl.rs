@@ -1,11 +1,13 @@
-//! FTL micro-benchmarks: write-path cost with and without GC pressure, and
-//! the threshold-vs-idle trigger comparison that backs the GC ablation.
+//! FTL micro-benchmarks: write-path cost with and without GC pressure, the
+//! threshold-vs-idle trigger comparison that backs the GC ablation, and
+//! the hot-path table structures (paged mapping table, inline resident
+//! table) the replay loop leans on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hps_core::Bytes;
 use hps_ftl::gc::GcTrigger;
-use hps_ftl::{Ftl, FtlConfig, Lpn};
-use hps_nand::Geometry;
+use hps_ftl::{Ftl, FtlConfig, Lpn, MappingTable, Ppn, ResidentTable};
+use hps_nand::{BlockId, Geometry, PageAddr};
 use std::hint::black_box;
 
 fn config(trigger: GcTrigger) -> FtlConfig {
@@ -78,5 +80,79 @@ fn bench_write_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_write_path);
+fn ppn(plane: usize, block: usize, page: usize) -> Ppn {
+    Ppn {
+        plane,
+        addr: PageAddr {
+            block: BlockId(block),
+            page,
+        },
+    }
+}
+
+/// The hot-path tables in isolation: mapping lookup (hit and miss), the
+/// remap cycle, and the resident occupy/evict cycle — the operations every
+/// host chunk pays several times during replay.
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftl_map");
+    group.sample_size(20);
+
+    // A populated map shaped like a replayed trace: runs of consecutive
+    // LPNs in a handful of hot regions.
+    const MAPPED: u64 = 1 << 16;
+    let mut table = MappingTable::new();
+    for i in 0..MAPPED {
+        // Eight regions spread across the logical space.
+        let lpn = (i % 8) * (1 << 20) + i / 8;
+        table.remap(Lpn(lpn), ppn(0, (i / 1024) as usize, (i % 1024) as usize));
+    }
+
+    group.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let lpn = (i % 8) * (1 << 20) + (i / 8) % (MAPPED / 8);
+            i += 1;
+            black_box(table.lookup(Lpn(lpn)))
+        });
+    });
+
+    group.bench_function("lookup_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            // Far outside any mapped region.
+            let lpn = (1 << 30) + i % MAPPED;
+            i += 1;
+            black_box(table.lookup(Lpn(lpn)))
+        });
+    });
+
+    group.bench_function("remap_overwrite", |b| {
+        let mut table = MappingTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let lpn = Lpn(i % 4096);
+            let loc = ppn(0, (i % 64) as usize, (i % 1024) as usize);
+            i += 1;
+            black_box(table.remap(lpn, loc))
+        });
+    });
+
+    group.bench_function("resident_occupy_evict", |b| {
+        let mut residents = ResidentTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            // One 8 KiB page: occupy with a pair, evict both (the second
+            // eviction drops the entry, keeping the table small).
+            let p = ppn(0, (i % 64) as usize, (i % 1024) as usize);
+            i += 1;
+            residents.occupy(p, &[Lpn(2 * i), Lpn(2 * i + 1)]);
+            black_box(residents.evict(p, Lpn(2 * i)));
+            black_box(residents.evict(p, Lpn(2 * i + 1)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_tables);
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use crate::runner::{trace_by_name, truncate_trace, MASTER_SEED};
 use hps_analysis::report::{fnum, Table};
-use hps_core::{Bytes, Direction, IoRequest, SimDuration, SimRng, SimTime};
+use hps_core::{par, Bytes, Direction, IoRequest, SimDuration, SimRng, SimTime};
 use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
 use hps_ftl::gc::GcTrigger;
 use hps_trace::Trace;
@@ -53,7 +53,7 @@ pub fn ablate_gc() -> String {
     // Device: 8 planes x 32 blocks x 32 pages x 4 KiB = 32 MiB.
     // Workload: 24 MiB logical footprint written ~4x over.
     let trace = hot_write_trace(24_000, Bytes::mib(24), SimDuration::from_ms(300));
-    for (label, trigger) in [
+    let jobs = vec![
         (
             "threshold (min_free=2)",
             GcTrigger::Threshold { min_free_blocks: 2 },
@@ -65,21 +65,24 @@ pub fn ablate_gc() -> String {
                 min_invalid_pages: 32,
             },
         ),
-    ] {
+    ];
+    for row in par::par_map(jobs, |(label, trigger)| {
         let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 32, 32);
         cfg.ftl.gc_trigger = trigger;
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).expect("valid config");
         let mut replayed = trace.clone();
         let metrics = dev.replay(&mut replayed).expect("replay");
-        t.row(vec![
+        vec![
             label.to_string(),
             fnum(metrics.mean_response_ms(), 3),
             metrics.ftl.gc_runs.to_string(),
             metrics.ftl.gc_programs.to_string(),
             metrics.idle_gc_passes.to_string(),
             fnum(metrics.ftl.write_amplification(), 3),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Ablation: GC trigger policy (Implication 2) — hot 4 KiB writes over a \
@@ -104,22 +107,27 @@ pub fn ablate_ratio() -> String {
     ]);
     // Capacity held at 64 x 4 KiB-block equivalents per plane (32 MiB
     // device, 16-page blocks); Twitter's ~80 MB of writes wrap it ~3x.
-    for (blk4, blk8) in [(48usize, 8usize), (32, 16), (16, 24)] {
-        let mut cfg = DeviceConfig::table_v(SchemeKind::Hps);
-        cfg.ftl.pools = vec![(Bytes::kib(4), blk4), (Bytes::kib(8), blk8)];
-        cfg.ftl.pages_per_block = 16;
-        cfg.power = PowerConfig::DISABLED;
-        let mut dev = EmmcDevice::new(cfg).expect("valid config");
-        let mut replayed = base.clone();
-        let metrics = dev.replay(&mut replayed).expect("replay");
-        t.row(vec![
-            blk4.to_string(),
-            blk8.to_string(),
-            fnum(metrics.mean_response_ms(), 3),
-            metrics.ftl.gc_runs.to_string(),
-            fnum(metrics.ftl.write_amplification(), 3),
-            metrics.pool_spills.to_string(),
-        ]);
+    for row in par::par_map(
+        vec![(48usize, 8usize), (32, 16), (16, 24)],
+        |(blk4, blk8)| {
+            let mut cfg = DeviceConfig::table_v(SchemeKind::Hps);
+            cfg.ftl.pools = vec![(Bytes::kib(4), blk4), (Bytes::kib(8), blk8)];
+            cfg.ftl.pages_per_block = 16;
+            cfg.power = PowerConfig::DISABLED;
+            let mut dev = EmmcDevice::new(cfg).expect("valid config");
+            let mut replayed = base.clone();
+            let metrics = dev.replay(&mut replayed).expect("replay");
+            vec![
+                blk4.to_string(),
+                blk8.to_string(),
+                fnum(metrics.mean_response_ms(), 3),
+                metrics.ftl.gc_runs.to_string(),
+                fnum(metrics.ftl.write_amplification(), 3),
+                metrics.pool_spills.to_string(),
+            ]
+        },
+    ) {
+        t.row(row);
     }
     format!(
         "Ablation: HPS 4K/8K block split under GC pressure (Twitter, first 6000 \
@@ -138,7 +146,7 @@ pub fn ablate_power() -> String {
         "Mode switches",
         "Time asleep (s)",
     ]);
-    for threshold_ms in [0u64, 100, 500, 2_000, 10_000] {
+    for row in par::par_map(vec![0u64, 100, 500, 2_000, 10_000], |threshold_ms| {
         let mut cfg = DeviceConfig::table_v(SchemeKind::Ps4);
         cfg.power = if threshold_ms == 0 {
             PowerConfig::DISABLED
@@ -157,12 +165,14 @@ pub fn ablate_power() -> String {
         } else {
             format!("{threshold_ms} ms")
         };
-        t.row(vec![
+        vec![
             label,
             fnum(metrics.mean_response_ms(), 3),
             metrics.mode_switches.to_string(),
             fnum(metrics.time_asleep.as_secs_f64(), 1),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Ablation: power-save threshold (Characteristic 4) — YouTube, first 1000 \
@@ -177,21 +187,24 @@ pub fn ablate_power() -> String {
 /// Booting burst is the exception that proves the rule.
 pub fn ablate_channels() -> String {
     let mut t = Table::new(&["Workload", "Channels", "MRT (ms)", "NoWait (%)"]);
-    for (name, n) in [("Twitter", 4_000usize), ("Booting", 4_000)] {
-        let base = truncate_trace(&trace_by_name(name), n);
-        for channels in [1usize, 2, 4] {
-            let mut cfg = DeviceConfig::table_v(SchemeKind::Hps);
-            cfg.ftl.geometry = hps_nand::Geometry::new(channels, 1, 2, 2).expect("valid geometry");
-            let mut dev = EmmcDevice::new(cfg).expect("valid config");
-            let mut replayed = base.clone();
-            let metrics = dev.replay(&mut replayed).expect("replay");
-            t.row(vec![
-                name.to_string(),
-                channels.to_string(),
-                fnum(metrics.mean_response_ms(), 3),
-                fnum(metrics.nowait_pct(), 1),
-            ]);
-        }
+    let jobs: Vec<(&str, usize, usize)> = [("Twitter", 4_000usize), ("Booting", 4_000)]
+        .into_iter()
+        .flat_map(|(name, n)| [1usize, 2, 4].map(|channels| (name, n, channels)))
+        .collect();
+    for row in par::par_map(jobs, |(name, n, channels)| {
+        let mut base = truncate_trace(&trace_by_name(name), n);
+        let mut cfg = DeviceConfig::table_v(SchemeKind::Hps);
+        cfg.ftl.geometry = hps_nand::Geometry::new(channels, 1, 2, 2).expect("valid geometry");
+        let mut dev = EmmcDevice::new(cfg).expect("valid config");
+        let metrics = dev.replay(&mut base).expect("replay");
+        vec![
+            name.to_string(),
+            channels.to_string(),
+            fnum(metrics.mean_response_ms(), 3),
+            fnum(metrics.nowait_pct(), 1),
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Ablation: channel count (Implication 1) — typical (Twitter) vs saturated \

@@ -1,8 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--out DIR]
+//! repro <experiment> [--out DIR] [--jobs N]
 //! repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]
+//!                  [--jsonl-out FILE]
 //!
 //! experiments:
 //!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -15,11 +16,18 @@
 //! Output goes to stdout and, with `--out DIR` (default `experiments/`),
 //! to `DIR/<experiment>.txt`.
 //!
+//! `--jobs N` sizes the worker pool that every experiment fans its
+//! independent replays out over (default: the machine's available
+//! parallelism; `--jobs 1` forces serial). Results are collected in input
+//! order, so the tables are byte-identical at any job count. Each
+//! experiment's wall time is reported on stderr.
+//!
 //! Any paper workload name (see `trace-tool list`) is also accepted as a
 //! target: it is replayed on the Table V device with telemetry attached.
 //! `--trace-out` writes the request-lifecycle trace as Chrome trace JSON
 //! (load it at <https://ui.perfetto.dev>); `--metrics-out` writes the
-//! metrics-registry summary as text.
+//! metrics-registry summary as text; `--jsonl-out` streams lifecycle
+//! events to a JSONL file as the replay runs (constant memory).
 
 use hps_bench::ablations::{ablate_channels, ablate_gc, ablate_power, ablate_ratio};
 use hps_bench::experiments::{
@@ -31,10 +39,11 @@ use hps_bench::implications::{
 };
 use hps_core::Bytes;
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
-use hps_obs::{render_summary, write_chrome_trace, Telemetry};
+use hps_obs::{render_summary, write_chrome_trace, JsonlStreamSink, Telemetry};
 use hps_workloads::{by_name, generate};
 use std::io::Write as _;
 use std::path::Path;
+use std::time::Instant;
 
 const EXPERIMENTS: [&str; 20] = [
     "table3",
@@ -66,6 +75,7 @@ fn main() {
     let mut scheme = SchemeKind::Hps;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut jsonl_out: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -73,6 +83,13 @@ fn main() {
                 Some(dir) => out_dir = dir,
                 None => {
                     eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => hps_core::par::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
                     std::process::exit(2);
                 }
             },
@@ -99,6 +116,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--jsonl-out" => match iter.next() {
+                Some(path) => jsonl_out = Some(path),
+                None => {
+                    eprintln!("--jsonl-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -114,17 +138,27 @@ fn main() {
         targets = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
+    eprintln!("[repro] job pool: {} worker(s)", hps_core::par::jobs());
+    let run_started = Instant::now();
+
     // fig8 and fig9 share one expensive case-study run.
     let needs_case_study = targets.iter().any(|t| t == "fig8" || t == "fig9");
     let case_rows = if needs_case_study {
         eprintln!("[repro] running the 18-trace x 3-scheme case study...");
-        Some(run_full_case_study())
+        let t0 = Instant::now();
+        let rows = run_full_case_study();
+        eprintln!(
+            "[repro] case study done in {:.2}s",
+            t0.elapsed().as_secs_f64()
+        );
+        Some(rows)
     } else {
         None
     };
 
     for target in &targets {
         eprintln!("[repro] {target}");
+        let target_started = Instant::now();
         let output = match target.as_str() {
             "table3" => exp_table3(),
             "table4" => exp_table4(),
@@ -152,6 +186,7 @@ fn main() {
                     scheme,
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
+                    jsonl_out.as_deref(),
                 ) {
                     Ok(output) => output,
                     Err(e) => {
@@ -167,11 +202,20 @@ fn main() {
             }
         };
         println!("{output}");
+        eprintln!(
+            "[repro] {target} done in {:.2}s",
+            target_started.elapsed().as_secs_f64()
+        );
         let file_stem = target.replace('/', "_");
         if let Err(e) = write_output(&out_dir, &file_stem, &output) {
             eprintln!("warning: could not write {out_dir}/{file_stem}.txt: {e}");
         }
     }
+    eprintln!(
+        "[repro] {} target(s) in {:.2}s total",
+        targets.len(),
+        run_started.elapsed().as_secs_f64()
+    );
 }
 
 /// Replays one paper workload on the Table V device with telemetry
@@ -181,6 +225,7 @@ fn replay_workload(
     scheme: SchemeKind,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
+    jsonl_out: Option<&str>,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let profile = by_name(name).expect("caller checked the name");
     let mut trace = generate(&profile, 42);
@@ -189,7 +234,18 @@ fn replay_workload(
     let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
     cfg.channel_mode = ChannelMode::Interleaved;
     let mut device = EmmcDevice::new(cfg)?;
-    device.attach_telemetry(if trace_out.is_some() {
+    let mut jsonl_stats = None;
+    device.attach_telemetry(if let Some(path) = jsonl_out {
+        // Stream events straight to disk: constant memory however long the
+        // replay runs. (`--trace-out` still needs the in-memory buffer —
+        // the Chrome exporter works on the whole event list.)
+        if trace_out.is_some() {
+            return Err("--jsonl-out and --trace-out are mutually exclusive".into());
+        }
+        let sink = JsonlStreamSink::create(path)?;
+        jsonl_stats = Some(sink.stats());
+        Telemetry::with_sink(Box::new(sink))
+    } else if trace_out.is_some() {
         Telemetry::tracing()
     } else {
         Telemetry::registry_only()
@@ -222,6 +278,14 @@ fn replay_workload(
             telemetry.registry.len()
         ));
     }
+    if let (Some(path), Some(stats)) = (jsonl_out, jsonl_stats) {
+        drop(telemetry); // flush the streaming sink's BufWriter
+        output.push_str(&format!(
+            "streamed {} events to {path} ({} write errors)\n",
+            stats.written(),
+            stats.errors()
+        ));
+    }
     Ok(output)
 }
 
@@ -233,10 +297,13 @@ fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <experiment>... [--out DIR]");
+    eprintln!("usage: repro <experiment>... [--out DIR] [--jobs N]");
     eprintln!(
-        "       repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]"
+        "       repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
     );
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     eprintln!("workloads:   any name from `trace-tool list` (e.g. CameraVideo, WebBrowsing)");
+    eprintln!(
+        "--jobs N:    worker-pool size for the parallel sweeps (default: all cores; 1 = serial)"
+    );
 }

@@ -1,6 +1,6 @@
 //! One function per table/figure of the paper's evaluation.
 
-use crate::runner::{combo_traces, individual_traces, replay_on, MASTER_SEED};
+use crate::runner::{combo_traces, individual_traces, replay_each, MASTER_SEED};
 use hps_analysis::casestudy::{
     average_mrt_reduction, average_util_gain, fig8_table, fig9_table, run_case_study, CaseStudyRow,
 };
@@ -48,10 +48,7 @@ pub fn exp_table3() -> String {
 /// device (the stock eMMC stand-in) so service/response/NoWait columns are
 /// populated.
 pub fn exp_table4() -> String {
-    let mut traces = all_25_traces();
-    for trace in &mut traces {
-        replay_on(trace, SchemeKind::Ps4).expect("Table V capacity fits every trace");
-    }
+    let traces = replay_each(all_25_traces(), SchemeKind::Ps4);
     let mut out =
         String::from("Table IV: timing statistics (reconstructed traces replayed on 4PS)\n\n");
     out.push_str(&table_iv(&traces).render());
@@ -100,10 +97,7 @@ pub fn exp_fig4() -> String {
 
 /// Fig. 5: response-time distributions of the 18 traces replayed on 4PS.
 pub fn exp_fig5() -> String {
-    let mut traces = individual_traces();
-    for trace in &mut traces {
-        replay_on(trace, SchemeKind::Ps4).expect("replay");
-    }
+    let traces = replay_each(individual_traces(), SchemeKind::Ps4);
     let mut out = String::from("Fig. 5: response time distributions (percent per bucket)\n\n");
     out.push_str(&fig5_response_distributions(&traces).render());
     out
@@ -119,10 +113,7 @@ pub fn exp_fig6() -> String {
 
 /// Fig. 7: the combo traces' size, response-time, and inter-arrival views.
 pub fn exp_fig7() -> String {
-    let mut combos = combo_traces();
-    for trace in &mut combos {
-        replay_on(trace, SchemeKind::Ps4).expect("replay");
-    }
+    let combos = replay_each(combo_traces(), SchemeKind::Ps4);
     let (sizes, responses, gaps) = fig7_combo_views(&combos);
     format!(
         "Fig. 7a: combo request size distributions\n\n{}\n\
@@ -197,10 +188,9 @@ pub fn exp_table5() -> String {
 /// Runs the Section V case study over all 18 individual traces: each trace
 /// replayed on fresh 4PS, 8PS, and HPS devices.
 pub fn run_full_case_study() -> Vec<CaseStudyRow> {
-    individual_traces()
-        .iter()
-        .map(|t| run_case_study(t).expect("Table V capacity fits every trace"))
-        .collect()
+    hps_core::par::par_map(individual_traces(), |t| {
+        run_case_study(&t).expect("Table V capacity fits every trace")
+    })
 }
 
 /// Fig. 8: mean response times of the three schemes.
@@ -268,10 +258,7 @@ pub fn exp_overhead() -> String {
 
 /// Section III: verifies the six characteristics on the reconstruction.
 pub fn exp_characteristics() -> String {
-    let mut traces = individual_traces();
-    for trace in &mut traces {
-        replay_on(trace, SchemeKind::Ps4).expect("replay");
-    }
+    let traces = replay_each(individual_traces(), SchemeKind::Ps4);
     let report = check_characteristics(&traces);
     let mut t = Table::new(&["#", "Claim", "Evidence", "Holds"]);
     for c in &report.checks {

@@ -3,7 +3,7 @@
 
 use crate::runner::{trace_by_name, truncate_trace, MASTER_SEED};
 use hps_analysis::report::{fnum, Table};
-use hps_core::Bytes;
+use hps_core::{par, Bytes};
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, PowerConfig, SchemeKind, SlcConfig};
 use hps_trace::TimingStats;
 
@@ -19,33 +19,36 @@ pub fn implication3_read_cache() -> String {
         "Hit rate (%)",
         "MRT (ms)",
     ]);
-    for name in ["Movie", "YouTube", "Facebook", "Twitter"] {
-        let base = truncate_trace(&trace_by_name(name), 4_000);
+    let jobs: Vec<(&str, u64)> = ["Movie", "YouTube", "Facebook", "Twitter"]
+        .into_iter()
+        .flat_map(|name| [0u64, 1, 8, 64].map(|cache_mib| (name, cache_mib)))
+        .collect();
+    for row in par::par_map(jobs, |(name, cache_mib)| {
+        let mut base = truncate_trace(&trace_by_name(name), 4_000);
         let locality = TimingStats::from_trace(&base).temporal_locality_pct;
-        for cache_mib in [0u64, 1, 8, 64] {
-            let mut cfg = DeviceConfig::table_v(SchemeKind::Ps4);
-            cfg.power = PowerConfig::DISABLED;
-            cfg.channel_mode = ChannelMode::Interleaved;
-            if cache_mib > 0 {
-                cfg = cfg.with_read_cache(Bytes::mib(cache_mib));
-            }
-            let mut dev = EmmcDevice::new(cfg).expect("valid config");
-            let mut replayed = base.clone();
-            let metrics = dev.replay(&mut replayed).expect("replay");
-            let hit = dev.read_cache().map_or(0.0, |c| 100.0 * c.hit_rate());
-            let label = if cache_mib == 0 {
-                "none".to_string()
-            } else {
-                format!("{cache_mib} MiB")
-            };
-            t.row(vec![
-                name.to_string(),
-                fnum(locality, 1),
-                label,
-                fnum(hit, 1),
-                fnum(metrics.mean_response_ms(), 3),
-            ]);
+        let mut cfg = DeviceConfig::table_v(SchemeKind::Ps4);
+        cfg.power = PowerConfig::DISABLED;
+        cfg.channel_mode = ChannelMode::Interleaved;
+        if cache_mib > 0 {
+            cfg = cfg.with_read_cache(Bytes::mib(cache_mib));
         }
+        let mut dev = EmmcDevice::new(cfg).expect("valid config");
+        let metrics = dev.replay(&mut base).expect("replay");
+        let hit = dev.read_cache().map_or(0.0, |c| 100.0 * c.hit_rate());
+        let label = if cache_mib == 0 {
+            "none".to_string()
+        } else {
+            format!("{cache_mib} MiB")
+        };
+        vec![
+            name.to_string(),
+            fnum(locality, 1),
+            label,
+            fnum(hit, 1),
+            fnum(metrics.mean_response_ms(), 3),
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Implication 3: read-cache hit rates track the traces' weak temporal \
@@ -67,39 +70,44 @@ pub fn implication5_slc() -> String {
         "SLC absorbed (%)",
         "Raw capacity cost",
     ]);
-    for name in ["Messaging", "Twitter", "CallIn"] {
-        let base = truncate_trace(&trace_by_name(name), 4_000);
-        for (label, scheme, use_slc) in [
-            ("4PS", SchemeKind::Ps4, false),
-            ("4PS+SLC", SchemeKind::Ps4, true),
-            ("HPS", SchemeKind::Hps, false),
-            ("HPS+SLC", SchemeKind::Hps, true),
-        ] {
-            let mut cfg = DeviceConfig::table_v(scheme);
-            cfg.power = PowerConfig::DISABLED;
-            if use_slc {
-                cfg = cfg.with_slc(slc);
-            }
-            let mut dev = EmmcDevice::new(cfg).expect("valid config");
-            let mut replayed = base.clone();
-            let metrics = dev.replay(&mut replayed).expect("replay");
-            let absorbed_pct = dev.slc().map_or(0.0, |s| {
-                100.0 * s.absorbed() as f64 / metrics.writes.max(1) as f64
-            });
-            let cost = if use_slc {
-                format!("{}", slc.raw_capacity_cost())
-            } else {
-                "-".to_string()
-            };
-            t.row(vec![
-                name.to_string(),
-                label.to_string(),
-                fnum(metrics.mean_response_ms(), 3),
-                fnum(metrics.p99_response_ms(), 3),
-                fnum(absorbed_pct, 1),
-                cost,
-            ]);
+    let jobs: Vec<(&str, &str, SchemeKind, bool)> = ["Messaging", "Twitter", "CallIn"]
+        .into_iter()
+        .flat_map(|name| {
+            [
+                (name, "4PS", SchemeKind::Ps4, false),
+                (name, "4PS+SLC", SchemeKind::Ps4, true),
+                (name, "HPS", SchemeKind::Hps, false),
+                (name, "HPS+SLC", SchemeKind::Hps, true),
+            ]
+        })
+        .collect();
+    for row in par::par_map(jobs, |(name, label, scheme, use_slc)| {
+        let mut base = truncate_trace(&trace_by_name(name), 4_000);
+        let mut cfg = DeviceConfig::table_v(scheme);
+        cfg.power = PowerConfig::DISABLED;
+        if use_slc {
+            cfg = cfg.with_slc(slc);
         }
+        let mut dev = EmmcDevice::new(cfg).expect("valid config");
+        let metrics = dev.replay(&mut base).expect("replay");
+        let absorbed_pct = dev.slc().map_or(0.0, |s| {
+            100.0 * s.absorbed() as f64 / metrics.writes.max(1) as f64
+        });
+        let cost = if use_slc {
+            format!("{}", slc.raw_capacity_cost())
+        } else {
+            "-".to_string()
+        };
+        vec![
+            name.to_string(),
+            label.to_string(),
+            fnum(metrics.mean_response_ms(), 3),
+            fnum(metrics.p99_response_ms(), 3),
+            fnum(absorbed_pct, 1),
+            cost,
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Implication 5: an SLC-mode region (fast pages) accelerates the dominant \
@@ -143,7 +151,7 @@ pub fn endurance() -> String {
         "Evenness",
         "Est. lifetime (writes of this mix)",
     ]);
-    for scheme in SchemeKind::ALL {
+    for row in par::par_map(SchemeKind::ALL.to_vec(), |scheme| {
         let mut cfg = DeviceConfig::scaled(scheme, 64, 32); // 64 MiB
         cfg.power = PowerConfig::DISABLED;
         let mut dev = EmmcDevice::new(cfg).expect("valid config");
@@ -156,14 +164,16 @@ pub fn endurance() -> String {
         } else {
             f64::INFINITY
         };
-        t.row(vec![
+        vec![
             scheme.label().to_string(),
             metrics.ftl.erases.to_string(),
             fnum(metrics.ftl.write_amplification(), 3),
             fnum(mean_wear, 2),
             fnum(metrics.wear.evenness(), 3),
             format!("{:.0}x this workload", lifetime_multiplier),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Endurance (Section V's lifetime argument): more GC means more erases \
@@ -187,7 +197,7 @@ pub fn stack_pipeline() -> String {
         "Stacked MRT (ms)",
         "Raw MRT (ms)",
     ]);
-    for name in ["CameraVideo", "Messaging", "Movie"] {
+    for row in par::par_map(vec!["CameraVideo", "Messaging", "Movie"], |name| {
         let base = truncate_trace(&trace_by_name(name), 3_000);
 
         // Through the stack...
@@ -201,10 +211,10 @@ pub fn stack_pipeline() -> String {
 
         // ...and raw, for comparison.
         let mut dev = EmmcDevice::new(cfg).expect("valid config");
-        let mut raw = base.clone();
+        let mut raw = base;
         let raw_metrics = dev.replay(&mut raw).expect("replay");
 
-        t.row(vec![
+        vec![
             name.to_string(),
             stats.submitted.to_string(),
             stats.after_merge.to_string(),
@@ -212,7 +222,9 @@ pub fn stack_pipeline() -> String {
             format!("{}", stats.largest_command),
             fnum(stacked_stats.mean_response_ms, 3),
             fnum(raw_metrics.mean_response_ms(), 3),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "I/O stack pipeline (Fig. 1): block-layer merging plus driver packing \

@@ -1,29 +1,72 @@
 //! Shared plumbing for the experiment functions: trace generation and
 //! replay with fixed seeds.
+//!
+//! Trace generation is memoized process-wide: the ~10 experiments of a
+//! `repro all` run used to regenerate the same 25 traces from scratch each
+//! time. [`cached_trace`] generates each `(name, seed)` pair once — in
+//! parallel on first demand — and hands out cheap clones of the cached
+//! [`Arc<Trace>`] afterwards. Replay fan-out goes through
+//! [`hps_core::par`], which preserves result order, so parallel sweeps
+//! stay byte-identical to serial ones.
 
-use hps_core::Result;
+use hps_core::{par, Result};
 use hps_emmc::{DeviceConfig, EmmcDevice, ReplayMetrics, SchemeKind};
 use hps_trace::Trace;
 use hps_workloads::{all_combos, all_individual, by_name, generate};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The master seed every experiment uses; re-running any experiment
 /// regenerates identical traces and identical numbers.
 pub const MASTER_SEED: u64 = 201_501_104; // IISWC 2015
 
-/// Generates the 18 individual traces in table order.
-pub fn individual_traces() -> Vec<Trace> {
-    all_individual()
-        .iter()
-        .map(|p| generate(p, MASTER_SEED))
-        .collect()
+/// Generated traces keyed by `(name, seed)`.
+type TraceMemo = HashMap<(String, u64), Arc<Trace>>;
+
+/// Process-wide memo of generated traces.
+static TRACE_CACHE: OnceLock<Mutex<TraceMemo>> = OnceLock::new();
+
+/// The trace for `(name, seed)`, generated on first use and shared
+/// afterwards. Generation is deterministic, so concurrent first calls race
+/// benignly: whoever inserts first wins and both see identical records.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn cached_trace(name: &str, seed: u64) -> Arc<Trace> {
+    let cache = TRACE_CACHE.get_or_init(Mutex::default);
+    if let Some(trace) = cache
+        .lock()
+        .expect("trace cache poisoned")
+        .get(&(name.to_string(), seed))
+    {
+        return Arc::clone(trace);
+    }
+    let profile = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let generated = Arc::new(generate(&profile, seed));
+    Arc::clone(
+        cache
+            .lock()
+            .expect("trace cache poisoned")
+            .entry((name.to_string(), seed))
+            .or_insert(generated),
+    )
 }
 
-/// Generates the 7 combo traces in table order.
+/// Generates the 18 individual traces in table order (parallel on first
+/// use, cached afterwards).
+pub fn individual_traces() -> Vec<Trace> {
+    par::par_map(all_individual(), |p| {
+        Trace::clone(&cached_trace(p.name, MASTER_SEED))
+    })
+}
+
+/// Generates the 7 combo traces in table order (parallel on first use,
+/// cached afterwards).
 pub fn combo_traces() -> Vec<Trace> {
-    all_combos()
-        .iter()
-        .map(|p| generate(p, MASTER_SEED))
-        .collect()
+    par::par_map(all_combos(), |p| {
+        Trace::clone(&cached_trace(p.name, MASTER_SEED))
+    })
 }
 
 /// Generates one trace by its paper name.
@@ -32,8 +75,7 @@ pub fn combo_traces() -> Vec<Trace> {
 ///
 /// Panics if the name is unknown.
 pub fn trace_by_name(name: &str) -> Trace {
-    let profile = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    generate(&profile, MASTER_SEED)
+    Trace::clone(&cached_trace(name, MASTER_SEED))
 }
 
 /// Replays a trace on a fresh Table V device of the given scheme with
@@ -54,6 +96,20 @@ pub fn replay_on(trace: &mut Trace, scheme: SchemeKind) -> Result<ReplayMetrics>
     let mut dev = EmmcDevice::new(cfg)?;
     trace.reset_replay();
     dev.replay(trace)
+}
+
+/// Replays each trace on a fresh device of `scheme` (see [`replay_on`]),
+/// fanning the independent replays out over the job pool. Returns the
+/// replayed traces in input order — byte-identical to a serial loop.
+///
+/// # Panics
+///
+/// Panics if any replay fails (Table V capacity fits every paper trace).
+pub fn replay_each(traces: Vec<Trace>, scheme: SchemeKind) -> Vec<Trace> {
+    par::par_map(traces, |mut trace| {
+        replay_on(&mut trace, scheme).expect("Table V capacity fits every trace");
+        trace
+    })
 }
 
 /// A truncated version of a trace (first `n` records), for fast benches.

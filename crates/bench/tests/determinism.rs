@@ -1,0 +1,75 @@
+//! Parallel sweeps must be *byte-identical* to serial ones: the job pool
+//! only reorders the execution of independent replays, never their
+//! results. These tests pin that property on real paper traces with the
+//! `MASTER_SEED` every experiment uses.
+
+use hps_bench::runner::{replay_on, trace_by_name, truncate_trace};
+use hps_core::par::par_map_jobs;
+use hps_emmc::{ReplayMetrics, SchemeKind};
+use hps_trace::Trace;
+
+/// Three representative workloads (write-heavy, mixed, streaming),
+/// truncated so the test stays fast while still exercising GC, the write
+/// cache, and both page sizes.
+fn sample_traces() -> Vec<Trace> {
+    ["Email", "Twitter", "CameraVideo"]
+        .into_iter()
+        .map(|name| truncate_trace(&trace_by_name(name), 1_500))
+        .collect()
+}
+
+fn replay_all(jobs: usize, traces: Vec<Trace>) -> Vec<(Trace, ReplayMetrics)> {
+    par_map_jobs(jobs, traces, |mut trace| {
+        let metrics = replay_on(&mut trace, SchemeKind::Hps).expect("Table V capacity suffices");
+        (trace, metrics)
+    })
+}
+
+/// Everything observable about a replay, flattened to a comparable string:
+/// the rendered metrics, the tail percentiles, the FTL counters, and every
+/// per-request response sample.
+fn summary(trace: &Trace, metrics: &ReplayMetrics) -> String {
+    format!(
+        "{}\np50={:?} p99={:?}\nftl={:?}\nsamples={:?}\nrecords={:?}",
+        metrics,
+        metrics.p50_response_ms(),
+        metrics.p99_response_ms(),
+        metrics.ftl,
+        metrics.response_samples(),
+        trace.records(),
+    )
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = replay_all(1, sample_traces());
+    let parallel = replay_all(4, sample_traces());
+    assert_eq!(serial.len(), parallel.len());
+    for ((st, sm), (pt, pm)) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            summary(st, sm),
+            summary(pt, pm),
+            "parallel replay of {} diverged from serial",
+            st.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_results_come_back_in_input_order() {
+    let names: Vec<&str> = ["Email", "Twitter", "CameraVideo"].into();
+    let replayed = replay_all(4, sample_traces());
+    for (name, (trace, metrics)) in names.iter().zip(&replayed) {
+        assert_eq!(trace.name(), *name);
+        assert_eq!(metrics.trace_name, *name);
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_agree() {
+    let first = replay_all(3, sample_traces());
+    let second = replay_all(3, sample_traces());
+    for ((at, am), (bt, bm)) in first.iter().zip(&second) {
+        assert_eq!(summary(at, am), summary(bt, bm));
+    }
+}

@@ -12,6 +12,11 @@
 //!   seeded; re-running any experiment yields identical numbers).
 //! * [`stats`] — running summary statistics and histograms used to compute
 //!   the paper's tables and figures.
+//! * [`par`] — a scoped-thread work-stealing job pool; the experiment
+//!   harness fans independent replays out through it while preserving
+//!   result order (parallel runs stay byte-identical to serial ones).
+//! * [`hash`] — a fast deterministic integer hasher ([`FxHashMap`]) for
+//!   the FTL and cache hot paths.
 //!
 //! # Example
 //!
@@ -24,6 +29,8 @@
 //! ```
 
 pub mod error;
+pub mod hash;
+pub mod par;
 pub mod request;
 pub mod rng;
 pub mod stats;
@@ -31,6 +38,7 @@ pub mod time;
 pub mod units;
 
 pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use request::{Direction, IoRequest, RequestId};
 pub use rng::SimRng;
 pub use stats::{Histogram, RunningStats};

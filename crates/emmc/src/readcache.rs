@@ -11,16 +11,20 @@
 //! the hit rate tracking the traces' weak temporal locality — the paper's
 //! argument, quantified.
 
-use hps_core::Bytes;
+use hps_core::{Bytes, FxHashMap};
 use hps_ftl::Lpn;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// An LRU cache over 4 KiB logical pages with lazy queue invalidation.
+///
+/// Lookups key on bare LPNs, so the map uses the deterministic FxHash
+/// integer hasher from `hps_core` rather than SipHash — the cache is
+/// probed once per page of every read request.
 #[derive(Clone, Debug)]
 pub struct ReadCache {
     capacity_pages: usize,
     /// LPN → last-use stamp.
-    map: HashMap<Lpn, u64>,
+    map: FxHashMap<Lpn, u64>,
     /// Access history, oldest first; stale entries (stamp mismatch) are
     /// skipped during eviction.
     queue: VecDeque<(Lpn, u64)>,
@@ -40,7 +44,7 @@ impl ReadCache {
         assert!(!capacity.is_zero(), "read cache capacity must be non-zero");
         ReadCache {
             capacity_pages: (capacity.as_u64() / 4096).max(1) as usize,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             queue: VecDeque::new(),
             clock: 0,
             hits: 0,

@@ -16,9 +16,8 @@ use crate::gc::{self, GcTrigger};
 use crate::mapping::{MappingTable, ResidentTable};
 use crate::pool::Pool;
 use crate::space::SpaceAccounting;
-use hps_core::{Bytes, Error, Result};
+use hps_core::{Bytes, Error, FxHashSet, Result};
 use hps_nand::{Geometry, PageAddr, Plane, WearStats};
-use std::collections::HashSet;
 
 /// Static configuration of an [`Ftl`].
 #[derive(Clone, Debug)]
@@ -261,7 +260,7 @@ impl Ftl {
     /// plus the list of LPNs that were never written (the device models
     /// those as pre-existing data).
     pub fn read_ops(&self, lpns: &[Lpn]) -> (Vec<FlashOp>, Vec<Lpn>) {
-        let mut seen: HashSet<Ppn> = HashSet::new();
+        let mut seen: FxHashSet<Ppn> = FxHashSet::default();
         let mut ops = Vec::new();
         let mut unmapped = Vec::new();
         for &lpn in lpns {
@@ -490,7 +489,7 @@ impl Ftl {
             debug_assert!(!lpns.is_empty(), "valid page with no residents");
             self.planes[plane].block_mut(victim).invalidate(page);
             self.residents.occupy(new, &lpns);
-            for &lpn in &lpns {
+            for &lpn in lpns.iter() {
                 self.mapping.remap(lpn, new);
             }
             ops.push(FlashOp::program(plane, page_size).gc());

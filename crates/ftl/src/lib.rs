@@ -29,4 +29,5 @@ pub mod space;
 
 pub use addr::{FlashOp, Lpn, OpKind, Ppn};
 pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use mapping::{MappingTable, ResidentList, ResidentTable};
 pub use space::SpaceAccounting;

@@ -1,13 +1,25 @@
 //! Property-based tests of the FTL: arbitrary write/overwrite workloads
 //! never lose data, never double-count space, and always leave the flash
-//! state consistent.
+//! state consistent; and the hot-path table structures (paged
+//! [`MappingTable`], inline [`ResidentTable`]) behave exactly like their
+//! plain-`HashMap` reference models under arbitrary operation sequences.
 
 use hps_core::Bytes;
 use hps_ftl::gc::GcTrigger;
-use hps_ftl::{Ftl, FtlConfig, Lpn};
-use hps_nand::Geometry;
+use hps_ftl::{Ftl, FtlConfig, Lpn, MappingTable, Ppn, ResidentTable};
+use hps_nand::{BlockId, Geometry, PageAddr};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+fn ppn(plane: usize, block: usize, page: usize) -> Ppn {
+    Ppn {
+        plane,
+        addr: PageAddr {
+            block: BlockId(block),
+            page,
+        },
+    }
+}
 
 fn small_ftl(planes: usize, blocks: usize, pages: usize, hybrid: bool) -> Ftl {
     let pools = if hybrid {
@@ -93,6 +105,85 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&util), "utilization {util}");
         prop_assert!(ftl.space().flash_consumed() >= ftl.space().data_written());
         prop_assert!(ftl.stats().write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn mapping_table_matches_reference_model(
+        // (op, raw lpn, plane, page): remap/remap/unmap/lookup over two
+        // sparse regions, each straddling a 512-slot chunk boundary.
+        ops in prop::collection::vec((0u8..4, 0u64..1200, 0usize..4, 0usize..512), 1..400),
+    ) {
+        let mut table = MappingTable::new();
+        let mut model: HashMap<u64, Ppn> = HashMap::new();
+        for (op, raw, plane, page) in ops {
+            let lpn = if raw < 600 { raw } else { (1 << 20) + (raw - 600) };
+            let loc = ppn(plane, page / 32, page % 32);
+            match op {
+                0 | 1 => prop_assert_eq!(table.remap(Lpn(lpn), loc), model.insert(lpn, loc)),
+                2 => prop_assert_eq!(table.unmap(Lpn(lpn)), model.remove(&lpn)),
+                _ => prop_assert_eq!(table.lookup(Lpn(lpn)), model.get(&lpn).copied()),
+            }
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(table.is_empty(), model.is_empty());
+        }
+        for (&lpn, &loc) in &model {
+            prop_assert_eq!(table.lookup(Lpn(lpn)), Some(loc));
+        }
+        // Four 512-slot chunks cover both regions; empty chunks are freed.
+        prop_assert!(table.allocated_chunks() <= 4);
+        if model.is_empty() {
+            prop_assert_eq!(table.allocated_chunks(), 0);
+        }
+    }
+
+    #[test]
+    fn resident_table_matches_reference_model(
+        // (op, page, pick, pair): occupy/occupy/evict/take against a
+        // HashMap<Ppn, Vec<Lpn>> model. Both sides use swap-remove
+        // semantics, so even the resident *order* must agree.
+        ops in prop::collection::vec((0u8..4, 0usize..32, 0usize..4, prop::bool::ANY), 1..300),
+    ) {
+        let mut table = ResidentTable::new();
+        let mut model: HashMap<Ppn, Vec<Lpn>> = HashMap::new();
+        let mut next = 0u64;
+        for (op, page, pick, pair) in ops {
+            let p = ppn(0, page / 8, page % 8);
+            match op {
+                0 | 1 => {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(p) {
+                        let lpns = if pair {
+                            vec![Lpn(next), Lpn(next + 1)]
+                        } else {
+                            vec![Lpn(next)]
+                        };
+                        next += 2;
+                        table.occupy(p, &lpns);
+                        slot.insert(lpns);
+                    }
+                }
+                2 => {
+                    if let Some(lpns) = model.get_mut(&p) {
+                        let idx = pick % lpns.len();
+                        let lpn = lpns[idx];
+                        let last = table.evict(p, lpn);
+                        lpns.swap_remove(idx);
+                        prop_assert_eq!(last, lpns.is_empty());
+                        if lpns.is_empty() {
+                            model.remove(&p);
+                        }
+                    }
+                }
+                _ => {
+                    let taken = table.take(p);
+                    let expected = model.remove(&p).unwrap_or_default();
+                    prop_assert_eq!(&*taken, &expected[..]);
+                }
+            }
+            prop_assert_eq!(table.occupied_pages(), model.len());
+        }
+        for (p, lpns) in &model {
+            prop_assert_eq!(table.residents(*p), &lpns[..]);
+        }
     }
 
     #[test]

@@ -57,16 +57,23 @@ fn payload(kind: &EventKind) -> String {
     }
 }
 
+/// Writes a single event as one JSON line. This is the streaming unit:
+/// [`crate::stream::JsonlStreamSink`] calls it per event as the simulation
+/// emits, so a long replay never buffers its event stream in memory.
+pub fn write_jsonl_event<W: Write>(event: &Event, w: &mut W) -> io::Result<()> {
+    writeln!(
+        w,
+        "{{\"ts_ns\":{},\"dur_ns\":{},{}}}",
+        event.start.as_ns(),
+        event.dur.as_ns(),
+        payload(&event.kind)
+    )
+}
+
 /// Writes one JSON object per event, in the given order.
 pub fn write_jsonl<W: Write>(events: &[Event], mut w: W) -> io::Result<()> {
     for event in events {
-        writeln!(
-            w,
-            "{{\"ts_ns\":{},\"dur_ns\":{},{}}}",
-            event.start.as_ns(),
-            event.dur.as_ns(),
-            payload(&event.kind)
-        )?;
+        write_jsonl_event(event, &mut w)?;
     }
     Ok(())
 }

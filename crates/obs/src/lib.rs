@@ -16,6 +16,9 @@
 //!   `chrome://tracing`), one track per channel/die plus GC, stack, and
 //!   request tracks;
 //! * [`jsonl`] — a line-per-event JSON stream for ad-hoc analysis;
+//! * [`stream`] — [`JsonlStreamSink`]: the same JSONL, written to disk
+//!   through a `BufWriter` as events are emitted, so long replays never
+//!   buffer their event stream in memory;
 //! * [`summary`] — a plain-text registry report;
 //! * [`json`] — the dependency-free JSON writer/parser behind the
 //!   exporters (the build environment has no serde).
@@ -32,11 +35,13 @@ pub mod json;
 pub mod jsonl;
 pub mod registry;
 pub mod sink;
+pub mod stream;
 pub mod summary;
 
 pub use chrome::write_chrome_trace;
 pub use event::{AckKind, Event, EventKind, OpClass, Track};
-pub use jsonl::write_jsonl;
+pub use jsonl::{write_jsonl, write_jsonl_event};
 pub use registry::{CounterId, HistogramId, LogHistogram, Metric, MetricsRegistry};
 pub use sink::{NullSink, Sink, Telemetry, VecSink};
+pub use stream::{JsonlStreamSink, StreamStats};
 pub use summary::render_summary;
