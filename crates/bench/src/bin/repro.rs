@@ -4,6 +4,7 @@
 //! repro <experiment> [--out DIR] [--jobs N]
 //! repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]
 //!                  [--jsonl-out FILE]
+//! repro diff <a.summary> <b.summary> [--tolerance F]
 //!
 //! experiments:
 //!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -21,6 +22,12 @@
 //! parallelism; `--jobs 1` forces serial). Results are collected in input
 //! order, so the tables are byte-identical at any job count. Each
 //! experiment's wall time is reported on stderr.
+//!
+//! `repro diff` compares two metrics summaries written by
+//! `--metrics-out`: it parses both files back into metric values and
+//! exits non-zero when any value diverges by more than `--tolerance`
+//! (relative, default 0 = exact), so CI can re-run an experiment and
+//! fail the build on drift.
 //!
 //! Any paper workload name (see `trace-tool list`) is also accepted as a
 //! target: it is replayed on the Table V device with telemetry attached.
@@ -43,6 +50,7 @@ use hps_obs::{render_summary, write_chrome_trace, JsonlStreamSink, Telemetry};
 use hps_workloads::{by_name, generate};
 use std::io::Write as _;
 use std::path::Path;
+// lint: allow(wall-clock) -- operator progress timing only; never enters simulation results
 use std::time::Instant;
 
 const EXPERIMENTS: [&str; 20] = [
@@ -76,9 +84,17 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
+    let mut tolerance = 0.0_f64;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--tolerance" => match iter.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative number");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = dir,
                 None => {
@@ -128,6 +144,15 @@ fn main() {
                 return;
             }
             other => targets.push(other.to_string()),
+        }
+    }
+    if targets.first().map(String::as_str) == Some("diff") {
+        match &targets[1..] {
+            [a, b] => std::process::exit(diff_summaries_cmd(a, b, tolerance)),
+            _ => {
+                eprintln!("usage: repro diff <a.summary> <b.summary> [--tolerance F]");
+                std::process::exit(2);
+            }
         }
     }
     if targets.is_empty() {
@@ -289,6 +314,46 @@ fn replay_workload(
     Ok(output)
 }
 
+/// `repro diff a b`: compares two `--metrics-out` summary files and
+/// returns the process exit code — 0 when every metric agrees to within
+/// `tolerance`, 1 when any diverges, 2 on unreadable/unparseable input.
+fn diff_summaries_cmd(path_a: &str, path_b: &str, tolerance: f64) -> i32 {
+    let mut parsed = Vec::with_capacity(2);
+    for path in [path_a, path_b] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        match hps_obs::parse_summary(&text) {
+            Ok(summary) => parsed.push(summary),
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    let diffs = hps_obs::diff_summaries(&parsed[0], &parsed[1], tolerance);
+    if diffs.is_empty() {
+        println!(
+            "summaries match: {} metric(s) within tolerance {tolerance}",
+            parsed[0].len().max(parsed[1].len())
+        );
+        0
+    } else {
+        for d in &diffs {
+            println!("{d}");
+        }
+        println!(
+            "summaries differ: {} divergence(s) beyond tolerance {tolerance}",
+            diffs.len()
+        );
+        1
+    }
+}
+
 fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = Path::new(dir).join(format!("{name}.txt"));
@@ -301,6 +366,7 @@ fn print_usage() {
     eprintln!(
         "       repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
     );
+    eprintln!("       repro diff <a.summary> <b.summary> [--tolerance F]");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     eprintln!("workloads:   any name from `trace-tool list` (e.g. CameraVideo, WebBrowsing)");
     eprintln!(

@@ -9,11 +9,11 @@
 //! [`hps_core::par`], which preserves result order, so parallel sweeps
 //! stay byte-identical to serial ones.
 
+use hps_core::hash::FxHashMap;
 use hps_core::{par, Result};
 use hps_emmc::{DeviceConfig, EmmcDevice, ReplayMetrics, SchemeKind};
 use hps_trace::Trace;
 use hps_workloads::{all_combos, all_individual, by_name, generate};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The master seed every experiment uses; re-running any experiment
@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub const MASTER_SEED: u64 = 201_501_104; // IISWC 2015
 
 /// Generated traces keyed by `(name, seed)`.
-type TraceMemo = HashMap<(String, u64), Arc<Trace>>;
+type TraceMemo = FxHashMap<(String, u64), Arc<Trace>>;
 
 /// Process-wide memo of generated traces.
 static TRACE_CACHE: OnceLock<Mutex<TraceMemo>> = OnceLock::new();
@@ -37,6 +37,7 @@ pub fn cached_trace(name: &str, seed: u64) -> Arc<Trace> {
     let cache = TRACE_CACHE.get_or_init(Mutex::default);
     if let Some(trace) = cache
         .lock()
+        // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
         .expect("trace cache poisoned")
         .get(&(name.to_string(), seed))
     {
@@ -47,6 +48,7 @@ pub fn cached_trace(name: &str, seed: u64) -> Arc<Trace> {
     Arc::clone(
         cache
             .lock()
+            // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
             .expect("trace cache poisoned")
             .entry((name.to_string(), seed))
             .or_insert(generated),
@@ -107,6 +109,7 @@ pub fn replay_on(trace: &mut Trace, scheme: SchemeKind) -> Result<ReplayMetrics>
 /// Panics if any replay fails (Table V capacity fits every paper trace).
 pub fn replay_each(traces: Vec<Trace>, scheme: SchemeKind) -> Vec<Trace> {
     par::par_map(traces, |mut trace| {
+        // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
         replay_on(&mut trace, scheme).expect("Table V capacity fits every trace");
         trace
     })
@@ -115,6 +118,7 @@ pub fn replay_each(traces: Vec<Trace>, scheme: SchemeKind) -> Vec<Trace> {
 /// A truncated version of a trace (first `n` records), for fast benches.
 pub fn truncate_trace(trace: &Trace, n: usize) -> Trace {
     let records: Vec<_> = trace.records().iter().take(n).copied().collect();
+    // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
     Trace::from_records(trace.name().to_string(), records).expect("prefix stays sorted")
 }
 

@@ -12,6 +12,7 @@
 //! Not collision-resistant against adversarial keys; never use it on
 //! untrusted input.
 
+// lint: allow(default-hasher) -- this module defines the deterministic Fx aliases
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

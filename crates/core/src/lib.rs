@@ -28,6 +28,9 @@
 //! assert_eq!(req.page_span(Bytes::kib(4)), 4);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod audit;
 pub mod error;
 pub mod hash;
 pub mod par;

@@ -100,6 +100,7 @@ where
     for (i, item) in items.into_iter().enumerate() {
         queues[i % workers]
             .lock()
+            // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
             .expect("job queue poisoned")
             .push_back((i, item));
     }
@@ -128,12 +129,14 @@ where
                     // others.
                     let job = queues[w]
                         .lock()
+                        // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
                         .expect("job queue poisoned")
                         .pop_back()
                         .or_else(|| {
                             (1..workers).find_map(|d| {
                                 queues[(w + d) % workers]
                                     .lock()
+                                    // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
                                     .expect("job queue poisoned")
                                     .pop_front()
                             })
@@ -141,11 +144,13 @@ where
                     match job {
                         Some((i, item)) => match catch_unwind(AssertUnwindSafe(|| f(item))) {
                             Ok(result) => {
+                                // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
                                 *results[i].lock().expect("result slot poisoned") = Some(result);
                             }
                             Err(payload) => {
                                 panic_payload
                                     .lock()
+                                    // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
                                     .expect("panic slot poisoned")
                                     .get_or_insert(payload);
                                 stop.store(true, Ordering::Relaxed);
@@ -159,6 +164,7 @@ where
         }
     });
 
+    // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
     if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
         resume_unwind(payload);
     }
@@ -167,7 +173,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // lint: allow(no-unwrap) -- a poisoned lock means a worker panicked; propagate it
                 .expect("result slot poisoned")
+                // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
                 .expect("every dealt job runs exactly once")
         })
         .collect()

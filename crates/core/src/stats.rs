@@ -286,7 +286,7 @@ impl Histogram {
 ///
 /// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(samples: &mut [f64], q: f64) -> Option<f64> {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    samples.sort_by(f64::total_cmp);
     quantile_sorted(samples, q)
 }
 

@@ -1,0 +1,145 @@
+//! Mutation tests for the shadow-state sanitizer.
+//!
+//! Each test injects one violation class through the public audit API —
+//! the same sequences the real FTL/NAND/device hooks would emit if the
+//! corresponding bug existed — and asserts the auditor fires with the
+//! *right* invariant id, not merely "some" violation.
+
+use hps_core::audit::{enforce, InvariantId, MonotonicityGuard, ShadowFlash, SpanLedger};
+
+fn flash() -> ShadowFlash {
+    ShadowFlash::new(2, 4, 8)
+}
+
+#[test]
+fn double_program_fires_program_not_erased() {
+    let mut shadow = flash();
+    shadow.try_program(0, 0, 0, &[1], 1).expect("first program");
+    let err = shadow
+        .try_program(0, 0, 0, &[2], 1)
+        .expect_err("programming a live page must be caught");
+    assert_eq!(err.invariant, InvariantId::ProgramNotErased);
+    assert_eq!(err.invariant.name(), "nand.program_not_erased");
+}
+
+#[test]
+fn skipping_the_write_pointer_fires_program_out_of_order() {
+    let mut shadow = flash();
+    let err = shadow
+        .try_program(0, 0, 3, &[1], 1)
+        .expect_err("page 3 before pages 0..3 must be caught");
+    assert_eq!(err.invariant, InvariantId::ProgramOutOfOrder);
+}
+
+#[test]
+fn gc_erasing_live_data_fires_gc_live_data_lost() {
+    let mut shadow = flash();
+    shadow.try_program(0, 1, 0, &[10], 1).expect("program");
+    shadow.try_program(0, 1, 1, &[11], 1).expect("program");
+    // A correct GC migrates both live pages before erasing; erasing now
+    // would destroy the only copy of LPNs 10 and 11.
+    let err = shadow
+        .try_erase(0, 1)
+        .expect_err("erasing live data must be caught");
+    assert_eq!(err.invariant, InvariantId::GcLiveDataLost);
+    assert_eq!(err.invariant.name(), "gc.live_data_lost");
+}
+
+#[test]
+fn gc_completes_cleanly_after_migrating_live_pages() {
+    let mut shadow = flash();
+    shadow.try_program(0, 1, 0, &[10], 1).expect("program");
+    shadow.try_program(0, 1, 1, &[11], 1).expect("program");
+    // Migrate both LPNs to another block; the originals become dead.
+    shadow.try_read(0, 1, 0).expect("read source");
+    shadow.try_program(0, 2, 0, &[10], 1).expect("migrate");
+    shadow.try_read(0, 1, 1).expect("read source");
+    shadow.try_program(0, 2, 1, &[11], 1).expect("migrate");
+    shadow.try_gc_victim(0, 1).expect("all pages invalid now");
+    shadow
+        .try_erase(0, 1)
+        .expect("erase after migration is legal");
+}
+
+#[test]
+fn duplicate_lpn_in_one_page_fires_double_mapped_ppn() {
+    let mut shadow = flash();
+    let err = shadow
+        .try_program(0, 0, 0, &[7, 7], 2)
+        .expect_err("one LPN stored twice in a page must be caught");
+    assert_eq!(err.invariant, InvariantId::DoubleMappedPpn);
+    assert_eq!(err.invariant.name(), "ftl.double_mapped_ppn");
+}
+
+#[test]
+fn overfilled_page_fires_double_mapped_ppn() {
+    let mut shadow = flash();
+    let err = shadow
+        .try_program(0, 0, 0, &[1, 2, 3], 2)
+        .expect_err("three LPNs in a capacity-2 page must be caught");
+    assert_eq!(err.invariant, InvariantId::DoubleMappedPpn);
+}
+
+#[test]
+fn reading_an_unprogrammed_page_fires_read_unprogrammed() {
+    let shadow = flash();
+    let err = shadow
+        .try_read(0, 0, 0)
+        .expect_err("reading an erased page must be caught");
+    assert_eq!(err.invariant, InvariantId::ReadUnprogrammed);
+}
+
+#[test]
+fn rewound_event_clock_fires_event_time_regression() {
+    let mut guard = MonotonicityGuard::new();
+    guard.try_advance(1_000, Some(1)).expect("first arrival");
+    let err = guard
+        .try_advance(500, Some(2))
+        .expect_err("an arrival before its predecessor must be caught");
+    assert_eq!(err.invariant, InvariantId::EventTimeRegression);
+    assert_eq!(err.invariant.name(), "emmc.event_time_regression");
+    assert_eq!(err.request, Some(2));
+}
+
+#[test]
+fn unclosed_span_fires_span_unbalanced() {
+    let mut ledger = SpanLedger::new();
+    ledger.try_open(1, 10).expect("open");
+    ledger.try_open(2, 20).expect("open");
+    ledger.try_close(1, 30).expect("close");
+    let err = ledger
+        .try_drained(40)
+        .expect_err("a span left open at end of run must be caught");
+    assert_eq!(err.invariant, InvariantId::SpanUnbalanced);
+    assert_eq!(err.invariant.name(), "obs.span_unbalanced");
+}
+
+#[test]
+fn closing_an_unknown_span_fires_span_unbalanced() {
+    let mut ledger = SpanLedger::new();
+    let err = ledger
+        .try_close(99, 10)
+        .expect_err("closing a span that never opened must be caught");
+    assert_eq!(err.invariant, InvariantId::SpanUnbalanced);
+}
+
+#[test]
+#[should_panic(expected = "nand.program_not_erased")]
+fn enforce_panics_with_the_invariant_name() {
+    let mut shadow = flash();
+    shadow.try_program(0, 0, 0, &[1], 1).expect("first program");
+    enforce(shadow.try_program(0, 0, 0, &[2], 1).map(|_| ()));
+}
+
+#[test]
+fn violation_report_carries_time_request_and_address() {
+    let mut shadow = flash();
+    shadow.set_context(42_000, Some(7));
+    shadow.try_program(0, 0, 0, &[1], 1).expect("first program");
+    let err = shadow.try_program(0, 0, 0, &[2], 1).expect_err("caught");
+    let report = err.to_string();
+    assert!(report.contains("nand.program_not_erased"), "{report}");
+    assert!(report.contains("t=42000ns"), "{report}");
+    assert!(report.contains("request=7"), "{report}");
+    assert!(report.contains("plane 0"), "{report}");
+}

@@ -90,6 +90,7 @@ impl WriteCache {
             let (t, b) = self
                 .entries
                 .pop_front()
+                // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
                 .expect("used > 0 whenever the new write does not fit");
             ready = ready.max(t);
             self.used -= b;

@@ -143,6 +143,10 @@ pub struct EmmcDevice {
     /// Cross-layer telemetry; `None` (the default) costs one branch per
     /// instrumentation site.
     telemetry: Option<Telemetry>,
+    /// Audits the FIFO interface: arrival timestamps must never regress
+    /// (debug builds + `sanitize` feature).
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    arrivals: hps_core::audit::MonotonicityGuard,
 }
 
 impl EmmcDevice {
@@ -175,6 +179,8 @@ impl EmmcDevice {
             read_cache,
             pool_spills: 0,
             telemetry: None,
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            arrivals: hps_core::audit::MonotonicityGuard::new(),
         })
     }
 
@@ -242,8 +248,31 @@ impl EmmcDevice {
     ///
     /// # Panics
     ///
-    /// Panics if requests arrive out of order.
+    /// Panics if requests arrive out of order (checked in debug builds and
+    /// under the `sanitize` feature).
     pub fn submit(&mut self, request: &IoRequest) -> Result<Completion> {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        hps_core::audit::enforce(
+            self.arrivals
+                .try_advance(request.arrival.as_ns(), Some(request.id)),
+        );
+        self.ftl
+            .audit_set_context(request.arrival.as_ns(), Some(request.id));
+        if let Some(tel) = &mut self.telemetry {
+            tel.span_open(request.id, request.arrival.as_ns());
+        }
+        let result = self.submit_inner(request);
+        if result.is_err() {
+            // Keep the span ledger balanced when a submission fails: the
+            // success path closes the span in `record_request`.
+            if let Some(tel) = &mut self.telemetry {
+                tel.span_close(request.id, request.arrival.as_ns());
+            }
+        }
+        result
+    }
+
+    fn submit_inner(&mut self, request: &IoRequest) -> Result<Completion> {
         let arrival = request.arrival;
 
         // Idle-time GC (Implication 2): if the gap since the device went
@@ -423,6 +452,7 @@ impl EmmcDevice {
         let Some(tel) = &mut self.telemetry else {
             return;
         };
+        tel.span_close(request.id, finish.as_ns());
         let arrival = request.arrival;
         let response = finish.saturating_since(arrival);
         let queue_wait = service_start.saturating_since(arrival);
@@ -527,11 +557,13 @@ impl EmmcDevice {
                 Direction::Read => metrics.reads += 1,
                 Direction::Write => metrics.writes += 1,
             }
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             let response_ms = record.response_time().expect("just completed").as_ms_f64();
             metrics.response_ms.push(response_ms);
             metrics.push_response_sample(response_ms);
             metrics
                 .service_ms
+                // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
                 .push(record.service_time().expect("just completed").as_ms_f64());
             if record.served_immediately() {
                 metrics.nowait_requests += 1;
@@ -544,7 +576,22 @@ impl EmmcDevice {
         metrics.time_asleep = self.power.time_asleep();
         metrics.idle_gc_passes = self.idle_gc_passes;
         metrics.pool_spills = self.pool_spills;
+        self.audit_end_of_run();
         Ok(metrics)
+    }
+
+    /// End-of-run invariant sweep: a full shadow-vs-real FTL cross-check
+    /// plus the telemetry span-balance check. Panics on any violation; a
+    /// no-op shell in un-sanitized release builds. [`EmmcDevice::replay`]
+    /// runs it automatically after a successful replay.
+    pub fn audit_end_of_run(&self) {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        {
+            hps_core::audit::enforce(self.ftl.audit_deep_verify());
+            if let Some(tel) = &self.telemetry {
+                hps_core::audit::enforce(tel.audit_span_balance(self.busy_until.as_ns()));
+            }
+        }
     }
 
     /// Builds the flash operations for a request (including any GC the FTL

@@ -90,7 +90,7 @@ impl ReplayMetrics {
     pub fn response_percentile_ms(&self, q: f64) -> Option<f64> {
         let sorted = self.sorted_cache.get_or_init(|| {
             let mut samples = self.response_samples_ms.clone();
-            samples.sort_by(|a, b| a.partial_cmp(b).expect("response times are never NaN"));
+            samples.sort_by(f64::total_cmp);
             samples
         });
         hps_core::stats::quantile_sorted(sorted, q)

@@ -91,6 +91,55 @@ impl ResourceSchedule {
     /// [`ResourceSchedule::schedule`], additionally reporting which channel
     /// and die the operation landed on and when it started.
     pub fn schedule_detailed(&mut self, op: &FlashOp, earliest: SimTime) -> ScheduledOp {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        let horizons = (
+            self.channel_free[self.geometry.channel_of_plane(op.plane)],
+            self.die_free[self.geometry.die_of_plane(op.plane)],
+        );
+        let scheduled = self.schedule_detailed_inner(op, earliest);
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        self.audit_scheduled(earliest, horizons, scheduled);
+        scheduled
+    }
+
+    /// Event-time monotonicity audit for one scheduled operation: the op
+    /// must run forward in time, never before its release, and reserving it
+    /// must never rewind a resource's busy-until horizon.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    fn audit_scheduled(
+        &self,
+        earliest: SimTime,
+        horizons_before: (SimTime, SimTime),
+        scheduled: ScheduledOp,
+    ) {
+        use hps_core::audit::{enforce, InvariantId, Violation};
+        let regression = |detail: String| {
+            enforce(Err(Violation {
+                invariant: InvariantId::EventTimeRegression,
+                sim_time_ns: scheduled.start.as_ns(),
+                request: None,
+                addr: None,
+                detail,
+            }));
+        };
+        if scheduled.finish < scheduled.start || scheduled.start < earliest {
+            regression(format!(
+                "op scheduled start={} finish={} against release time {earliest}",
+                scheduled.start, scheduled.finish
+            ));
+        }
+        let (chan_before, die_before) = horizons_before;
+        let chan_after = self.channel_free[scheduled.channel];
+        let die_after = self.die_free[scheduled.die];
+        if chan_after < chan_before || die_after < die_before {
+            regression(format!(
+                "resource horizon rewound: channel {} -> {}, die {} -> {}",
+                chan_before, chan_after, die_before, die_after
+            ));
+        }
+    }
+
+    fn schedule_detailed_inner(&mut self, op: &FlashOp, earliest: SimTime) -> ScheduledOp {
         let channel = self.geometry.channel_of_plane(op.plane);
         let die = self.geometry.die_of_plane(op.plane);
         let page = self.timing.page_timing(op.page_size);

@@ -104,6 +104,7 @@ impl SlcBuffer {
         let ready = self
             .space
             .admit(now, size, drain_at)
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             .expect("max_request <= capacity, so admission never bypasses");
         self.absorbed += 1;
         self.absorbed_bytes += size;

@@ -19,6 +19,9 @@ use crate::space::SpaceAccounting;
 use hps_core::{Bytes, Error, FxHashSet, Result};
 use hps_nand::{Geometry, PageAddr, Plane, WearStats};
 
+#[cfg(any(debug_assertions, feature = "sanitize"))]
+use hps_core::audit::{enforce, ShadowFlash};
+
 /// Static configuration of an [`Ftl`].
 #[derive(Clone, Debug)]
 pub struct FtlConfig {
@@ -122,6 +125,9 @@ pub struct Ftl {
     residents: ResidentTable,
     space: SpaceAccounting,
     stats: FtlStats,
+    /// Shadow-state invariant auditor (debug builds + `sanitize` feature).
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    shadow: ShadowFlash,
 }
 
 impl Ftl {
@@ -145,6 +151,15 @@ impl Ftl {
                     .collect()
             })
             .collect();
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        let shadow = {
+            let blocks_per_plane: usize = config.pools.iter().map(|&(_, n)| n).sum();
+            ShadowFlash::new(
+                config.geometry.planes_total(),
+                blocks_per_plane,
+                config.pages_per_block,
+            )
+        };
         Ok(Ftl {
             config,
             planes,
@@ -153,6 +168,8 @@ impl Ftl {
             residents: ResidentTable::new(),
             space: SpaceAccounting::new(),
             stats: FtlStats::default(),
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            shadow,
         })
     }
 
@@ -249,6 +266,18 @@ impl Ftl {
         for &lpn in lpns {
             self.mapping.remap(lpn, ppn);
         }
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        {
+            let lpns_raw: Vec<u64> = lpns.iter().map(|l| l.0).collect();
+            let tick = self.shadow.try_program(
+                ppn.plane,
+                ppn.addr.block.0,
+                ppn.addr.page,
+                &lpns_raw,
+                Self::page_lpn_capacity(page_size),
+            );
+            self.audit_tick(tick);
+        }
         self.space.record_write(data, page_size);
         self.stats.host_programs += 1;
         ops.push(FlashOp::program(plane, page_size));
@@ -266,6 +295,11 @@ impl Ftl {
         for &lpn in lpns {
             match self.mapping.lookup(lpn) {
                 Some(ppn) => {
+                    #[cfg(any(debug_assertions, feature = "sanitize"))]
+                    enforce(
+                        self.shadow
+                            .try_read(ppn.plane, ppn.addr.block.0, ppn.addr.page),
+                    );
                     if seen.insert(ppn) {
                         let size = self.planes[ppn.plane].block(ppn.addr.block).page_size();
                         ops.push(FlashOp::read(ppn.plane, size));
@@ -406,6 +440,79 @@ impl Ftl {
         self.config.physical_capacity()
     }
 
+    /// Attach the device clock and in-flight request id to the auditor so
+    /// violation reports carry them. No-op shell in un-sanitized release
+    /// builds (the cfg lives here so callers need no gating of their own).
+    #[allow(unused_variables)]
+    pub fn audit_set_context(&mut self, sim_time_ns: u64, request: Option<u64>) {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        self.shadow.set_context(sim_time_ns, request);
+    }
+
+    /// Cross-checks the entire real FTL state against the shadow model:
+    /// per-block valid counts, device-wide valid/invalid tallies, and every
+    /// logical-to-physical mapping. O(blocks + mapped LPNs); the auditor
+    /// schedules it every [`hps_core::audit::DEEP_VERIFY_INTERVAL`]
+    /// mutations, and end-of-run checks call it directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`hps_core::audit::Violation`] found.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    pub fn audit_deep_verify(&self) -> core::result::Result<(), hps_core::audit::Violation> {
+        let mut valid = 0usize;
+        let mut invalid = 0usize;
+        for (plane_idx, plane) in self.planes.iter().enumerate() {
+            for (id, block) in plane.iter() {
+                valid += block.valid_pages();
+                invalid += block.invalid_pages();
+                self.shadow
+                    .try_check_block(plane_idx, id.0, block.valid_pages())?;
+            }
+        }
+        self.shadow.try_check_space(valid, invalid)?;
+        if self.shadow.mapped_lpns() != self.mapping.len() {
+            return Err(hps_core::audit::Violation {
+                invariant: hps_core::audit::InvariantId::MappingDiverged,
+                sim_time_ns: 0,
+                request: None,
+                addr: None,
+                detail: format!(
+                    "real mapping holds {} LPNs, shadow holds {}",
+                    self.mapping.len(),
+                    self.shadow.mapped_lpns()
+                ),
+            });
+        }
+        for (lpn, _) in self.shadow.mappings() {
+            let real = self
+                .mapping
+                .lookup(Lpn(lpn))
+                .map(|p| (p.plane, p.addr.block.0, p.addr.page));
+            self.shadow.try_check_mapping(lpn, real)?;
+        }
+        Ok(())
+    }
+
+    /// Folds a shadow mutation result: escalates violations immediately and
+    /// runs the amortized deep verification when the mutation counter says
+    /// one is due.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    fn audit_tick(&self, tick: core::result::Result<bool, hps_core::audit::Violation>) {
+        match tick {
+            Ok(true) => enforce(self.audit_deep_verify()),
+            Ok(false) => {}
+            Err(v) => enforce(Err(v)),
+        }
+    }
+
+    /// How many 4 KiB logical pages one physical page of `page_size` holds
+    /// (2 for the HPS 8 KiB half-page pairing, 1 otherwise).
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    fn page_lpn_capacity(page_size: Bytes) -> usize {
+        (page_size.as_u64() / Bytes::kib(4).as_u64()).max(1) as usize
+    }
+
     fn pool_index(&self, page_size: Bytes) -> usize {
         self.config
             .pools
@@ -429,6 +536,11 @@ impl Ftl {
                     .block_mut(old.addr.block)
                     .invalidate(old.addr.page);
             }
+        }
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        {
+            let tick = self.shadow.try_unmap(lpn.0);
+            self.audit_tick(tick);
         }
     }
 
@@ -464,6 +576,8 @@ impl Ftl {
             return Ok(());
         };
         let page_size = self.planes[plane].block(victim).page_size();
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        enforce(self.shadow.try_gc_victim(plane, victim.0));
         let live_pages = self.planes[plane].block(victim).valid_page_indices();
         for page in live_pages {
             let old = Ppn {
@@ -492,10 +606,30 @@ impl Ftl {
             for &lpn in lpns.iter() {
                 self.mapping.remap(lpn, new);
             }
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            {
+                // The GC read must target a programmed page, and migrating
+                // the residents supersedes the victim copy in the shadow.
+                enforce(self.shadow.try_read(plane, victim.0, page));
+                let lpns_raw: Vec<u64> = lpns.iter().map(|l| l.0).collect();
+                let tick = self.shadow.try_program(
+                    new.plane,
+                    new.addr.block.0,
+                    new.addr.page,
+                    &lpns_raw,
+                    Self::page_lpn_capacity(page_size),
+                );
+                self.audit_tick(tick);
+            }
             ops.push(FlashOp::program(plane, page_size).gc());
             self.stats.gc_programs += 1;
         }
         self.planes[plane].block_mut(victim).erase();
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        {
+            let tick = self.shadow.try_erase(plane, victim.0);
+            self.audit_tick(tick);
+        }
         self.pools[plane][pool_idx].return_erased(&self.planes[plane], victim);
         ops.push(FlashOp::erase(plane, page_size).gc());
         self.stats.erases += 1;

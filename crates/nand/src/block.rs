@@ -93,7 +93,8 @@ impl Block {
             return None;
         }
         let idx = self.write_ptr;
-        debug_assert_eq!(
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        assert_eq!(
             self.pages[idx],
             PageState::Free,
             "write pointer passed a non-free page"
@@ -144,6 +145,8 @@ impl Block {
             self.valid, 0,
             "erasing a block with live data would lose it"
         );
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        hps_core::audit::enforce(self.audit_recount());
         for p in &mut self.pages {
             *p = PageState::Free;
         }
@@ -179,6 +182,49 @@ impl Block {
     /// How many times this block has been erased.
     pub fn erase_count(&self) -> u64 {
         self.erase_count
+    }
+
+    /// Recounts the page-state array against the cached `valid` counter and
+    /// write pointer; any divergence means the block state machine itself is
+    /// corrupt.
+    ///
+    /// O(pages), so the simulator only runs it at block-granularity events
+    /// (erase) rather than per program/invalidate. Compiled in for debug
+    /// builds and the `sanitize` feature.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    pub fn audit_recount(&self) -> Result<(), hps_core::audit::Violation> {
+        use hps_core::audit::{InvariantId, Violation};
+        let valid = self
+            .pages
+            .iter()
+            .filter(|&&s| s == PageState::Valid)
+            .count();
+        let programmed = self.pages.iter().filter(|&&s| s != PageState::Free).count();
+        if valid != self.valid || programmed != self.write_ptr {
+            return Err(Violation {
+                invariant: InvariantId::TallyDiverged,
+                sim_time_ns: 0,
+                request: None,
+                addr: None,
+                detail: format!(
+                    "block cache says valid={} write_ptr={}, recount finds valid={valid} programmed={programmed}",
+                    self.valid, self.write_ptr
+                ),
+            });
+        }
+        if self.pages[self.write_ptr..]
+            .iter()
+            .any(|&s| s != PageState::Free)
+        {
+            return Err(Violation {
+                invariant: InvariantId::ProgramOutOfOrder,
+                sim_time_ns: 0,
+                request: None,
+                addr: None,
+                detail: "programmed page found beyond the write pointer".to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Indices of all currently valid pages (used by GC migration).

@@ -190,6 +190,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
                 let c = rest.chars().next().expect("non-empty by construction");
                 out.push(c);
                 *pos += c.len_utf8();

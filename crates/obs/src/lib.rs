@@ -30,6 +30,7 @@
 //! `--metrics-out`.
 
 pub mod chrome;
+pub mod diff;
 pub mod event;
 pub mod json;
 pub mod jsonl;
@@ -39,6 +40,7 @@ pub mod stream;
 pub mod summary;
 
 pub use chrome::write_chrome_trace;
+pub use diff::{diff_summaries, parse_summary, SummaryDiff, SummaryValue};
 pub use event::{AckKind, Event, EventKind, OpClass, Track};
 pub use jsonl::{write_jsonl, write_jsonl_event};
 pub use registry::{CounterId, HistogramId, LogHistogram, Metric, MetricsRegistry};

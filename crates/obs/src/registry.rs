@@ -8,7 +8,7 @@
 //! Registries from independent runs merge exactly (bucket counts are
 //! integers), which is what makes per-shard replay aggregation sound.
 
-use std::collections::HashMap;
+use hps_core::hash::FxHashMap;
 
 /// Exponent of the smallest distinguished histogram bucket edge
 /// (`2^MIN_EXP` ≈ 1e-6 — microsecond-scale latencies in ms units).
@@ -207,7 +207,7 @@ pub enum Metric {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     entries: Vec<(String, Metric)>,
-    index: HashMap<String, usize>,
+    index: FxHashMap<String, usize>,
 }
 
 impl MetricsRegistry {

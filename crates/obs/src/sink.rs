@@ -10,6 +10,10 @@
 use crate::event::Event;
 use crate::registry::MetricsRegistry;
 
+#[cfg(any(debug_assertions, feature = "sanitize"))]
+use hps_core::audit::SpanLedger;
+use hps_core::audit::Violation;
+
 /// Receives telemetry events as they are emitted.
 pub trait Sink {
     /// Called once per event, in emission order.
@@ -65,6 +69,10 @@ pub struct Telemetry {
     /// Named counters and histograms; always live while attached.
     pub registry: MetricsRegistry,
     recorder: Recorder,
+    /// Span-balance auditor (debug builds + `sanitize` feature): every
+    /// opened request-lifecycle span must be closed exactly once.
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    ledger: SpanLedger,
 }
 
 impl Default for Telemetry {
@@ -79,6 +87,8 @@ impl Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
             recorder: Recorder::Off,
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            ledger: SpanLedger::new(),
         }
     }
 
@@ -88,6 +98,8 @@ impl Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
             recorder: Recorder::Buffer(VecSink::new()),
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            ledger: SpanLedger::new(),
         }
     }
 
@@ -96,6 +108,8 @@ impl Telemetry {
         Telemetry {
             registry: MetricsRegistry::new(),
             recorder: Recorder::Custom(sink),
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            ledger: SpanLedger::new(),
         }
     }
 
@@ -122,6 +136,51 @@ impl Telemetry {
             Recorder::Buffer(buf) => std::mem::take(&mut buf.events),
             _ => Vec::new(),
         }
+    }
+
+    /// Marks a request-lifecycle span as opened in the balance ledger.
+    ///
+    /// A no-op shell in un-sanitized release builds; the instrumented
+    /// layers call it unconditionally. Panics (via the auditor) if the
+    /// same span id is opened twice without an intervening close.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn span_open(&mut self, id: u64, now_ns: u64) {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        hps_core::audit::enforce(self.ledger.try_open(id, now_ns));
+    }
+
+    /// Marks a request-lifecycle span as closed in the balance ledger.
+    /// Panics (via the auditor) on a close without a matching open.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn span_close(&mut self, id: u64, now_ns: u64) {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        hps_core::audit::enforce(self.ledger.try_close(id, now_ns));
+    }
+
+    /// End-of-run balance check: every opened span must have been closed.
+    ///
+    /// Always `Ok` in un-sanitized release builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] describing the first still-open span.
+    #[allow(unused_variables)]
+    pub fn audit_span_balance(&self, now_ns: u64) -> Result<(), Violation> {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        return self.ledger.try_drained(now_ns);
+        #[cfg(not(any(debug_assertions, feature = "sanitize")))]
+        Ok(())
+    }
+
+    /// Number of lifecycle spans currently open (always 0 in un-sanitized
+    /// release builds).
+    pub fn open_spans(&self) -> usize {
+        #[cfg(any(debug_assertions, feature = "sanitize"))]
+        return self.ledger.open_count();
+        #[cfg(not(any(debug_assertions, feature = "sanitize")))]
+        0
     }
 }
 

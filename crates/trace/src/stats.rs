@@ -11,8 +11,8 @@
 //!   address was already accessed by an earlier request (an "address hit").
 
 use crate::trace::Trace;
+use hps_core::hash::FxHashSet;
 use hps_core::{Bytes, RunningStats};
-use std::collections::HashSet;
 
 /// Size-related characteristics of one trace — Table III of the paper.
 ///
@@ -173,7 +173,7 @@ pub fn spatial_locality(trace: &Trace) -> f64 {
 /// 4 KiB page was covered by an earlier request (an address hit).
 pub fn temporal_locality(trace: &Trace) -> f64 {
     const PAGE: u64 = 4096;
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut hits = 0u64;
     for r in trace {
         let start_page = r.request.lba / PAGE;

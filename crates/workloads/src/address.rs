@@ -17,8 +17,8 @@
 //!   probability to compensate, so the generated trace's localities match
 //!   the table to within sampling noise.
 
+use hps_core::hash::FxHashSet;
 use hps_core::{Bytes, SimRng};
-use std::collections::HashSet;
 
 /// Stateful address generator for one application stream.
 #[derive(Clone, Debug)]
@@ -38,7 +38,7 @@ pub struct AddressModel {
     /// Bump pointer for fresh addresses; always past every covered page.
     next_fresh: u64,
     /// Every 4 KiB page touched so far (the measurement's ground truth).
-    covered: HashSet<u64>,
+    covered: FxHashSet<u64>,
     /// Requests generated.
     total: u64,
     /// Requests that were sequential continuations.
@@ -81,7 +81,7 @@ impl AddressModel {
             history: Vec::new(),
             history_cap: 4096,
             next_fresh: 0,
-            covered: HashSet::new(),
+            covered: FxHashSet::default(),
             total: 0,
             seq_count: 0,
             hit_count: 0,

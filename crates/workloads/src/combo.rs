@@ -44,7 +44,9 @@ pub fn all_combo_definitions() -> Vec<ComboProfile> {
         .zip(members)
         .map(|(profile, (a, b))| ComboProfile {
             profile,
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             member_a: profiles::by_name(a).expect("member exists"),
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             member_b: profiles::by_name(b).expect("member exists"),
         })
         .collect()
@@ -105,8 +107,10 @@ pub fn merge_traces(a: &Trace, b: &Trace, name: impl Into<String>) -> Trace {
             (None, None) => break,
         };
         let (rec, shift) = if take_a {
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             (*ia.next().expect("peeked"), 0)
         } else {
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             (*ib.next().expect("peeked"), offset)
         };
         let req = rec.request;
@@ -119,6 +123,7 @@ pub fn merge_traces(a: &Trace, b: &Trace, name: impl Into<String>) -> Trace {
             req.lba + shift,
         )));
     }
+    // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
     Trace::from_records(name, merged).expect("merge preserves arrival order")
 }
 

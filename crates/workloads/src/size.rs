@@ -159,6 +159,7 @@ impl SizeModel {
             .iter()
             .map(|&(s, _)| s)
             .max()
+            // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             .expect("non-empty")
     }
 

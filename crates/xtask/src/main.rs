@@ -1,0 +1,563 @@
+//! `cargo xtask` — repo-specific developer tasks.
+//!
+//! The only task today is `lint`: a syn-free, line/token-based source lint
+//! pass over the workspace enforcing rules `clippy` cannot express because
+//! they are about *this* simulator's determinism and error discipline:
+//!
+//! * **default-hasher** — `std::collections::HashMap`/`HashSet` with the
+//!   default (randomly seeded) hasher are forbidden in simulation crates:
+//!   their iteration order varies across processes, which would break the
+//!   byte-identical-replay guarantee. Use `hps_core::hash::FxHashMap` /
+//!   `FxHashSet` or a `BTreeMap`.
+//! * **no-unwrap** — `unwrap()` / `expect()` are forbidden in library
+//!   crates' non-test code; route failures through `hps_core::Error`.
+//! * **no-print** — `println!` / `eprintln!` are forbidden in library
+//!   crates' non-test code; report through telemetry or returned values.
+//! * **wall-clock** — `std::time::SystemTime` / `Instant` are forbidden in
+//!   simulation crates: the simulator runs on `SimTime` only, and wall
+//!   clocks would smuggle nondeterminism into results.
+//! * **missing-docs** — `hps-core`, `hps-ftl`, and `hps-nand` must carry
+//!   `#![deny(missing_docs)]` so rustc enforces doc coverage on their
+//!   public items.
+//!
+//! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) and binary
+//! targets (`src/bin/`, `src/main.rs`) are exempt from `no-unwrap` and
+//! `no-print`. A rare legitimate use is waived in place with a trailing
+//! `// lint: allow(<rule>)` comment on the offending (or preceding) line.
+//!
+//! Run as `cargo xtask lint`; exits non-zero when any violation remains,
+//! so CI fails the build.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Vendored third-party shims: not ours to lint.
+const SKIP_CRATES: &[&str] = &["proptest", "criterion"];
+
+/// Crates whose `lib.rs` must enforce rustc-level doc coverage.
+const DOC_COVERED: &[&str] = &["core", "ftl", "nand"];
+
+/// One lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    DefaultHasher,
+    NoUnwrap,
+    NoPrint,
+    WallClock,
+    MissingDocs,
+}
+
+impl Rule {
+    /// The stable id used in reports and `lint: allow(...)` waivers.
+    fn id(self) -> &'static str {
+        match self {
+            Rule::DefaultHasher => "default-hasher",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoPrint => "no-print",
+            Rule::WallClock => "wall-clock",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+
+    fn message(self) -> &'static str {
+        match self {
+            Rule::DefaultHasher => {
+                "std HashMap/HashSet default hasher is nondeterministic; \
+                 use hps_core::hash::{FxHashMap, FxHashSet} or BTreeMap"
+            }
+            Rule::NoUnwrap => "unwrap()/expect() in library code; route through hps_core::Error",
+            Rule::NoPrint => {
+                "println!/eprintln! in library code; report through telemetry or return values"
+            }
+            Rule::WallClock => {
+                "std::time::{SystemTime, Instant} in a simulation crate; use SimTime"
+            }
+            Rule::MissingDocs => "lib.rs must carry #![deny(missing_docs)]",
+        }
+    }
+}
+
+/// One reported lint violation.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: Rule,
+    excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.rule.id(),
+            self.rule.message(),
+            self.excerpt.trim()
+        )
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    let mut files = 0usize;
+
+    for krate in list_crates(&root) {
+        let name = krate
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if SKIP_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src = krate.join("src");
+        for file in rust_files(&src) {
+            files += 1;
+            let is_binary = is_binary_target(&src, &file);
+            match fs::read_to_string(&file) {
+                Ok(text) => scan_file(&file, &text, is_binary, &mut violations),
+                Err(e) => {
+                    eprintln!("xtask: cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if DOC_COVERED.contains(&name.as_str()) {
+            check_doc_coverage(&krate, &mut violations);
+        }
+    }
+
+    // The workspace root package's own sources.
+    for file in rust_files(&root.join("src")) {
+        files += 1;
+        match fs::read_to_string(&file) {
+            Ok(text) => scan_file(&file, &text, false, &mut violations),
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!("xtask lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "xtask lint: {} violation(s) in {files} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Workspace member directories under `crates/`, sorted for stable output.
+fn list_crates(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `true` for binary targets: `src/main.rs` and anything under `src/bin/`.
+fn is_binary_target(src: &Path, file: &Path) -> bool {
+    if file == src.join("main.rs") {
+        return true;
+    }
+    file.strip_prefix(src)
+        .map(|rel| rel.starts_with("bin"))
+        .unwrap_or(false)
+}
+
+/// `hps-core`/`hps-ftl`/`hps-nand` must enforce doc coverage at the
+/// compiler level.
+fn check_doc_coverage(krate: &Path, violations: &mut Vec<Violation>) {
+    let lib = krate.join("src/lib.rs");
+    let text = fs::read_to_string(&lib).unwrap_or_default();
+    if !text.contains("#![deny(missing_docs)]") {
+        violations.push(Violation {
+            file: lib,
+            line: 1,
+            rule: Rule::MissingDocs,
+            excerpt: "(crate root)".to_string(),
+        });
+    }
+}
+
+/// Line-by-line scan state for one file.
+struct Scanner {
+    /// Inside a `/* ... */` comment.
+    in_block_comment: bool,
+    /// Brace depth of code seen so far.
+    depth: i32,
+    /// A `#[cfg(test)]`-ish attribute was seen and its item has not yet
+    /// opened a brace.
+    test_attr_armed: bool,
+    /// When inside a `#[cfg(test)]` item: the depth to return to.
+    test_region_exit: Option<i32>,
+}
+
+fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Violation>) {
+    let mut scanner = Scanner {
+        in_block_comment: false,
+        depth: 0,
+        test_attr_armed: false,
+        test_region_exit: None,
+    };
+    let mut prev_raw = "";
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_noise(raw, &mut scanner.in_block_comment);
+
+        // Track `#[cfg(test)]` regions by brace depth.
+        let opens: i32 = code.matches('{').count() as i32;
+        let closes: i32 = code.matches('}').count() as i32;
+        let depth_before = scanner.depth;
+        scanner.depth += opens - closes;
+
+        if let Some(exit) = scanner.test_region_exit {
+            if scanner.depth <= exit {
+                scanner.test_region_exit = None;
+            }
+        }
+        let in_test = scanner.test_region_exit.is_some();
+        if scanner.test_attr_armed {
+            if opens > 0 {
+                if scanner.test_region_exit.is_none() {
+                    scanner.test_region_exit = Some(depth_before);
+                }
+                scanner.test_attr_armed = false;
+            } else if code.contains(';') {
+                // `#[cfg(test)] use ...;` — a single braceless item.
+                scanner.test_attr_armed = false;
+            }
+        }
+        if is_test_cfg(&code) {
+            scanner.test_attr_armed = true;
+        }
+
+        if in_test || scanner.test_region_exit.is_some() && scanner.test_attr_armed {
+            prev_raw = raw;
+            continue;
+        }
+        if scanner.test_region_exit.is_some() {
+            prev_raw = raw;
+            continue;
+        }
+
+        for rule in rules_for_line(&code, is_binary) {
+            if waived(rule, raw) || waived(rule, prev_raw) {
+                continue;
+            }
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line: line_no,
+                rule,
+                excerpt: raw.to_string(),
+            });
+        }
+        prev_raw = raw;
+    }
+}
+
+/// Which rules the (comment- and string-stripped) line violates.
+fn rules_for_line(code: &str, is_binary: bool) -> Vec<Rule> {
+    let mut hits = Vec::new();
+    if code.contains("std::collections::") && (code.contains("HashMap") || code.contains("HashSet"))
+    {
+        hits.push(Rule::DefaultHasher);
+    }
+    if code.contains("std::time::") && (code.contains("SystemTime") || code.contains("Instant")) {
+        hits.push(Rule::WallClock);
+    }
+    if !is_binary {
+        if code.contains(".unwrap()") || code.contains(".expect(") {
+            hits.push(Rule::NoUnwrap);
+        }
+        if code.contains("println!") || code.contains("eprintln!") {
+            hits.push(Rule::NoPrint);
+        }
+    }
+    hits
+}
+
+/// `true` when the raw line carries a waiver comment for `rule`.
+fn waived(rule: Rule, raw: &str) -> bool {
+    raw.contains(&format!("lint: allow({})", rule.id()))
+}
+
+/// `true` for attributes that put the following item under `cfg(test)`.
+fn is_test_cfg(code: &str) -> bool {
+    code.contains("#[cfg(test)]")
+        || code.contains("#[cfg(all(test")
+        || code.contains("#[cfg(any(test")
+}
+
+/// Removes comments and the contents of string/char literals from one
+/// line, so token matching cannot fire inside either. Block-comment state
+/// carries across lines; string literals are treated as line-local (the
+/// workspace style keeps multi-line literals out of simulation code).
+fn strip_noise(raw: &str, in_block_comment: &mut bool) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
+                // Raw string literal: r"..." or r#"..."# (any hash count).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'"' {
+                    let closer: String = std::iter::once('"')
+                        .chain("#".repeat(hashes).chars())
+                        .collect();
+                    match raw[j + 1..].find(&closer) {
+                        Some(off) => i = j + 1 + off + closer.len(),
+                        None => break, // unterminated on this line; drop the rest
+                    }
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            b'"' => {
+                // Cooked string literal with escapes.
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'\\' => j += 2,
+                        b'"' => break,
+                        _ => j += 1,
+                    }
+                }
+                i = (j + 1).min(bytes.len());
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
+                let rest = &bytes[i + 1..];
+                let is_char = matches!(rest, [b'\\', ..] | [_, b'\'', ..]);
+                if is_char {
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        if bytes[j] == b'\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str, is_binary: bool) -> Vec<(usize, Rule)> {
+        let mut violations = Vec::new();
+        scan_file(Path::new("test.rs"), text, is_binary, &mut violations);
+        violations.into_iter().map(|v| (v.line, v.rule)).collect()
+    }
+
+    #[test]
+    fn flags_default_hasher_import() {
+        let hits = scan("use std::collections::HashMap;\n", false);
+        assert_eq!(hits, vec![(1, Rule::DefaultHasher)]);
+        let hits = scan("use std::collections::{BTreeMap, HashSet};\n", false);
+        assert_eq!(hits, vec![(1, Rule::DefaultHasher)]);
+    }
+
+    #[test]
+    fn allows_btreemap_and_fx() {
+        assert!(scan("use std::collections::BTreeMap;\n", false).is_empty());
+        assert!(scan("use hps_core::hash::FxHashMap;\n", false).is_empty());
+        assert!(scan(
+            "let m: FxHashMap<u64, u64> = FxHashMap::default();\n",
+            false
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_and_print_in_library_only() {
+        let text = "fn f() { x.unwrap(); println!(\"hi\"); }\n";
+        let hits = scan(text, false);
+        assert_eq!(hits, vec![(1, Rule::NoUnwrap), (1, Rule::NoPrint)]);
+        assert!(scan(text, true).is_empty(), "binaries are exempt");
+    }
+
+    #[test]
+    fn flags_wall_clock() {
+        let hits = scan("use std::time::Instant;\n", false);
+        assert_eq!(hits, vec![(1, Rule::WallClock)]);
+        let hits = scan("let t = std::time::SystemTime::now();\n", true);
+        assert_eq!(hits, vec![(1, Rule::WallClock)], "binaries are NOT exempt");
+        assert!(scan("use std::time::Duration;\n", false).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let text = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); println!(\"ok\"); }
+}
+fn after() { y.unwrap(); }
+";
+        let hits = scan(text, false);
+        assert_eq!(
+            hits,
+            vec![(7, Rule::NoUnwrap)],
+            "only code after the region"
+        );
+    }
+
+    #[test]
+    fn cfg_test_single_item_does_not_open_region() {
+        let text = "\
+#[cfg(test)]
+use foo::bar;
+fn lib() { x.unwrap(); }
+";
+        let hits = scan(text, false);
+        assert_eq!(hits, vec![(3, Rule::NoUnwrap)]);
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line() {
+        let same = "use std::collections::HashMap; // lint: allow(default-hasher)\n";
+        assert!(scan(same, false).is_empty());
+        let prev = "// lint: allow(no-unwrap)\nlet v = x.unwrap();\n";
+        assert!(scan(prev, false).is_empty());
+        let wrong = "// lint: allow(no-print)\nlet v = x.unwrap();\n";
+        assert_eq!(scan(wrong, false), vec![(2, Rule::NoUnwrap)]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        assert!(scan("let s = \"std::collections::HashMap\";\n", false).is_empty());
+        assert!(scan("// std::collections::HashMap\n", false).is_empty());
+        assert!(scan("/* x.unwrap() */\n", false).is_empty());
+        assert!(scan("let s = r#\"println!(\"hi\")\"#;\n", false).is_empty());
+        let multiline = "/*\nuse std::time::Instant;\n*/\nfn ok() {}\n";
+        assert!(scan(multiline, false).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_fire() {
+        assert!(scan("/// call `.unwrap()` to explode\nfn f() {}\n", false).is_empty());
+        assert!(scan("//! println! is forbidden here\n", false).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive_stripping() {
+        let mut b = false;
+        assert_eq!(
+            strip_noise("let c = '\"'; x.unwrap()", &mut b),
+            "let c = ; x.unwrap()"
+        );
+        let mut b = false;
+        assert_eq!(
+            strip_noise("fn f<'a>(x: &'a str) {}", &mut b),
+            "fn f<'a>(x: &'a str) {}"
+        );
+    }
+
+    #[test]
+    fn expect_err_is_not_expect() {
+        assert!(scan("let e = r.expect_err(\"must fail\");\n", false).is_empty());
+        assert_eq!(
+            scan("let v = r.expect(\"must work\");\n", false),
+            vec![(1, Rule::NoUnwrap)]
+        );
+    }
+}
