@@ -24,21 +24,25 @@ fn bench_write_path(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("sequential_no_gc", |b| {
-        // Fresh device, distinct LPNs: the allocator fast path.
+        // Fresh device, distinct LPNs: the allocator fast path. The op
+        // buffer is reused across iterations — the same contract as the
+        // device's ReplayScratch, so this measures the allocation-free
+        // steady state.
         let mut ftl = Ftl::new(config(GcTrigger::default())).unwrap();
         let capacity = 2 * 16 * 32 - 64; // leave a reserve
         let mut lpn = 0u64;
+        let mut ops = Vec::with_capacity(64);
         b.iter(|| {
             if lpn >= capacity {
                 ftl = Ftl::new(config(GcTrigger::default())).unwrap();
                 lpn = 0;
             }
             let plane = (lpn % 2) as usize;
-            let ops = ftl
-                .write_chunk(plane, Bytes::kib(4), &[Lpn(lpn)], Bytes::kib(4))
+            ops.clear();
+            ftl.write_chunk_into(plane, Bytes::kib(4), &[Lpn(lpn)], Bytes::kib(4), &mut ops)
                 .unwrap();
             lpn += 1;
-            black_box(ops)
+            black_box(ops.len())
         });
     });
 
@@ -62,17 +66,18 @@ fn bench_write_path(c: &mut Criterion) {
                 // Hot overwrites force steady-state GC.
                 let mut ftl = Ftl::new(config(trigger)).unwrap();
                 let mut i = 0u64;
+                let mut ops = Vec::with_capacity(64);
                 b.iter(|| {
                     let lpn = Lpn(i % 48);
                     let plane = (i % 2) as usize;
                     i += 1;
-                    let ops = ftl
-                        .write_chunk(plane, Bytes::kib(4), &[lpn], Bytes::kib(4))
+                    ops.clear();
+                    ftl.write_chunk_into(plane, Bytes::kib(4), &[lpn], Bytes::kib(4), &mut ops)
                         .unwrap();
                     if trigger.collects_when_idle() && i.is_multiple_of(16) {
-                        black_box(ftl.idle_gc().unwrap());
+                        ftl.idle_gc_into(&mut ops).unwrap();
                     }
-                    black_box(ops)
+                    black_box(ops.len())
                 });
             },
         );

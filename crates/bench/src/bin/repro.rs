@@ -1,9 +1,9 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--out DIR] [--jobs N]
-//! repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE]
-//!                  [--jsonl-out FILE]
+//! repro <experiment> [--out DIR] [--jobs N] [--scale N]
+//! repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream]
+//!                  [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]
 //! repro diff <a.summary> <b.summary> [--tolerance F]
 //!
 //! experiments:
@@ -29,6 +29,13 @@
 //! (relative, default 0 = exact), so CI can re-run an experiment and
 //! fail the build on drift.
 //!
+//! `--scale N` replays `N` streamed generation epochs per workload
+//! through the streaming trace engine — resident memory stays flat no
+//! matter how large `N` gets. It applies to workload targets and to
+//! `table4` (the other experiments need materialized traces and reject
+//! it). `--stream` forces the streaming engine even at scale 1; the
+//! result is byte-identical to the materialized replay, which CI checks.
+//!
 //! Any paper workload name (see `trace-tool list`) is also accepted as a
 //! target: it is replayed on the Table V device with telemetry attached.
 //! `--trace-out` writes the request-lifecycle trace as Chrome trace JSON
@@ -39,7 +46,7 @@
 use hps_bench::ablations::{ablate_channels, ablate_gc, ablate_power, ablate_ratio};
 use hps_bench::experiments::{
     exp_characteristics, exp_fig3, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fig8, exp_fig9,
-    exp_overhead, exp_table3, exp_table4, exp_table5, run_full_case_study,
+    exp_overhead, exp_table3, exp_table4, exp_table4_scaled, exp_table5, run_full_case_study,
 };
 use hps_bench::implications::{
     endurance, implication3_read_cache, implication5_slc, stack_pipeline,
@@ -47,7 +54,7 @@ use hps_bench::implications::{
 use hps_core::Bytes;
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
 use hps_obs::{render_summary, write_chrome_trace, JsonlStreamSink, Telemetry};
-use hps_workloads::{by_name, generate};
+use hps_workloads::{by_name, generate, stream};
 use std::io::Write as _;
 use std::path::Path;
 // lint: allow(wall-clock) -- operator progress timing only; never enters simulation results
@@ -85,6 +92,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
     let mut tolerance = 0.0_f64;
+    let mut scale: u64 = 1;
+    let mut stream_replay = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -132,6 +141,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scale" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => scale = n,
+                _ => {
+                    eprintln!("--scale requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--stream" => stream_replay = true,
             "--jsonl-out" => match iter.next() {
                 Some(path) => jsonl_out = Some(path),
                 None => {
@@ -184,8 +201,13 @@ fn main() {
     for target in &targets {
         eprintln!("[repro] {target}");
         let target_started = Instant::now();
+        if scale > 1 && target != "table4" && by_name(target).is_none() {
+            eprintln!("--scale applies only to workload targets and table4 (got '{target}')");
+            std::process::exit(2);
+        }
         let output = match target.as_str() {
             "table3" => exp_table3(),
+            "table4" if scale > 1 => exp_table4_scaled(scale),
             "table4" => exp_table4(),
             "table5" => exp_table5(),
             "fig3" => exp_fig3(),
@@ -209,6 +231,8 @@ fn main() {
                 match replay_workload(
                     workload,
                     scheme,
+                    scale,
+                    stream_replay,
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
                     jsonl_out.as_deref(),
@@ -245,15 +269,21 @@ fn main() {
 
 /// Replays one paper workload on the Table V device with telemetry
 /// attached, writing the Chrome trace and/or metrics summary when asked.
+///
+/// With `--stream` or `--scale > 1` the requests come from the streaming
+/// generator instead of a materialized trace; at scale 1 the two paths
+/// produce byte-identical metrics (the stream replays the generator's
+/// exact draws).
 fn replay_workload(
     name: &str,
     scheme: SchemeKind,
+    scale: u64,
+    stream_replay: bool,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
     jsonl_out: Option<&str>,
 ) -> Result<String, Box<dyn std::error::Error>> {
     let profile = by_name(name).expect("caller checked the name");
-    let mut trace = generate(&profile, 42);
     // Same device as `trace-tool replay`: Table V plus the write cache and
     // interleaved channels, so the two tools report comparable numbers.
     let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
@@ -275,7 +305,13 @@ fn replay_workload(
     } else {
         Telemetry::registry_only()
     });
-    let metrics = device.replay(&mut trace)?;
+    let metrics = if stream_replay || scale > 1 {
+        let mut source = stream(&profile, 42, scale);
+        device.replay_stream(&mut source)?
+    } else {
+        let mut trace = generate(&profile, 42);
+        device.replay(&mut trace)?
+    };
     device.export_state_metrics();
     let mut telemetry = device.take_telemetry().expect("attached above");
 
@@ -362,9 +398,9 @@ fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <experiment>... [--out DIR] [--jobs N]");
+    eprintln!("usage: repro <experiment>... [--out DIR] [--jobs N] [--scale N]");
     eprintln!(
-        "       repro <workload> [--scheme 4PS|8PS|HPS] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
+        "       repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
     );
     eprintln!("       repro diff <a.summary> <b.summary> [--tolerance F]");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
@@ -372,4 +408,8 @@ fn print_usage() {
     eprintln!(
         "--jobs N:    worker-pool size for the parallel sweeps (default: all cores; 1 = serial)"
     );
+    eprintln!(
+        "--scale N:   stream N generation epochs per trace at O(1) memory (workloads and table4)"
+    );
+    eprintln!("--stream:    use the streaming engine even at scale 1 (byte-identical metrics)");
 }

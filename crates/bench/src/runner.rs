@@ -13,7 +13,7 @@ use hps_core::hash::FxHashMap;
 use hps_core::{par, Result};
 use hps_emmc::{DeviceConfig, EmmcDevice, ReplayMetrics, SchemeKind};
 use hps_trace::Trace;
-use hps_workloads::{all_combos, all_individual, by_name, generate};
+use hps_workloads::{all_combos, all_individual, by_name, generate, stream, AppProfile};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The master seed every experiment uses; re-running any experiment
@@ -100,6 +100,29 @@ pub fn replay_on(trace: &mut Trace, scheme: SchemeKind) -> Result<ReplayMetrics>
     dev.replay(trace)
 }
 
+/// Replays `scale` streamed generation epochs of one profile on the
+/// [`replay_on`] device, without ever materializing the trace: requests
+/// are produced one at a time, so resident memory stays independent of
+/// `scale`. At `scale = 1` the metrics are identical to
+/// `replay_on(&mut trace_by_name(name), scheme)` because the stream
+/// reproduces the materialized generator draw-for-draw under the same
+/// [`MASTER_SEED`].
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn stream_replay_on(
+    profile: &AppProfile,
+    scheme: SchemeKind,
+    scale: u64,
+) -> Result<ReplayMetrics> {
+    let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(hps_core::Bytes::kib(512));
+    cfg.channel_mode = hps_emmc::ChannelMode::Interleaved;
+    let mut dev = EmmcDevice::new(cfg)?;
+    let mut source = stream(profile, MASTER_SEED, scale);
+    dev.replay_stream(&mut source)
+}
+
 /// Replays each trace on a fresh device of `scheme` (see [`replay_on`]),
 /// fanning the independent replays out over the job pool. Returns the
 /// replayed traces in input order — byte-identical to a serial loop.
@@ -154,5 +177,24 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_name_panics() {
         let _ = trace_by_name("NotAnApp");
+    }
+
+    #[test]
+    fn stream_replay_matches_materialized_at_scale_one() {
+        let profile = by_name("Email").unwrap();
+        let streamed = stream_replay_on(&profile, SchemeKind::Ps4, 1).unwrap();
+        let mut trace = trace_by_name("Email");
+        let materialized = replay_on(&mut trace, SchemeKind::Ps4).unwrap();
+        assert_eq!(streamed.total_requests, materialized.total_requests);
+        assert_eq!(streamed.response_samples(), materialized.response_samples());
+        assert_eq!(streamed.nowait_requests, materialized.nowait_requests);
+        assert_eq!(streamed.ftl.gc_runs, materialized.ftl.gc_runs);
+    }
+
+    #[test]
+    fn stream_replay_scales_request_count() {
+        let profile = by_name("CallIn").unwrap();
+        let m = stream_replay_on(&profile, SchemeKind::Ps4, 3).unwrap();
+        assert_eq!(m.total_requests, profile.num_reqs * 3);
     }
 }

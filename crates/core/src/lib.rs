@@ -17,6 +17,8 @@
 //!   result order (parallel runs stay byte-identical to serial ones).
 //! * [`hash`] — a fast deterministic integer hasher ([`FxHashMap`]) for
 //!   the FTL and cache hot paths.
+//! * [`scratch`] — inline small-vectors and reusable buffer bundles that
+//!   keep the per-request replay path free of heap allocations.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod hash;
 pub mod par;
 pub mod request;
 pub mod rng;
+pub mod scratch;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -44,6 +47,7 @@ pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use request::{Direction, IoRequest, RequestId};
 pub use rng::SimRng;
+pub use scratch::{InlineVec, ReplayScratch};
 pub use stats::{Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};
 pub use units::Bytes;

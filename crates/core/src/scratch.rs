@@ -1,0 +1,278 @@
+//! Reusable scratch buffers for the allocation-free replay hot path.
+//!
+//! Replaying a trace drives millions of requests through the same short
+//! pipeline (split → map → schedule). Before this module existed every
+//! stage allocated a fresh `Vec` per request, so replay cost grew with
+//! allocator pressure instead of with simulated work. The two types here
+//! remove that:
+//!
+//! * [`InlineVec`] — a fixed-capacity small-vector that lives entirely on
+//!   the stack (or inline in a parent struct). Used for per-chunk LPN
+//!   lists, which the eMMC page-pairing schemes bound at two entries.
+//! * [`ReplayScratch`] — a bundle of growable buffers owned by the device
+//!   and reused across requests. Each buffer keeps its high-water-mark
+//!   capacity, so after a short warm-up the per-request path performs
+//!   zero heap allocations (verified by a counting-allocator test in
+//!   `hps-emmc`).
+//!
+//! The element types are generic so that this crate — the root of the
+//! dependency graph — does not need to know about flash operations or
+//! logical page numbers defined downstream.
+
+/// A fixed-capacity vector stored inline, for element counts with a hard
+/// upper bound known at compile time.
+///
+/// Unlike a small-vector with a heap spill path, `InlineVec` never
+/// allocates: pushing beyond `N` elements panics. The replay hot path
+/// uses it where the domain bounds the length (a physical flash page
+/// hosts at most two logical pages), so the panic doubles as an
+/// invariant check.
+///
+/// ```
+/// use hps_core::scratch::InlineVec;
+///
+/// let mut v: InlineVec<u32, 2> = InlineVec::new();
+/// v.push(7);
+/// v.push(9);
+/// assert_eq!(&v[..], &[7, 9]);
+/// assert_eq!(v, vec![7, 9]); // compares by contents
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct InlineVec<T, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        debug_assert!(N <= u8::MAX as usize, "InlineVec capacity fits in u8");
+        InlineVec {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Builds a vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() > N`.
+    #[inline]
+    pub fn from_slice(slice: &[T]) -> Self {
+        let mut v = Self::new();
+        for &item in slice {
+            v.push(item);
+        }
+        v
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector already holds `N` elements.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        assert!((self.len as usize) < N, "InlineVec capacity {N} exceeded",);
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all elements (capacity is fixed, so this is just a length
+    /// reset).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> core::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<InlineVec<T, M>>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &InlineVec<T, M>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<&[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+/// The per-device bundle of reusable replay buffers.
+///
+/// One `ReplayScratch` lives inside each `EmmcDevice`. At the top of
+/// `submit` the device takes the bundle out of `self` (a cheap pointer
+/// move), threads `&mut` references to the individual buffers through the
+/// request pipeline, and puts it back before returning — sidestepping
+/// simultaneous-borrow conflicts with the device's other state.
+///
+/// Buffers are cleared at each use site, never shrunk, so steady-state
+/// replay reuses the high-water-mark capacity reached during warm-up.
+///
+/// Type parameters (bound downstream by `hps-emmc`):
+///
+/// * `Op` — flash operation type (`FlashOp`),
+/// * `L` — logical page number type (`Lpn`),
+/// * `C` — distributor chunk type (`Chunk`).
+#[derive(Clone, Debug)]
+pub struct ReplayScratch<Op, L, C> {
+    /// Flash operations emitted for the current request (host work plus
+    /// any inline garbage collection).
+    pub ops: Vec<Op>,
+    /// Write-path chunks produced by the distributor for the current
+    /// request.
+    pub chunks: Vec<C>,
+    /// Read-path chunking of unmapped LPN runs (sized separately from
+    /// `chunks` because both buffers can be live at once).
+    pub read_chunks: Vec<C>,
+    /// Logical pages touched by the current request.
+    pub lpns: Vec<L>,
+    /// Logical pages the FTL reported unmapped (never-written reads).
+    pub unmapped: Vec<L>,
+}
+
+impl<Op, L, C> Default for ReplayScratch<Op, L, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Op, L, C> ReplayScratch<Op, L, C> {
+    /// Creates an empty bundle; buffers grow to their steady-state
+    /// capacity during the first few requests.
+    pub fn new() -> Self {
+        ReplayScratch {
+            ops: Vec::new(),
+            chunks: Vec::new(),
+            read_chunks: Vec::new(),
+            lpns: Vec::new(),
+            unmapped: Vec::new(),
+        }
+    }
+
+    /// Clears every buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.chunks.clear();
+        self.read_chunks.clear();
+        self.lpns.clear();
+        self.unmapped.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_vec_push_and_slice() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(3);
+        v.push(5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_slice(), &[3, 5]);
+        assert_eq!(v, vec![3, 5]);
+        assert_eq!(v, [3, 5]);
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exceeded")]
+    fn inline_vec_overflow_panics() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn inline_vec_from_slice_and_iter() {
+        let v: InlineVec<u32, 4> = InlineVec::from_slice(&[1, 2, 3]);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let w: InlineVec<u32, 4> = (0..4).collect();
+        assert_eq!(w, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_clear_keeps_capacity() {
+        let mut s: ReplayScratch<u32, u64, u8> = ReplayScratch::new();
+        s.ops.extend([1, 2, 3]);
+        s.lpns.push(9);
+        let cap = s.ops.capacity();
+        s.clear();
+        assert!(s.ops.is_empty() && s.lpns.is_empty());
+        assert_eq!(s.ops.capacity(), cap);
+    }
+}

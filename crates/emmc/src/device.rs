@@ -8,18 +8,23 @@
 //! channels and four dies.
 
 use crate::cache::WriteCache;
-use crate::distributor::{split_lpn_run, split_request};
+use crate::distributor::{split_lpn_run_into, split_request_into, Chunk};
 use crate::metrics::ReplayMetrics;
 use crate::power::{PowerConfig, PowerModel};
 use crate::readcache::ReadCache;
 use crate::schedule::{ChannelMode, ResourceSchedule};
 use crate::scheme::SchemeKind;
 use crate::slc::{SlcBuffer, SlcConfig};
+use hps_core::scratch::ReplayScratch;
 use hps_core::{Bytes, Direction, Error, IoRequest, Result, SimDuration, SimTime};
 use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn, OpKind};
 use hps_nand::NandTiming;
 use hps_obs::{AckKind, Event, EventKind, OpClass, Telemetry};
-use hps_trace::Trace;
+use hps_trace::{Trace, TraceSource};
+
+/// The device's concrete scratch-buffer bundle (see
+/// [`hps_core::scratch::ReplayScratch`]).
+type Scratch = ReplayScratch<FlashOp, Lpn, Chunk>;
 
 /// Full configuration of a simulated eMMC device.
 #[derive(Clone, Debug)]
@@ -143,6 +148,9 @@ pub struct EmmcDevice {
     /// Cross-layer telemetry; `None` (the default) costs one branch per
     /// instrumentation site.
     telemetry: Option<Telemetry>,
+    /// Reusable per-request buffers; after warm-up the submit path
+    /// performs no heap allocations.
+    scratch: Scratch,
     /// Audits the FIFO interface: arrival timestamps must never regress
     /// (debug builds + `sanitize` feature).
     #[cfg(any(debug_assertions, feature = "sanitize"))]
@@ -179,6 +187,7 @@ impl EmmcDevice {
             read_cache,
             pool_spills: 0,
             telemetry: None,
+            scratch: Scratch::new(),
             #[cfg(any(debug_assertions, feature = "sanitize"))]
             arrivals: hps_core::audit::MonotonicityGuard::new(),
         })
@@ -273,6 +282,16 @@ impl EmmcDevice {
     }
 
     fn submit_inner(&mut self, request: &IoRequest) -> Result<Completion> {
+        // Take the scratch bundle out of `self` (a cheap pointer move) so
+        // the pipeline below can borrow the device and the buffers
+        // independently; put it back whatever happens.
+        let mut scratch = core::mem::take(&mut self.scratch);
+        let result = self.serve(request, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn serve(&mut self, request: &IoRequest, scratch: &mut Scratch) -> Result<Completion> {
         let arrival = request.arrival;
 
         // Idle-time GC (Implication 2): if the gap since the device went
@@ -280,11 +299,13 @@ impl EmmcDevice {
         if self.config.ftl.gc_trigger.collects_when_idle()
             && arrival.saturating_since(self.busy_until) >= self.config.idle_gc_min_gap
         {
-            let ops = self.ftl.idle_gc_observed(self.telemetry.as_mut())?;
-            if !ops.is_empty() {
+            scratch.ops.clear();
+            self.ftl
+                .idle_gc_observed_into(self.telemetry.as_mut(), &mut scratch.ops)?;
+            if !scratch.ops.is_empty() {
                 self.idle_gc_passes += 1;
                 let gc_start = self.busy_until;
-                let gc_finish = self.schedule_ops(&ops, gc_start, None);
+                let gc_finish = self.schedule_ops(&scratch.ops, gc_start, None);
                 if let Some(tel) = &mut self.telemetry {
                     tel.registry.add("emmc.gc.idle_passes", 1);
                     if tel.recording() {
@@ -292,7 +313,7 @@ impl EmmcDevice {
                             gc_start,
                             gc_finish.saturating_since(gc_start),
                             EventKind::GcPass {
-                                ops: ops.len() as u32,
+                                ops: scratch.ops.len() as u32,
                                 idle: true,
                             },
                         ));
@@ -322,10 +343,12 @@ impl EmmcDevice {
         let service_start = arrival.max(self.busy_until);
         let start = service_start + wakeup + self.config.cmd_overhead;
 
-        let ops = self.build_ops(request)?;
-        let host_chunks = ops.iter().filter(|op| !op.for_gc).count() as u32;
-        let inline_gc_ops = ops.len() as u32 - host_chunks;
-        let flash_finish = self.schedule_ops(&ops, start, Some(request.id)).max(start);
+        self.build_ops(request, scratch)?;
+        let host_chunks = scratch.ops.iter().filter(|op| !op.for_gc).count() as u32;
+        let inline_gc_ops = scratch.ops.len() as u32 - host_chunks;
+        let flash_finish = self
+            .schedule_ops(&scratch.ops, start, Some(request.id))
+            .max(start);
 
         // SLC-mode region (Implication 5): small writes are acknowledged
         // after the fast SLC program; the MLC programs already scheduled on
@@ -569,6 +592,63 @@ impl EmmcDevice {
                 metrics.nowait_requests += 1;
             }
         }
+        self.finish_replay_metrics(&mut metrics);
+        Ok(metrics)
+    }
+
+    /// Replays every request a [`TraceSource`] yields, without ever
+    /// materializing the trace: resident memory stays O(1) in the stream
+    /// length (capped metrics, reused scratch buffers). With a source that
+    /// cursors over a materialized trace — or a streaming generator at
+    /// scale 1 — the returned metrics are identical to
+    /// [`EmmcDevice::replay`]'s, because the per-request arithmetic is the
+    /// same (`response = finish − arrival`, `service = finish −
+    /// service_start`, no-wait ⇔ `service_start = arrival`) and requests
+    /// are submitted in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error a submission raises.
+    pub fn replay_stream<S: TraceSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<ReplayMetrics> {
+        let mut metrics = ReplayMetrics {
+            trace_name: source.name().to_string(),
+            scheme: self.config.scheme.label().to_string(),
+            ..ReplayMetrics::default()
+        };
+        while let Some(request) = source.next_request() {
+            let completion = self.submit(&request)?;
+            metrics.total_requests += 1;
+            match request.direction {
+                Direction::Read => metrics.reads += 1,
+                Direction::Write => metrics.writes += 1,
+            }
+            let response_ms = completion
+                .finish
+                .saturating_since(request.arrival)
+                .as_ms_f64();
+            metrics.response_ms.push(response_ms);
+            metrics.push_response_sample(response_ms);
+            metrics.service_ms.push(
+                completion
+                    .finish
+                    .saturating_since(completion.service_start)
+                    .as_ms_f64(),
+            );
+            if completion.service_start == request.arrival {
+                metrics.nowait_requests += 1;
+            }
+        }
+        self.finish_replay_metrics(&mut metrics);
+        Ok(metrics)
+    }
+
+    /// End-of-replay bookkeeping shared by [`EmmcDevice::replay`] and
+    /// [`EmmcDevice::replay_stream`]: snapshot FTL/power state into the
+    /// metrics and run the end-of-run audit sweep.
+    fn finish_replay_metrics(&self, metrics: &mut ReplayMetrics) {
         metrics.ftl = self.ftl.stats();
         metrics.space = self.ftl.space();
         metrics.wear = self.ftl.wear();
@@ -577,7 +657,6 @@ impl EmmcDevice {
         metrics.idle_gc_passes = self.idle_gc_passes;
         metrics.pool_spills = self.pool_spills;
         self.audit_end_of_run();
-        Ok(metrics)
     }
 
     /// End-of-run invariant sweep: a full shadow-vs-real FTL cross-check
@@ -595,72 +674,86 @@ impl EmmcDevice {
     }
 
     /// Builds the flash operations for a request (including any GC the FTL
-    /// performs inline for writes).
-    fn build_ops(&mut self, request: &IoRequest) -> Result<Vec<FlashOp>> {
+    /// performs inline for writes) into `scratch.ops`. Every buffer used
+    /// is part of `scratch`, so a warm call allocates nothing.
+    fn build_ops(&mut self, request: &IoRequest, scratch: &mut Scratch) -> Result<()> {
         let request = self.clamp_to_capacity(request);
+        scratch.ops.clear();
         match request.direction {
             Direction::Write => {
-                let chunks = split_request(&request, self.config.scheme);
+                scratch.chunks.clear();
+                split_request_into(&request, self.config.scheme, &mut scratch.chunks);
                 // Write-allocate into the read cache: recently written data
                 // is the likeliest to be re-read.
                 if let Some(cache) = &mut self.read_cache {
-                    for chunk in &chunks {
+                    for chunk in &scratch.chunks {
                         for &lpn in &chunk.lpns {
                             cache.insert(lpn);
                         }
                     }
                 }
-                let mut ops = Vec::with_capacity(chunks.len());
-                for chunk in chunks {
+                for chunk in &scratch.chunks {
                     let plane = self.pick_plane();
-                    match self.ftl.write_chunk_observed(
+                    let ops_before = scratch.ops.len();
+                    match self.ftl.write_chunk_observed_into(
                         plane,
                         chunk.page_size,
                         &chunk.lpns,
                         chunk.data,
                         self.telemetry.as_mut(),
+                        &mut scratch.ops,
                     ) {
-                        Ok(chunk_ops) => ops.extend(chunk_ops),
+                        Ok(()) => {}
                         Err(Error::CapacityExhausted { .. }) => {
-                            ops.extend(self.spill_chunk(plane, &chunk)?);
+                            // The failed attempt's ops (inline GC before the
+                            // exhaustion) are not scheduled — the historical
+                            // semantics of the per-call op list.
+                            scratch.ops.truncate(ops_before);
+                            self.spill_chunk(plane, chunk, &mut scratch.ops)?;
                         }
                         Err(e) => return Err(e),
                     }
                 }
-                Ok(ops)
+                Ok(())
             }
             Direction::Read => {
                 let first = Lpn::from_lba(request.lba);
                 let pages = request.size.div_ceil(Bytes::kib(4));
-                let mut lpns: Vec<Lpn> = (0..pages).map(|i| Lpn(first.0 + i)).collect();
+                scratch.lpns.clear();
+                scratch.lpns.extend((0..pages).map(|i| Lpn(first.0 + i)));
                 // RAM read cache (Implication 3): cached pages cost no
                 // flash operation.
-                let before_cache = lpns.len();
+                let before_cache = scratch.lpns.len();
                 if let Some(cache) = &mut self.read_cache {
-                    lpns.retain(|&lpn| !cache.lookup(lpn));
+                    scratch.lpns.retain(|&lpn| !cache.lookup(lpn));
                 }
-                let (mut ops, unmapped) = self.ftl.read_ops(&lpns);
+                scratch.unmapped.clear();
+                self.ftl
+                    .read_ops_into(&scratch.lpns, &mut scratch.ops, &mut scratch.unmapped);
                 if let Some(tel) = &mut self.telemetry {
-                    let hits = (before_cache - lpns.len()) as u64;
+                    let hits = (before_cache - scratch.lpns.len()) as u64;
                     if hits > 0 {
                         tel.registry.add("emmc.read_cache.hits", hits);
                     }
-                    tel.registry.add("ftl.map.read_lookups", lpns.len() as u64);
-                    if !unmapped.is_empty() {
+                    tel.registry
+                        .add("ftl.map.read_lookups", scratch.lpns.len() as u64);
+                    if !scratch.unmapped.is_empty() {
                         tel.registry
-                            .add("ftl.map.unmapped_reads", unmapped.len() as u64);
+                            .add("ftl.map.unmapped_reads", scratch.unmapped.len() as u64);
                     }
                 }
                 // Never-written LPNs model pre-existing data (the trace was
                 // captured on a device with a populated filesystem): charge
                 // the reads the scheme would perform, page-sized like writes.
-                for run in consecutive_runs(&unmapped) {
-                    for chunk in split_lpn_run(run.0, run.1, self.config.scheme) {
+                for run in consecutive_runs(&scratch.unmapped) {
+                    scratch.read_chunks.clear();
+                    split_lpn_run_into(run.0, run.1, self.config.scheme, &mut scratch.read_chunks);
+                    for chunk in &scratch.read_chunks {
                         let plane = self.pick_plane();
-                        ops.push(FlashOp::read(plane, chunk.page_size));
+                        scratch.ops.push(FlashOp::read(plane, chunk.page_size));
                     }
                 }
-                Ok(ops)
+                Ok(())
             }
         }
     }
@@ -679,43 +772,35 @@ impl EmmcDevice {
     /// page size (HPS only): an 8 KiB pair becomes two 4 KiB pages; a lone
     /// 4 KiB chunk pads into an 8 KiB page (half wasted). Without an
     /// alternative pool the original exhaustion propagates.
-    fn spill_chunk(
-        &mut self,
-        plane: usize,
-        chunk: &crate::distributor::Chunk,
-    ) -> Result<Vec<FlashOp>> {
+    fn spill_chunk(&mut self, plane: usize, chunk: &Chunk, ops: &mut Vec<FlashOp>) -> Result<()> {
         let k4 = Bytes::kib(4);
         let k8 = Bytes::kib(8);
         let exhausted = || Error::CapacityExhausted {
             location: format!("plane {plane} (both pools, spill failed)"),
         };
-        let mut ops = Vec::new();
         if chunk.page_size == k8 && self.config.scheme.has_4k() {
             for &lpn in &chunk.lpns {
                 let plane = self.pick_plane();
-                ops.extend(
-                    self.ftl
-                        .write_chunk_observed(plane, k4, &[lpn], k4, self.telemetry.as_mut())
-                        .map_err(|_| exhausted())?,
-                );
+                self.ftl
+                    .write_chunk_observed_into(plane, k4, &[lpn], k4, self.telemetry.as_mut(), ops)
+                    .map_err(|_| exhausted())?;
             }
         } else if chunk.page_size == k4 && self.config.scheme.has_8k() {
-            ops.extend(
-                self.ftl
-                    .write_chunk_observed(
-                        plane,
-                        k8,
-                        &chunk.lpns,
-                        chunk.data,
-                        self.telemetry.as_mut(),
-                    )
-                    .map_err(|_| exhausted())?,
-            );
+            self.ftl
+                .write_chunk_observed_into(
+                    plane,
+                    k8,
+                    &chunk.lpns,
+                    chunk.data,
+                    self.telemetry.as_mut(),
+                    ops,
+                )
+                .map_err(|_| exhausted())?;
         } else {
             return Err(exhausted());
         }
         self.pool_spills += 1;
-        Ok(ops)
+        Ok(())
     }
 
     /// Chunks spilled across pools so far (see [`Self::spill_chunk`]).
@@ -771,26 +856,37 @@ impl core::fmt::Debug for EmmcDevice {
     }
 }
 
-/// Groups sorted LPNs into `(start, length)` runs of consecutive values.
-fn consecutive_runs(lpns: &[Lpn]) -> Vec<(Lpn, u64)> {
-    let mut runs = Vec::new();
-    let mut iter = lpns.iter();
-    let Some(&first) = iter.next() else {
-        return runs;
-    };
-    let mut start = first;
-    let mut len = 1u64;
-    for &lpn in iter {
-        if lpn.0 == start.0 + len {
+/// Groups LPNs into `(start, length)` runs of consecutive ascending
+/// values, lazily — no allocation. Input is normally sorted; for repeated
+/// or non-monotonic input, any element that is not exactly `start + len`
+/// simply begins a new run.
+fn consecutive_runs(lpns: &[Lpn]) -> ConsecutiveRuns<'_> {
+    ConsecutiveRuns { lpns, idx: 0 }
+}
+
+/// Iterator returned by [`consecutive_runs`].
+struct ConsecutiveRuns<'a> {
+    lpns: &'a [Lpn],
+    idx: usize,
+}
+
+impl Iterator for ConsecutiveRuns<'_> {
+    type Item = (Lpn, u64);
+
+    fn next(&mut self) -> Option<(Lpn, u64)> {
+        let start = *self.lpns.get(self.idx)?;
+        self.idx += 1;
+        let mut len = 1u64;
+        while self
+            .lpns
+            .get(self.idx)
+            .is_some_and(|lpn| lpn.0 == start.0 + len)
+        {
             len += 1;
-        } else {
-            runs.push((start, len));
-            start = lpn;
-            len = 1;
+            self.idx += 1;
         }
+        Some((start, len))
     }
-    runs.push((start, len));
-    runs
 }
 
 #[cfg(test)]
@@ -808,14 +904,42 @@ mod tests {
         IoRequest::new(id, SimTime::from_ms(ms), dir, Bytes::kib(kib), lba)
     }
 
+    fn runs(lpns: &[Lpn]) -> Vec<(Lpn, u64)> {
+        consecutive_runs(lpns).collect()
+    }
+
     #[test]
     fn consecutive_runs_grouping() {
         let lpns = [Lpn(1), Lpn(2), Lpn(3), Lpn(7), Lpn(9), Lpn(10)];
-        assert_eq!(
-            consecutive_runs(&lpns),
-            vec![(Lpn(1), 3), (Lpn(7), 1), (Lpn(9), 2)]
-        );
-        assert!(consecutive_runs(&[]).is_empty());
+        assert_eq!(runs(&lpns), vec![(Lpn(1), 3), (Lpn(7), 1), (Lpn(9), 2)]);
+    }
+
+    #[test]
+    fn consecutive_runs_empty_input() {
+        assert!(consecutive_runs(&[]).next().is_none());
+    }
+
+    #[test]
+    fn consecutive_runs_single_lpn() {
+        assert_eq!(runs(&[Lpn(42)]), vec![(Lpn(42), 1)]);
+    }
+
+    #[test]
+    fn consecutive_runs_repeated_lpns_start_new_runs() {
+        // A repeat is not `start + len`, so it opens a fresh run rather
+        // than extending (or corrupting) the current one.
+        let lpns = [Lpn(5), Lpn(5), Lpn(6)];
+        assert_eq!(runs(&lpns), vec![(Lpn(5), 1), (Lpn(5), 2)]);
+    }
+
+    #[test]
+    fn consecutive_runs_non_monotonic_input() {
+        // Descending or out-of-order values each start their own run;
+        // every input LPN is still covered exactly once.
+        let lpns = [Lpn(9), Lpn(3), Lpn(4), Lpn(1)];
+        assert_eq!(runs(&lpns), vec![(Lpn(9), 1), (Lpn(3), 2), (Lpn(1), 1)]);
+        let total: u64 = runs(&lpns).iter().map(|&(_, len)| len).sum();
+        assert_eq!(total as usize, lpns.len());
     }
 
     #[test]

@@ -11,16 +11,22 @@
 //!   4 KiB programs).
 
 use crate::scheme::SchemeKind;
+use hps_core::scratch::InlineVec;
 use hps_core::{Bytes, IoRequest};
 use hps_ftl::Lpn;
 
 /// One page-sized piece of a request: which LPNs it covers, the physical
 /// page size it targets, and how much real payload it carries (`data` <
 /// `page_size` only for padded tails on 8PS).
+///
+/// The LPN list lives inline (a physical page hosts at most two logical
+/// pages), so a `Chunk` is a plain `Copy`-free value with no heap
+/// footprint — the replay hot path reuses a scratch `Vec<Chunk>` across
+/// requests without per-chunk allocations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Chunk {
     /// The logical pages stored in this physical page (1 or 2).
-    pub lpns: Vec<Lpn>,
+    pub lpns: InlineVec<Lpn, 2>,
     /// Target physical page size.
     pub page_size: Bytes,
     /// True payload bytes (for space accounting).
@@ -30,7 +36,7 @@ pub struct Chunk {
 impl Chunk {
     fn single(lpn: Lpn, page_size: Bytes, data: Bytes) -> Self {
         Chunk {
-            lpns: vec![lpn],
+            lpns: InlineVec::from_slice(&[lpn]),
             page_size,
             data,
         }
@@ -38,7 +44,7 @@ impl Chunk {
 
     fn pair(first: Lpn, page_size: Bytes, data: Bytes) -> Self {
         Chunk {
-            lpns: vec![first, Lpn(first.0 + 1)],
+            lpns: InlineVec::from_slice(&[first, Lpn(first.0 + 1)]),
             page_size,
             data,
         }
@@ -64,14 +70,30 @@ impl Chunk {
 /// assert_eq!(split_request(&req, SchemeKind::Ps4).len(), 5); // 4×5
 /// ```
 pub fn split_request(request: &IoRequest, scheme: SchemeKind) -> Vec<Chunk> {
+    let mut chunks = Vec::new(); // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses split_request_into
+    split_request_into(request, scheme, &mut chunks);
+    chunks
+}
+
+/// Like [`split_request`], but appends into a caller-owned buffer so the
+/// replay hot path can reuse one allocation across requests. The buffer
+/// is *not* cleared first.
+pub fn split_request_into(request: &IoRequest, scheme: SchemeKind, out: &mut Vec<Chunk>) {
     let first_lpn = Lpn::from_lba(request.lba);
     let pages = request.size.div_ceil(Bytes::kib(4));
-    split_lpn_run(first_lpn, pages, scheme)
+    split_lpn_run_into(first_lpn, pages, scheme, out);
 }
 
 /// Splits a run of `pages` consecutive LPNs starting at `first` into chunks.
 pub fn split_lpn_run(first: Lpn, pages: u64, scheme: SchemeKind) -> Vec<Chunk> {
     let mut chunks = Vec::with_capacity((pages as usize).div_ceil(2));
+    split_lpn_run_into(first, pages, scheme, &mut chunks);
+    chunks
+}
+
+/// Like [`split_lpn_run`], but appends into a caller-owned buffer (not
+/// cleared first); the allocation-free path for warm replay loops.
+pub fn split_lpn_run_into(first: Lpn, pages: u64, scheme: SchemeKind, chunks: &mut Vec<Chunk>) {
     let mut lpn = first;
     let mut remaining = pages;
     let k4 = Bytes::kib(4);
@@ -109,7 +131,6 @@ pub fn split_lpn_run(first: Lpn, pages: u64, scheme: SchemeKind) -> Vec<Chunk> {
             }
         }
     }
-    chunks
 }
 
 /// Total flash bytes the chunks consume (page sizes summed).

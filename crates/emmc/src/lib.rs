@@ -38,7 +38,7 @@ pub mod slc;
 pub use cache::WriteCache;
 pub use device::{DeviceConfig, EmmcDevice};
 pub use distributor::{split_request, Chunk};
-pub use metrics::ReplayMetrics;
+pub use metrics::{ReplayMetrics, RESPONSE_SAMPLE_CAP};
 pub use power::{PowerConfig, PowerModel};
 pub use readcache::ReadCache;
 pub use schedule::{ChannelMode, ResourceSchedule, ScheduledOp};

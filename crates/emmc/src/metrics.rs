@@ -4,8 +4,19 @@ use core::fmt;
 use hps_core::{RunningStats, SimDuration};
 use hps_ftl::{FtlStats, SpaceAccounting};
 use hps_nand::WearStats;
-use hps_obs::MetricsRegistry;
+use hps_obs::{LogHistogram, MetricsRegistry};
 use std::cell::OnceCell;
+
+/// Maximum number of raw response-time samples retained per replay.
+///
+/// The largest paper trace (Camera, Table III) has 35,131 requests, so
+/// every paper-scale replay stays below this cap and keeps *exact*
+/// percentiles from the full sample vector — byte-identical to the
+/// uncapped behaviour. Scaled streaming replays (`--scale N`) exceed the
+/// cap; beyond it, new samples feed only the constant-size
+/// [`LogHistogram`] accumulator and percentiles switch to its bucketed
+/// approximation, keeping replay memory independent of trace length.
+pub const RESPONSE_SAMPLE_CAP: usize = 1 << 16;
 
 /// Everything the paper's evaluation reports about one (trace, scheme)
 /// replay: mean response time (Fig. 8), space utilization (Fig. 9), the
@@ -45,10 +56,15 @@ pub struct ReplayMetrics {
     /// capacity pressure (HPS only).
     pub pool_spills: u64,
     /// Raw response-time samples in milliseconds (for percentiles and the
-    /// Fig. 5 distributions); same order as the replayed records. Mutate
-    /// only through [`ReplayMetrics::push_response_sample`] so the sorted
-    /// cache stays coherent.
+    /// Fig. 5 distributions); same order as the replayed records, capped
+    /// at [`RESPONSE_SAMPLE_CAP`] entries. Mutate only through
+    /// [`ReplayMetrics::push_response_sample`] so the sorted cache and the
+    /// histogram stay coherent.
     pub(crate) response_samples_ms: Vec<f64>,
+    /// Constant-size accumulator fed with *every* response sample — the
+    /// source of truth once the raw sample vector hits its cap, and what
+    /// [`ReplayMetrics::to_registry`] exports.
+    pub(crate) response_hist: LogHistogram,
     /// Lazily sorted copy of the samples, built on the first percentile
     /// query and invalidated on push — percentile calls used to clone and
     /// re-sort the whole sample vector every time.
@@ -84,10 +100,18 @@ impl ReplayMetrics {
     /// Response-time percentile in milliseconds (`q` in `[0, 1]`); `None`
     /// before any request completed.
     ///
+    /// Exact (order statistics over the full sample vector) while the
+    /// replay stays under [`RESPONSE_SAMPLE_CAP`] samples — every
+    /// paper-scale trace does. Beyond the cap the raw vector is frozen and
+    /// this falls back to the log-histogram's bucketed approximation.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn response_percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.response_hist.count() > self.response_samples_ms.len() as u64 {
+            return self.response_hist.quantile(q);
+        }
         let sorted = self.sorted_cache.get_or_init(|| {
             let mut samples = self.response_samples_ms.clone();
             samples.sort_by(f64::total_cmp);
@@ -96,16 +120,27 @@ impl ReplayMetrics {
         hps_core::stats::quantile_sorted(sorted, q)
     }
 
-    /// Appends one response-time sample (milliseconds), invalidating the
-    /// sorted percentile cache.
+    /// Appends one response-time sample (milliseconds). The histogram
+    /// accumulator always sees the sample; the raw vector (and its sorted
+    /// percentile cache) only grows while under [`RESPONSE_SAMPLE_CAP`].
     pub fn push_response_sample(&mut self, ms: f64) {
-        self.response_samples_ms.push(ms);
-        self.sorted_cache.take();
+        self.response_hist.observe(ms);
+        if self.response_samples_ms.len() < RESPONSE_SAMPLE_CAP {
+            self.response_samples_ms.push(ms);
+            self.sorted_cache.take();
+        }
     }
 
-    /// The raw response-time samples, in replay order.
+    /// The raw response-time samples, in replay order (truncated at
+    /// [`RESPONSE_SAMPLE_CAP`] for scaled replays).
     pub fn response_samples(&self) -> &[f64] {
         &self.response_samples_ms
+    }
+
+    /// The constant-size response-time accumulator fed with every sample,
+    /// including those past the raw-sample cap.
+    pub fn response_histogram(&self) -> &LogHistogram {
+        &self.response_hist
     }
 
     /// Exports everything this struct reports into a flat
@@ -135,10 +170,11 @@ impl ReplayMetrics {
             self.space.flash_consumed().as_u64(),
         );
         self.wear.record_into(&mut registry, "nand.wear");
+        // Merge the always-fed accumulator rather than re-observing the
+        // raw vector: identical under the sample cap (same counts, same
+        // sequentially accumulated sum), and still complete beyond it.
         let response = registry.histogram("emmc.response_ms");
-        for &sample in &self.response_samples_ms {
-            registry.observe(response, sample);
-        }
+        registry.merge_histogram(response, &self.response_hist);
         registry
     }
 
@@ -252,6 +288,52 @@ mod tests {
         assert_eq!(reg.counter_value("emmc.requests"), Some(2));
         assert_eq!(reg.counter_value("emmc.requests.read"), Some(1));
         assert_eq!(reg.histogram_value("emmc.response_ms").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn sample_cap_freezes_raw_vector_but_feeds_histogram() {
+        let mut m = ReplayMetrics::default();
+        for i in 0..(RESPONSE_SAMPLE_CAP + 100) {
+            m.push_response_sample(i as f64);
+        }
+        assert_eq!(m.response_samples().len(), RESPONSE_SAMPLE_CAP);
+        assert_eq!(
+            m.response_histogram().count(),
+            (RESPONSE_SAMPLE_CAP + 100) as u64
+        );
+        // Beyond the cap, percentiles come from the histogram — which saw
+        // every sample, so the max must reflect the post-cap observations.
+        assert_eq!(
+            m.response_histogram().max(),
+            Some((RESPONSE_SAMPLE_CAP + 99) as f64)
+        );
+        let p100 = m.response_percentile_ms(1.0).unwrap();
+        assert!(p100 >= (RESPONSE_SAMPLE_CAP - 1) as f64);
+    }
+
+    #[test]
+    fn under_cap_percentiles_stay_exact() {
+        let mut m = ReplayMetrics::default();
+        for v in [5.0, 1.0, 3.0] {
+            m.push_response_sample(v);
+        }
+        // Exact order statistics, not a bucketed approximation.
+        assert_eq!(m.response_percentile_ms(0.0), Some(1.0));
+        assert_eq!(m.response_percentile_ms(1.0), Some(5.0));
+        assert_eq!(m.p50_response_ms(), 3.0);
+    }
+
+    #[test]
+    fn registry_export_survives_cap_overflow() {
+        let mut m = ReplayMetrics::default();
+        for i in 0..(RESPONSE_SAMPLE_CAP + 7) {
+            m.push_response_sample((i % 10) as f64);
+        }
+        let reg = m.to_registry();
+        assert_eq!(
+            reg.histogram_value("emmc.response_ms").unwrap().count(),
+            (RESPONSE_SAMPLE_CAP + 7) as u64
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Proves the steady-state replay hot path is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up phase that grows every reusable buffer (device scratch, FTL
+//! mapping, GC scratch) to its steady-state capacity, the test submits
+//! further read, write, and GC-triggering write requests and asserts the
+//! allocator was never called.
+//!
+//! The strict zero assertion only holds in release builds without the
+//! `sanitize` feature: debug/sanitized builds run the shadow-state
+//! auditor, which allocates by design on every audited operation. Those
+//! builds still execute the workload (so the path is exercised
+//! everywhere); they just skip the count check.
+
+use hps_core::{Bytes, Direction, IoRequest, SimTime};
+use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts heap traffic while `COUNTING` is set; otherwise a transparent
+/// passthrough to the system allocator.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn req(id: u64, ms: u64, dir: Direction, kib: u64, lba: u64) -> IoRequest {
+    IoRequest::new(id, SimTime::from_ms(ms), dir, Bytes::kib(kib), lba)
+}
+
+/// One test (not several) so the global counting window can't race a
+/// concurrently running sibling test in the same binary.
+#[test]
+fn steady_state_replay_does_not_allocate() {
+    // Small device, power model off: capacity wraps quickly, so sustained
+    // writes keep the garbage collector busy during the measured phase.
+    let mut cfg = DeviceConfig::scaled(SchemeKind::Ps4, 64, 16);
+    cfg.power = PowerConfig::DISABLED;
+    let mut dev = EmmcDevice::new(cfg).expect("valid config");
+    // Work over half the logical space: overwrites invalidate the previous
+    // copies, so victim blocks always have garbage for GC to reclaim.
+    let logical_pages = dev.ftl().logical_capacity().as_u64() / 4096 / 2;
+
+    let mut id = 0u64;
+    let mut submit = |dev: &mut EmmcDevice, dir: Direction, kib: u64, lba: u64| {
+        let r = req(id, id, dir, kib, lba);
+        id += 1;
+        dev.submit(&r).expect("capacity wraps, never exhausts");
+    };
+
+    // Warm-up: cover the whole logical space twice with mixed-size writes
+    // (grows the mapping table to its final size and drives GC through
+    // full victim cycles), then read it back (grows the read scratch).
+    for pass in 0..2 {
+        let mut lpn = 0u64;
+        while lpn < logical_pages {
+            let kib = if (lpn / 4).is_multiple_of(2) { 16 } else { 4 };
+            submit(&mut dev, Direction::Write, kib, lpn * 4096);
+            lpn += kib / 4;
+        }
+        let _ = pass;
+    }
+    for lpn in (0..logical_pages).step_by(8) {
+        submit(&mut dev, Direction::Read, 32, lpn * 4096);
+    }
+    let warm_gc_runs = dev.ftl().stats().gc_runs;
+
+    // Measured phase: reads, writes, and enough sustained writes that GC
+    // provably ran while the counter was live.
+    ALLOCS.store(0, Ordering::Relaxed);
+    REALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    for round in 0..3u64 {
+        let mut lpn = 0u64;
+        while lpn < logical_pages {
+            let kib = if (lpn / 4).is_multiple_of(2) { 16 } else { 4 };
+            submit(&mut dev, Direction::Write, kib, lpn * 4096);
+            lpn += kib / 4;
+        }
+        for read_lpn in (0..logical_pages).step_by(16) {
+            submit(&mut dev, Direction::Read, 16, read_lpn * 4096);
+        }
+        let _ = round;
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    let reallocs = REALLOCS.load(Ordering::Relaxed);
+    let measured_gc_runs = dev.ftl().stats().gc_runs - warm_gc_runs;
+    assert!(
+        measured_gc_runs > 0,
+        "measured phase must exercise garbage collection"
+    );
+
+    // Debug/sanitized builds run the allocating shadow auditor on every
+    // request; only the release non-sanitize build makes the strict
+    // zero-allocation guarantee.
+    #[cfg(all(not(debug_assertions), not(feature = "sanitize")))]
+    assert_eq!(
+        (allocs, reallocs),
+        (0, 0),
+        "steady-state replay must not touch the heap \
+         ({measured_gc_runs} GC runs during the measured phase)"
+    );
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    let _ = (allocs, reallocs);
+}

@@ -12,12 +12,12 @@
 //!   model them as pre-existing data.
 
 use crate::addr::{FlashOp, Lpn, Ppn};
-use crate::gc::{self, GcTrigger};
+use crate::gc::{self, GcScratch, GcTrigger};
 use crate::mapping::{MappingTable, ResidentTable};
 use crate::pool::Pool;
 use crate::space::SpaceAccounting;
 use hps_core::{Bytes, Error, FxHashSet, Result};
-use hps_nand::{Geometry, PageAddr, Plane, WearStats};
+use hps_nand::{BlockId, Geometry, PageAddr, Plane, WearStats};
 
 #[cfg(any(debug_assertions, feature = "sanitize"))]
 use hps_core::audit::{enforce, ShadowFlash};
@@ -52,6 +52,7 @@ impl FtlConfig {
                 "pages_per_block must be non-zero".into(),
             ));
         }
+        // lint: allow(hot-path-alloc) -- config validation runs once at construction
         let mut seen = Vec::new();
         for &(size, count) in &self.pools {
             if count == 0 {
@@ -125,6 +126,17 @@ pub struct Ftl {
     residents: ResidentTable,
     space: SpaceAccounting,
     stats: FtlStats,
+    /// Reusable GC migration buffers (see [`GcScratch`]).
+    gc_scratch: GcScratch,
+    /// Invalid ("garbage") page count per `[plane][pool]`, maintained
+    /// incrementally at every invalidate/erase. A pool with zero garbage
+    /// provably has no GC victim, so the write path skips victim selection
+    /// in O(1) instead of scanning every candidate block near the
+    /// free-block floor.
+    garbage: Vec<Vec<usize>>,
+    /// Reusable dedup set for [`Ftl::read_ops_into`]; cleared per call,
+    /// capacity retained.
+    read_seen: FxHashSet<Ppn>,
     /// Shadow-state invariant auditor (debug builds + `sanitize` feature).
     #[cfg(any(debug_assertions, feature = "sanitize"))]
     shadow: ShadowFlash,
@@ -160,14 +172,19 @@ impl Ftl {
                 config.pages_per_block,
             )
         };
+        // lint: allow(hot-path-alloc) -- constructor, runs once per device
+        let garbage = vec![vec![0; config.pools.len()]; planes.len()];
         Ok(Ftl {
             config,
             planes,
             pools,
+            garbage,
             mapping: MappingTable::new(),
             residents: ResidentTable::new(),
             space: SpaceAccounting::new(),
             stats: FtlStats::default(),
+            gc_scratch: GcScratch::default(),
+            read_seen: FxHashSet::default(),
             #[cfg(any(debug_assertions, feature = "sanitize"))]
             shadow,
         })
@@ -230,6 +247,31 @@ impl Ftl {
         lpns: &[Lpn],
         data: Bytes,
     ) -> Result<Vec<FlashOp>> {
+        let mut ops = Vec::new(); // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses write_chunk_into
+        self.write_chunk_into(plane, page_size, lpns, data, &mut ops)?;
+        Ok(ops)
+    }
+
+    /// [`Ftl::write_chunk`], but appending the performed ops into a
+    /// caller-owned buffer (not cleared first). This is the replay hot
+    /// path: the device reuses one `Vec<FlashOp>` across requests, so a
+    /// warm write performs no heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    pub fn write_chunk_into(
+        &mut self,
+        plane: usize,
+        page_size: Bytes,
+        lpns: &[Lpn],
+        data: Bytes,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<()> {
         assert!(
             (1..=2).contains(&lpns.len()),
             "a chunk holds one or two LPNs"
@@ -240,10 +282,9 @@ impl Ftl {
         );
         assert!(data <= page_size, "payload larger than the page");
         let pool_idx = self.pool_index(page_size);
-        let mut ops = Vec::new();
 
         // Threshold GC: keep a free-block floor so migration always has room.
-        self.collect_pool_to_floor(plane, pool_idx, &mut ops)?;
+        self.collect_pool_to_floor(plane, pool_idx, ops)?;
 
         // Invalidate any previous locations of these LPNs.
         for &lpn in lpns {
@@ -255,7 +296,7 @@ impl Ftl {
             Some(ppn) => ppn,
             None => {
                 // Pool full mid-write: force a collection and retry once.
-                self.collect_victim(plane, pool_idx, &mut ops)?;
+                self.collect_victim(plane, pool_idx, ops)?;
                 self.allocate(plane, pool_idx)
                     .ok_or_else(|| Error::CapacityExhausted {
                         location: format!("plane {plane} ({page_size} pool)"),
@@ -268,12 +309,17 @@ impl Ftl {
         }
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         {
-            let lpns_raw: Vec<u64> = lpns.iter().map(|l| l.0).collect();
+            // At most two LPNs per physical page: a stack array keeps the
+            // audited build's hot path allocation-free too.
+            let mut lpns_raw = [0u64; 2];
+            for (slot, lpn) in lpns_raw.iter_mut().zip(lpns) {
+                *slot = lpn.0;
+            }
             let tick = self.shadow.try_program(
                 ppn.plane,
                 ppn.addr.block.0,
                 ppn.addr.page,
-                &lpns_raw,
+                &lpns_raw[..lpns.len()],
                 Self::page_lpn_capacity(page_size),
             );
             self.audit_tick(tick);
@@ -281,7 +327,7 @@ impl Ftl {
         self.space.record_write(data, page_size);
         self.stats.host_programs += 1;
         ops.push(FlashOp::program(plane, page_size));
-        Ok(ops)
+        Ok(())
     }
 
     /// Resolves `lpns` to the physical reads required: one op per distinct
@@ -289,9 +335,31 @@ impl Ftl {
     /// plus the list of LPNs that were never written (the device models
     /// those as pre-existing data).
     pub fn read_ops(&self, lpns: &[Lpn]) -> (Vec<FlashOp>, Vec<Lpn>) {
+        // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses read_ops_into
         let mut seen: FxHashSet<Ppn> = FxHashSet::default();
-        let mut ops = Vec::new();
-        let mut unmapped = Vec::new();
+        let mut ops = Vec::new(); // lint: allow(hot-path-alloc)
+        let mut unmapped = Vec::new(); // lint: allow(hot-path-alloc)
+        self.read_ops_with(lpns, &mut seen, &mut ops, &mut unmapped);
+        (ops, unmapped)
+    }
+
+    /// [`Ftl::read_ops`], but appending into caller-owned buffers (not
+    /// cleared first) and reusing the FTL's internal dedup set. The replay
+    /// hot path: a warm read performs no heap allocations.
+    pub fn read_ops_into(&mut self, lpns: &[Lpn], ops: &mut Vec<FlashOp>, unmapped: &mut Vec<Lpn>) {
+        let mut seen = core::mem::take(&mut self.read_seen);
+        seen.clear();
+        self.read_ops_with(lpns, &mut seen, ops, unmapped);
+        self.read_seen = seen;
+    }
+
+    fn read_ops_with(
+        &self,
+        lpns: &[Lpn],
+        seen: &mut FxHashSet<Ppn>,
+        ops: &mut Vec<FlashOp>,
+        unmapped: &mut Vec<Lpn>,
+    ) {
         for &lpn in lpns {
             match self.mapping.lookup(lpn) {
                 Some(ppn) => {
@@ -308,7 +376,6 @@ impl Ftl {
                 None => unmapped.push(lpn),
             }
         }
-        (ops, unmapped)
     }
 
     /// Runs at most one idle-time GC pass per plane/pool (Implication 2).
@@ -320,23 +387,40 @@ impl Ftl {
     /// Returns [`Error::CapacityExhausted`] if migration runs out of space —
     /// possible only on pathologically over-filled devices.
     pub fn idle_gc(&mut self) -> Result<Vec<FlashOp>> {
+        let mut ops = Vec::new(); // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses idle_gc_into
+        self.idle_gc_into(&mut ops)?;
+        Ok(ops)
+    }
+
+    /// [`Ftl::idle_gc`], but appending the performed ops into a
+    /// caller-owned buffer (not cleared first); the allocation-free path
+    /// for warm replay loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::idle_gc`].
+    pub fn idle_gc_into(&mut self, ops: &mut Vec<FlashOp>) -> Result<()> {
         let trigger = self.config.gc_trigger;
         if !trigger.collects_when_idle() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut ops = Vec::new();
         for plane in 0..self.planes.len() {
             for pool_idx in 0..self.pools[plane].len() {
+                // Same O(1) fast path as `collect_pool_to_floor`: an idle
+                // window over a garbage-free pool has nothing to collect.
+                if self.garbage[plane][pool_idx] == 0 {
+                    continue;
+                }
                 if gc::idle_pass_worthwhile(
                     &self.planes[plane],
                     &self.pools[plane][pool_idx],
                     trigger,
                 ) {
-                    self.collect_victim(plane, pool_idx, &mut ops)?;
+                    self.collect_victim(plane, pool_idx, ops)?;
                 }
             }
         }
-        Ok(ops)
+        Ok(())
     }
 
     /// [`Ftl::write_chunk`] with telemetry: when `tel` is present, the
@@ -361,11 +445,35 @@ impl Ftl {
         data: Bytes,
         tel: Option<&mut hps_obs::Telemetry>,
     ) -> Result<Vec<FlashOp>> {
+        let mut ops = Vec::new(); // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses the _into form
+        self.write_chunk_observed_into(plane, page_size, lpns, data, tel, &mut ops)?;
+        Ok(ops)
+    }
+
+    /// [`Ftl::write_chunk_observed`] appending into a caller-owned buffer
+    /// (not cleared first); the allocation-free path for warm replay loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Ftl::write_chunk`].
+    pub fn write_chunk_observed_into(
+        &mut self,
+        plane: usize,
+        page_size: Bytes,
+        lpns: &[Lpn],
+        data: Bytes,
+        tel: Option<&mut hps_obs::Telemetry>,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<()> {
         let Some(tel) = tel else {
-            return self.write_chunk(plane, page_size, lpns, data);
+            return self.write_chunk_into(plane, page_size, lpns, data, ops);
         };
         let before = self.stats;
-        let result = self.write_chunk(plane, page_size, lpns, data);
+        let result = self.write_chunk_into(plane, page_size, lpns, data, ops);
         self.record_stat_deltas(before, &mut tel.registry);
         result
     }
@@ -380,11 +488,27 @@ impl Ftl {
         &mut self,
         tel: Option<&mut hps_obs::Telemetry>,
     ) -> Result<Vec<FlashOp>> {
+        let mut ops = Vec::new(); // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses the _into form
+        self.idle_gc_observed_into(tel, &mut ops)?;
+        Ok(ops)
+    }
+
+    /// [`Ftl::idle_gc_observed`] appending into a caller-owned buffer (not
+    /// cleared first); the allocation-free path for warm replay loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::idle_gc`].
+    pub fn idle_gc_observed_into(
+        &mut self,
+        tel: Option<&mut hps_obs::Telemetry>,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<()> {
         let Some(tel) = tel else {
-            return self.idle_gc();
+            return self.idle_gc_into(ops);
         };
         let before = self.stats;
-        let result = self.idle_gc();
+        let result = self.idle_gc_into(ops);
         self.record_stat_deltas(before, &mut tel.registry);
         result
     }
@@ -532,9 +656,11 @@ impl Ftl {
     fn invalidate_lpn(&mut self, lpn: Lpn) {
         if let Some(old) = self.mapping.unmap(lpn) {
             if self.residents.evict(old, lpn) {
-                self.planes[old.plane]
-                    .block_mut(old.addr.block)
-                    .invalidate(old.addr.page);
+                let block = self.planes[old.plane].block_mut(old.addr.block);
+                let page_size = block.page_size();
+                block.invalidate(old.addr.page);
+                let pool_idx = self.pool_index(page_size);
+                self.garbage[old.plane][pool_idx] += 1;
             }
         }
         #[cfg(any(debug_assertions, feature = "sanitize"))]
@@ -554,11 +680,20 @@ impl Ftl {
     ) -> Result<()> {
         let floor = self.config.gc_trigger.min_free_blocks();
         while self.pools[plane][pool_idx].free_blocks() <= floor {
-            let victim = gc::select_victim(&self.planes[plane], &self.pools[plane][pool_idx]);
-            if victim.is_none() {
+            // O(1) fast path: a pool with zero invalid pages has no victim
+            // (`gc::select_victim` would scan every candidate block to
+            // conclude the same), so a write stream hovering at the
+            // free-block floor with no garbage pays one counter read here.
+            // Garbage in the *active* block alone still selects no victim,
+            // so the scan below stays as the authoritative check.
+            if self.garbage[plane][pool_idx] == 0 {
                 break;
             }
-            self.collect_victim(plane, pool_idx, ops)?;
+            let Some(victim) = gc::select_victim(&self.planes[plane], &self.pools[plane][pool_idx])
+            else {
+                break;
+            };
+            self.collect_block(plane, pool_idx, victim, ops)?;
         }
         Ok(())
     }
@@ -575,11 +710,31 @@ impl Ftl {
         else {
             return Ok(());
         };
+        self.collect_block(plane, pool_idx, victim, ops)
+    }
+
+    /// Collects one already-selected victim block: migrate live pages into
+    /// the active block, erase it, return it to the free list. Callers that
+    /// ran [`gc::select_victim`] themselves use this directly so the scan
+    /// happens once per collection.
+    fn collect_block(
+        &mut self,
+        plane: usize,
+        pool_idx: usize,
+        victim: BlockId,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<()> {
         let page_size = self.planes[plane].block(victim).page_size();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         enforce(self.shadow.try_gc_victim(plane, victim.0));
-        let live_pages = self.planes[plane].block(victim).valid_page_indices();
-        for page in live_pages {
+        // Reuse the FTL-owned scratch buffer for the victim's live-page
+        // list (taken out of `self` so the loop below can borrow freely).
+        let mut live_pages = core::mem::take(&mut self.gc_scratch.live_pages);
+        live_pages.clear();
+        self.planes[plane]
+            .block(victim)
+            .valid_page_indices_into(&mut live_pages);
+        for &page in &live_pages {
             let old = Ppn {
                 plane,
                 addr: PageAddr {
@@ -602,6 +757,7 @@ impl Ftl {
             let lpns = self.residents.take(old);
             debug_assert!(!lpns.is_empty(), "valid page with no residents");
             self.planes[plane].block_mut(victim).invalidate(page);
+            self.garbage[plane][pool_idx] += 1;
             self.residents.occupy(new, &lpns);
             for &lpn in lpns.iter() {
                 self.mapping.remap(lpn, new);
@@ -611,12 +767,16 @@ impl Ftl {
                 // The GC read must target a programmed page, and migrating
                 // the residents supersedes the victim copy in the shadow.
                 enforce(self.shadow.try_read(plane, victim.0, page));
-                let lpns_raw: Vec<u64> = lpns.iter().map(|l| l.0).collect();
+                let mut lpns_raw = [0u64; 2];
+                for (slot, lpn) in lpns_raw.iter_mut().zip(lpns.iter()) {
+                    *slot = lpn.0;
+                }
+                let lpns_raw = &lpns_raw[..lpns.len()];
                 let tick = self.shadow.try_program(
                     new.plane,
                     new.addr.block.0,
                     new.addr.page,
-                    &lpns_raw,
+                    lpns_raw,
                     Self::page_lpn_capacity(page_size),
                 );
                 self.audit_tick(tick);
@@ -624,6 +784,16 @@ impl Ftl {
             ops.push(FlashOp::program(plane, page_size).gc());
             self.stats.gc_programs += 1;
         }
+        // Hand the buffer back; a `?` above only loses capacity, never
+        // correctness.
+        self.gc_scratch.live_pages = live_pages;
+        // The erase reclaims every invalid page the counter has accrued for
+        // this block (each was counted exactly once, by `invalidate_lpn` or
+        // the migration loop above), so the bookkeeping nets to zero across
+        // a full collect cycle.
+        let reclaimed = self.planes[plane].block(victim).invalid_pages();
+        debug_assert!(self.garbage[plane][pool_idx] >= reclaimed);
+        self.garbage[plane][pool_idx] -= reclaimed;
         self.planes[plane].block_mut(victim).erase();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         {
@@ -811,6 +981,40 @@ mod tests {
         );
         // Overwriting a live LPN must not panic, whatever it returns.
         let _ = ftl.write_chunk(0, Bytes::kib(4), &[Lpn(live[0])], Bytes::kib(4));
+    }
+
+    #[test]
+    fn garbage_counter_matches_scanned_invalid_pages() {
+        // The O(1) fast path is only sound if the incremental counter
+        // equals what a full block scan would report, at every step of a
+        // workload that exercises overwrites, migrations, and erases in
+        // both pools of a hybrid plane.
+        let mut ftl = Ftl::new(hybrid_config()).unwrap();
+        let check = |ftl: &Ftl| {
+            for (plane_idx, plane) in ftl.planes.iter().enumerate() {
+                for (pool_idx, &(page_size, _)) in ftl.config.pools.iter().enumerate() {
+                    assert_eq!(
+                        ftl.garbage[plane_idx][pool_idx],
+                        plane.invalid_pages(page_size),
+                        "plane {plane_idx} pool {pool_idx} counter drifted"
+                    );
+                }
+            }
+        };
+        check(&ftl);
+        for i in 0..48u64 {
+            // Alternate pools and keep a hot set so GC migrates live data.
+            if i % 3 == 0 {
+                let a = Lpn(2 * (i % 4));
+                ftl.write_chunk(0, Bytes::kib(8), &[a, Lpn(a.0 + 1)], Bytes::kib(8))
+                    .unwrap();
+            } else {
+                ftl.write_chunk(0, Bytes::kib(4), &[Lpn(100 + i % 6)], Bytes::kib(4))
+                    .unwrap();
+            }
+            check(&ftl);
+        }
+        assert!(ftl.stats().gc_runs > 0, "workload must trigger GC");
     }
 
     #[test]

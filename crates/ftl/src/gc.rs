@@ -61,6 +61,19 @@ impl Default for GcTrigger {
     }
 }
 
+/// Reusable buffers for GC migration, owned by [`crate::Ftl`] and threaded
+/// through every victim collection.
+///
+/// The only per-victim allocation the migration loop used to make was the
+/// list of the victim's live page indices; it now lands in
+/// [`GcScratch::live_pages`], which keeps its high-water-mark capacity
+/// (bounded by `pages_per_block`) so steady-state GC allocates nothing.
+#[derive(Debug, Default)]
+pub struct GcScratch {
+    /// Live (valid) page indices of the current victim block.
+    pub live_pages: Vec<usize>,
+}
+
 /// Picks the greedy victim for a pool: the candidate block with the most
 /// invalid pages (ties broken toward the lower erase count). Returns `None`
 /// when no candidate holds any invalid page — erasing such a block would

@@ -31,5 +31,6 @@ pub mod space;
 
 pub use addr::{FlashOp, Lpn, OpKind, Ppn};
 pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use gc::{GcScratch, GcTrigger};
 pub use mapping::{MappingTable, ResidentList, ResidentTable};
 pub use space::SpaceAccounting;

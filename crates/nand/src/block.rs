@@ -229,11 +229,21 @@ impl Block {
 
     /// Indices of all currently valid pages (used by GC migration).
     pub fn valid_page_indices(&self) -> Vec<usize> {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| (s == PageState::Valid).then_some(i))
-            .collect()
+        let mut out = Vec::with_capacity(self.valid);
+        self.valid_page_indices_into(&mut out);
+        out
+    }
+
+    /// Appends the indices of all currently valid pages into `out` (not
+    /// cleared first). The GC hot path reuses one buffer across victim
+    /// collections, so steady-state GC performs no heap allocations.
+    pub fn valid_page_indices_into(&self, out: &mut Vec<usize>) {
+        out.extend(
+            self.pages
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &s)| (s == PageState::Valid).then_some(i)),
+        );
     }
 }
 

@@ -283,6 +283,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds a standalone histogram's observations into a registered
+    /// histogram through its handle — the bulk counterpart of
+    /// [`MetricsRegistry::observe`] for pre-accumulated data.
+    pub fn merge_histogram(&mut self, id: HistogramId, other: &LogHistogram) {
+        match &mut self.entries[id.0].1 {
+            Metric::Histogram(h) => h.merge(other),
+            Metric::Counter(_) => unreachable!("HistogramId always indexes a histogram"),
+        }
+    }
+
     /// By-name counter increment (interns on first use) — cold paths only.
     pub fn add(&mut self, name: &str, by: u64) {
         let id = self.counter(name);

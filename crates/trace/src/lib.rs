@@ -9,6 +9,8 @@
 //!
 //! * [`record`] — one trace record (request + timestamps).
 //! * [`trace`] — an ordered collection of records with validation.
+//! * [`source`] — streaming request sources ([`TraceSource`]), so replay
+//!   does not require materializing a trace in memory.
 //! * [`io`] — a plain-text CSV serialization so traces can be saved,
 //!   inspected, and replayed.
 //! * [`stats`] — every column of Table III ([`SizeStats`]) and Table IV
@@ -18,6 +20,7 @@
 pub mod distributions;
 pub mod io;
 pub mod record;
+pub mod source;
 pub mod stats;
 pub mod trace;
 
@@ -26,5 +29,6 @@ pub use distributions::{
     small_request_fraction, INTERARRIVAL_EDGES_MS, RESPONSE_EDGES_MS, SIZE_EDGES_KIB,
 };
 pub use record::TraceRecord;
+pub use source::{TraceCursor, TraceSource};
 pub use stats::{SizeStats, TimingStats};
 pub use trace::Trace;

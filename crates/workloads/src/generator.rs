@@ -66,7 +66,7 @@ pub fn generate(profile: &AppProfile, seed: u64) -> Trace {
 
 /// Stable per-name tag folded into the seed so different applications get
 /// decorrelated streams even under the same master seed.
-fn name_tag(name: &str) -> u64 {
+pub(crate) fn name_tag(name: &str) -> u64 {
     // FNV-1a, enough to decorrelate seeds.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in name.bytes() {

@@ -18,6 +18,9 @@
 //! * [`profiles`] — the 18 application profiles with the paper's numbers
 //!   embedded, plus the 7 combo definitions;
 //! * [`generator`] — turns a profile into a [`hps_trace::Trace`];
+//! * [`stream`] — the same request sequence as a streaming
+//!   [`hps_trace::TraceSource`], with trace length scaled by a runtime
+//!   knob instead of bounded by memory;
 //! * [`combo`] — merges two applications into a combo trace (Fig. 7).
 //!
 //! Everything is deterministic: the same seed regenerates the same trace
@@ -30,8 +33,10 @@ pub mod generator;
 pub mod profile;
 pub mod profiles;
 pub mod size;
+pub mod stream;
 
 pub use combo::{generate_combo, ComboProfile};
 pub use generator::generate;
 pub use profile::AppProfile;
 pub use profiles::{all_combos, all_individual, by_name, COMBO_NAMES, INDIVIDUAL_NAMES};
+pub use stream::{stream, TraceStream};

@@ -19,6 +19,12 @@
 //! * **missing-docs** — `hps-core`, `hps-ftl`, and `hps-nand` must carry
 //!   `#![deny(missing_docs)]` so rustc enforces doc coverage on their
 //!   public items.
+//! * **hot-path-alloc** — `Vec::new()` / `vec![...]` are forbidden in the
+//!   replay hot-path modules (`emmc::device`, `emmc::distributor`,
+//!   `ftl::ftl`, `ftl::gc`): the steady-state replay loop is
+//!   allocation-free by contract (reuse `ReplayScratch`/`GcScratch`
+//!   buffers or the `*_into` APIs instead). Cold paths — constructors,
+//!   allocating compatibility wrappers — carry explicit waivers.
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) and binary
 //! targets (`src/bin/`, `src/main.rs`) are exempt from `no-unwrap` and
@@ -39,6 +45,18 @@ const SKIP_CRATES: &[&str] = &["proptest", "criterion"];
 /// Crates whose `lib.rs` must enforce rustc-level doc coverage.
 const DOC_COVERED: &[&str] = &["core", "ftl", "nand"];
 
+/// Replay hot-path modules where steady-state heap allocation is banned:
+/// every request of a 100x-scale streamed replay flows through these
+/// files, so a stray `Vec::new()` there turns into millions of allocator
+/// round-trips (the counting-allocator test in `hps-emmc` enforces the
+/// same contract at runtime).
+const HOT_PATH_FILES: &[&str] = &[
+    "emmc/src/device.rs",
+    "emmc/src/distributor.rs",
+    "ftl/src/ftl.rs",
+    "ftl/src/gc.rs",
+];
+
 /// One lint rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Rule {
@@ -47,6 +65,7 @@ enum Rule {
     NoPrint,
     WallClock,
     MissingDocs,
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -58,6 +77,7 @@ impl Rule {
             Rule::NoPrint => "no-print",
             Rule::WallClock => "wall-clock",
             Rule::MissingDocs => "missing-docs",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -75,6 +95,11 @@ impl Rule {
                 "std::time::{SystemTime, Instant} in a simulation crate; use SimTime"
             }
             Rule::MissingDocs => "lib.rs must carry #![deny(missing_docs)]",
+            Rule::HotPathAlloc => {
+                "Vec::new()/vec![] in a replay hot-path module; reuse \
+                 ReplayScratch/GcScratch buffers or the *_into APIs \
+                 (waive cold paths with lint: allow(hot-path-alloc))"
+            }
         }
     }
 }
@@ -256,7 +281,14 @@ struct Scanner {
     test_region_exit: Option<i32>,
 }
 
+/// `true` for files whose steady-state code must not heap-allocate.
+fn is_hot_path(file: &Path) -> bool {
+    let path = file.to_string_lossy().replace('\\', "/");
+    HOT_PATH_FILES.iter().any(|suffix| path.ends_with(suffix))
+}
+
 fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Violation>) {
+    let hot_path = is_hot_path(file);
     let mut scanner = Scanner {
         in_block_comment: false,
         depth: 0,
@@ -304,7 +336,7 @@ fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Viol
             continue;
         }
 
-        for rule in rules_for_line(&code, is_binary) {
+        for rule in rules_for_line(&code, is_binary, hot_path) {
             if waived(rule, raw) || waived(rule, prev_raw) {
                 continue;
             }
@@ -320,8 +352,11 @@ fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Viol
 }
 
 /// Which rules the (comment- and string-stripped) line violates.
-fn rules_for_line(code: &str, is_binary: bool) -> Vec<Rule> {
+fn rules_for_line(code: &str, is_binary: bool, hot_path: bool) -> Vec<Rule> {
     let mut hits = Vec::new();
+    if hot_path && (code.contains("Vec::new()") || code.contains("vec![")) {
+        hits.push(Rule::HotPathAlloc);
+    }
     if code.contains("std::collections::") && (code.contains("HashMap") || code.contains("HashSet"))
     {
         hits.push(Rule::DefaultHasher);
@@ -550,6 +585,46 @@ fn lib() { x.unwrap(); }
             strip_noise("fn f<'a>(x: &'a str) {}", &mut b),
             "fn f<'a>(x: &'a str) {}"
         );
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_in_hot_path_files() {
+        let text = "fn f() { let v: Vec<u32> = Vec::new(); let w = vec![1, 2]; }\n";
+        let mut violations = Vec::new();
+        scan_file(
+            Path::new("crates/emmc/src/device.rs"),
+            text,
+            false,
+            &mut violations,
+        );
+        assert_eq!(
+            violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            vec![Rule::HotPathAlloc]
+        );
+        assert!(scan(text, false).is_empty(), "other files are exempt");
+    }
+
+    #[test]
+    fn hot_path_alloc_respects_waivers_and_test_code() {
+        let waived =
+            "fn f() { let v = Vec::new(); } // lint: allow(hot-path-alloc) -- cold wrapper\n";
+        let mut violations = Vec::new();
+        scan_file(
+            Path::new("crates/ftl/src/ftl.rs"),
+            waived,
+            false,
+            &mut violations,
+        );
+        assert!(violations.is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}\n";
+        let mut violations = Vec::new();
+        scan_file(
+            Path::new("crates/ftl/src/gc.rs"),
+            test_only,
+            false,
+            &mut violations,
+        );
+        assert!(violations.is_empty(), "test regions stay exempt");
     }
 
     #[test]
