@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! repro <experiment> [--out DIR] [--jobs N] [--scale N]
-//! repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream]
+//! repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream] [--progress]
 //!                  [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]
-//! repro diff <a.summary> <b.summary> [--tolerance F]
+//! repro profile <table4|workload> [--scale N] [--profile-stride N]
+//!                                 [--profile-out FILE]
+//! repro diff <a.summary|a.json> <b.summary|b.json> [--tolerance F]
 //!
 //! experiments:
 //!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -27,7 +29,25 @@
 //! `--metrics-out`: it parses both files back into metric values and
 //! exits non-zero when any value diverges by more than `--tolerance`
 //! (relative, default 0 = exact), so CI can re-run an experiment and
-//! fail the build on drift.
+//! fail the build on drift. When both arguments end in `.json` the diff
+//! instead parses them as JSON and compares every *numeric* leaf (by its
+//! dot-joined path) with the same relative tolerance — string leaves
+//! (hostnames, comments) are ignored, so `BENCH_scale.json`-style
+//! baseline files can be drift-checked directly.
+//!
+//! `repro profile <target>` replays `table4` or a single workload with
+//! the phase-accounting profiler armed (serial, `--jobs 1`) and prints a
+//! top-down table attributing simulated-request wall time to fixed
+//! phases (distributor split, queue wait, FTL lookup/read/write, GC
+//! select/copyback, NAND read/program/erase), plus the replay's
+//! simulated IOPS (requests retired per host second). `--profile-stride`
+//! adjusts sampling (default 64; 1 = every request); `--profile-out`
+//! writes flamegraph-compatible folded stacks (`stack<space>ns` lines,
+//! feed to inferno/flamegraph.pl).
+//!
+//! `--progress` (streaming replays) prints a throttled heartbeat line to
+//! stderr while the replay runs: requests/sec, resident memory, ETA from
+//! the source's length hint, and the profiler's current phase mix.
 //!
 //! `--scale N` replays `N` streamed generation epochs per workload
 //! through the streaming trace engine — resident memory stays flat no
@@ -52,8 +72,10 @@ use hps_bench::implications::{
     endurance, implication3_read_cache, implication5_slc, stack_pipeline,
 };
 use hps_core::Bytes;
+use hps_core::IoRequest;
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
 use hps_obs::{render_summary, write_chrome_trace, JsonlStreamSink, Telemetry};
+use hps_trace::TraceSource;
 use hps_workloads::{by_name, generate, stream};
 use std::io::Write as _;
 use std::path::Path;
@@ -94,6 +116,9 @@ fn main() {
     let mut tolerance = 0.0_f64;
     let mut scale: u64 = 1;
     let mut stream_replay = false;
+    let mut progress = false;
+    let mut profile_out: Option<String> = None;
+    let mut profile_stride: u32 = 64;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -149,6 +174,21 @@ fn main() {
                 }
             },
             "--stream" => stream_replay = true,
+            "--progress" => progress = true,
+            "--profile-out" => match iter.next() {
+                Some(path) => profile_out = Some(path),
+                None => {
+                    eprintln!("--profile-out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--profile-stride" => match iter.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => profile_stride = n,
+                _ => {
+                    eprintln!("--profile-stride requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--jsonl-out" => match iter.next() {
                 Some(path) => jsonl_out = Some(path),
                 None => {
@@ -165,9 +205,28 @@ fn main() {
     }
     if targets.first().map(String::as_str) == Some("diff") {
         match &targets[1..] {
-            [a, b] => std::process::exit(diff_summaries_cmd(a, b, tolerance)),
+            [a, b] => std::process::exit(diff_cmd(a, b, tolerance)),
             _ => {
-                eprintln!("usage: repro diff <a.summary> <b.summary> [--tolerance F]");
+                eprintln!(
+                    "usage: repro diff <a.summary|a.json> <b.summary|b.json> [--tolerance F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if targets.first().map(String::as_str) == Some("profile") {
+        match &targets[1..] {
+            [target] => std::process::exit(profile_cmd(
+                target,
+                scale,
+                profile_stride,
+                profile_out.as_deref(),
+                progress,
+            )),
+            _ => {
+                eprintln!(
+                    "usage: repro profile <table4|workload> [--scale N] [--profile-stride N] [--profile-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -233,6 +292,7 @@ fn main() {
                     scheme,
                     scale,
                     stream_replay,
+                    progress,
                     trace_out.as_deref(),
                     metrics_out.as_deref(),
                     jsonl_out.as_deref(),
@@ -274,11 +334,13 @@ fn main() {
 /// generator instead of a materialized trace; at scale 1 the two paths
 /// produce byte-identical metrics (the stream replays the generator's
 /// exact draws).
+#[allow(clippy::too_many_arguments)]
 fn replay_workload(
     name: &str,
     scheme: SchemeKind,
     scale: u64,
     stream_replay: bool,
+    progress: bool,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
     jsonl_out: Option<&str>,
@@ -305,9 +367,19 @@ fn replay_workload(
     } else {
         Telemetry::registry_only()
     });
-    let metrics = if stream_replay || scale > 1 {
-        let mut source = stream(&profile, 42, scale);
-        device.replay_stream(&mut source)?
+    // `--progress` needs the request stream to flow through a wrapper, so
+    // it implies the streaming engine (byte-identical metrics at scale 1).
+    let metrics = if stream_replay || scale > 1 || progress {
+        let source = stream(&profile, 42, scale);
+        if progress {
+            let mut source = ProgressSource::new(source);
+            let metrics = device.replay_stream(&mut source)?;
+            source.finish();
+            metrics
+        } else {
+            let mut source = source;
+            device.replay_stream(&mut source)?
+        }
     } else {
         let mut trace = generate(&profile, 42);
         device.replay(&mut trace)?
@@ -348,6 +420,331 @@ fn replay_workload(
         ));
     }
     Ok(output)
+}
+
+/// `repro profile <target>`: replays `table4` or one workload with the
+/// phase profiler armed and prints the per-phase breakdown plus the
+/// replay's simulated IOPS. Runs serially (`--jobs 1`) because the
+/// profiler accumulates into thread-local storage — the whole replay
+/// must happen on this thread for the report to see it.
+fn profile_cmd(
+    target: &str,
+    scale: u64,
+    stride: u32,
+    profile_out: Option<&str>,
+    progress: bool,
+) -> i32 {
+    hps_core::par::set_jobs(1);
+    hps_obs::profile::set_stride(stride);
+    hps_obs::profile::reset();
+    eprintln!("[repro] profiling {target} (stride {stride}, serial)");
+    let started = Instant::now();
+    match target {
+        "table4" if scale > 1 => {
+            exp_table4_scaled(scale);
+        }
+        "table4" => {
+            exp_table4();
+        }
+        workload if by_name(workload).is_some() => {
+            if let Err(e) = replay_workload(
+                workload,
+                SchemeKind::Hps,
+                scale,
+                false,
+                progress,
+                None,
+                None,
+                None,
+            ) {
+                eprintln!("replay of '{workload}' failed: {e}");
+                return 1;
+            }
+        }
+        unknown => {
+            eprintln!("profile target must be table4 or a workload name (got '{unknown}')");
+            return 2;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let report = hps_obs::profile::report();
+    if report.sampled == 0 {
+        eprintln!("profiler sampled no requests; nothing to report");
+        return 1;
+    }
+    // The slot self times partition the measured total by construction,
+    // so this only trips if the accounting invariant is broken.
+    let share_sum: f64 = report.percentages().iter().sum();
+    if (share_sum - 100.0).abs() > 0.5 {
+        eprintln!("phase percentages sum to {share_sum:.3}%, outside 100 +/- 0.5");
+        return 1;
+    }
+    print!("{}", report.render_table());
+    println!(
+        "simulated IOPS: {:.0} ({} requests in {:.2}s host time)",
+        report.requests as f64 / wall,
+        report.requests,
+        wall
+    );
+    if let Some(path) = profile_out {
+        let folded = report.render_folded();
+        if let Err(e) = std::fs::write(path, &folded) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!(
+            "wrote {} folded stack lines to {path}",
+            folded.lines().count()
+        );
+    }
+    0
+}
+
+/// Wraps a [`TraceSource`], printing a throttled heartbeat to stderr as
+/// requests flow through: rate, resident memory, ETA from the source's
+/// length hint, and the profiler's phase mix since the last print.
+struct ProgressSource<S> {
+    inner: S,
+    total: Option<u64>,
+    served: u64,
+    started: Instant,
+    last_print: Instant,
+    last_served: u64,
+    last_ticks: [u64; hps_obs::profile::N_SLOTS],
+    printed: bool,
+}
+
+/// Requests between heartbeat-eligibility checks (the time check, not the
+/// print, is the per-request cost).
+const PROGRESS_CHECK_EVERY: u64 = 4096;
+
+impl<S: TraceSource> ProgressSource<S> {
+    fn new(inner: S) -> Self {
+        let total = inner.len_hint();
+        let now = Instant::now();
+        ProgressSource {
+            inner,
+            total,
+            served: 0,
+            started: now,
+            last_print: now,
+            last_served: 0,
+            last_ticks: hps_obs::profile::phase_ticks_snapshot(),
+            printed: false,
+        }
+    }
+
+    fn heartbeat(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.last_print).as_millis() < 500 {
+            return;
+        }
+        let rate = (self.served - self.last_served) as f64
+            / now.duration_since(self.last_print).as_secs_f64();
+        let ticks = hps_obs::profile::phase_ticks_snapshot();
+        let mix = phase_mix(&self.last_ticks, &ticks);
+        let eta = match self.total {
+            Some(total) if rate > 0.0 && total > self.served => {
+                format!("{:.0}s", (total - self.served) as f64 / rate)
+            }
+            _ => "?".to_string(),
+        };
+        let pct = match self.total {
+            Some(total) if total > 0 => {
+                format!("{:.0}%", 100.0 * self.served as f64 / total as f64)
+            }
+            _ => "?".to_string(),
+        };
+        eprint!(
+            "\r[progress] {} req ({pct}) | {:.0} req/s | rss {} | eta {eta} | {mix}    ",
+            self.served,
+            rate,
+            rss_display(),
+        );
+        self.last_print = now;
+        self.last_served = self.served;
+        self.last_ticks = ticks;
+        self.printed = true;
+    }
+
+    /// Terminates the heartbeat line with a summary. Call after the
+    /// replay finishes (the wrapper can't know its last request was
+    /// final).
+    fn finish(&mut self) {
+        if self.printed {
+            eprintln!();
+        }
+        eprintln!(
+            "[progress] {} request(s) in {:.2}s",
+            self.served,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+impl<S: TraceSource> TraceSource for ProgressSource<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_request(&mut self) -> Option<IoRequest> {
+        let request = self.inner.next_request();
+        if request.is_some() {
+            self.served += 1;
+            if self.served.is_multiple_of(PROGRESS_CHECK_EVERY) {
+                self.heartbeat();
+            }
+        }
+        request
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+/// Top-three profiler slots by self time accumulated between two
+/// snapshots, as `label NN%` pairs.
+fn phase_mix(
+    before: &[u64; hps_obs::profile::N_SLOTS],
+    after: &[u64; hps_obs::profile::N_SLOTS],
+) -> String {
+    let delta: Vec<u64> = after
+        .iter()
+        .zip(before.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    let total: u64 = delta.iter().sum();
+    if total == 0 {
+        return "phase mix: (no samples yet)".to_string();
+    }
+    let mut slots: Vec<usize> = (0..delta.len()).collect();
+    slots.sort_by(|&a, &b| delta[b].cmp(&delta[a]));
+    let top: Vec<String> = slots
+        .iter()
+        .take(3)
+        .filter(|&&slot| delta[slot] > 0)
+        .map(|&slot| {
+            format!(
+                "{} {:.0}%",
+                hps_obs::profile::slot_label(slot),
+                100.0 * delta[slot] as f64 / total as f64
+            )
+        })
+        .collect();
+    format!("phase mix: {}", top.join(" "))
+}
+
+/// Resident set size from `/proc/self/statm`, formatted for the
+/// heartbeat; "?" where procfs is unavailable.
+fn rss_display() -> String {
+    let rss_pages = std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|statm| statm.split_whitespace().nth(1)?.parse::<f64>().ok());
+    match rss_pages {
+        // Pages are 4 KiB on every platform this runs on; procfs reports
+        // resident pages in field 2.
+        Some(pages) => format!("{:.1} MiB", pages * 4096.0 / (1024.0 * 1024.0)),
+        None => "?".to_string(),
+    }
+}
+
+/// `repro diff a b`: dispatches on file extension — both `.json` compares
+/// numeric JSON leaves, otherwise metric summaries.
+fn diff_cmd(path_a: &str, path_b: &str, tolerance: f64) -> i32 {
+    if path_a.ends_with(".json") && path_b.ends_with(".json") {
+        diff_json_cmd(path_a, path_b, tolerance)
+    } else {
+        diff_summaries_cmd(path_a, path_b, tolerance)
+    }
+}
+
+/// Flattens every numeric leaf of a parsed JSON document into
+/// `dot.joined.path -> value`, recursing through objects and arrays
+/// (array elements use their index as the path segment). String, bool,
+/// and null leaves are skipped: baseline files carry hostnames and
+/// comments that should never fail a drift check.
+fn numeric_leaves(value: &hps_obs::json::Value, path: &str, out: &mut Vec<(String, f64)>) {
+    use hps_obs::json::Value;
+    match value {
+        Value::Num(n) => out.push((path.to_string(), *n)),
+        Value::Obj(members) => {
+            for (key, member) in members {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                numeric_leaves(member, &sub, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                numeric_leaves(item, &format!("{path}.{i}"), out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// `repro diff a.json b.json`: compares the numeric leaves of two JSON
+/// files (e.g. `BENCH_scale.json` baselines) under a relative tolerance.
+/// Exit codes match [`diff_summaries_cmd`].
+fn diff_json_cmd(path_a: &str, path_b: &str, tolerance: f64) -> i32 {
+    let mut sides: Vec<std::collections::BTreeMap<String, f64>> = Vec::with_capacity(2);
+    for path in [path_a, path_b] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        match hps_obs::json::parse(&text) {
+            Ok(doc) => {
+                let mut leaves = Vec::new();
+                numeric_leaves(&doc, "", &mut leaves);
+                sides.push(leaves.into_iter().collect());
+            }
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    let (a, b) = (&sides[0], &sides[1]);
+    let mut divergences = 0usize;
+    for (name, &va) in a {
+        match b.get(name) {
+            None => {
+                println!("{name}: only in {path_a}");
+                divergences += 1;
+            }
+            Some(&vb) => {
+                let close = va == vb || (va - vb).abs() <= tolerance * va.abs().max(vb.abs());
+                if !close {
+                    println!("{name}: {va} vs {vb}");
+                    divergences += 1;
+                }
+            }
+        }
+    }
+    for name in b.keys() {
+        if !a.contains_key(name) {
+            println!("{name}: only in {path_b}");
+            divergences += 1;
+        }
+    }
+    if divergences == 0 {
+        println!(
+            "json files match: {} numeric leaf/leaves within tolerance {tolerance}",
+            a.len().max(b.len())
+        );
+        0
+    } else {
+        println!("json files differ: {divergences} divergence(s) beyond tolerance {tolerance}");
+        1
+    }
 }
 
 /// `repro diff a b`: compares two `--metrics-out` summary files and
@@ -400,9 +797,12 @@ fn write_output(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
 fn print_usage() {
     eprintln!("usage: repro <experiment>... [--out DIR] [--jobs N] [--scale N]");
     eprintln!(
-        "       repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
+        "       repro <workload> [--scheme 4PS|8PS|HPS] [--scale N] [--stream] [--progress] [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]"
     );
-    eprintln!("       repro diff <a.summary> <b.summary> [--tolerance F]");
+    eprintln!(
+        "       repro profile <table4|workload> [--scale N] [--profile-stride N] [--profile-out FILE]"
+    );
+    eprintln!("       repro diff <a.summary|a.json> <b.summary|b.json> [--tolerance F]");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     eprintln!("workloads:   any name from `trace-tool list` (e.g. CameraVideo, WebBrowsing)");
     eprintln!(
@@ -412,4 +812,8 @@ fn print_usage() {
         "--scale N:   stream N generation epochs per trace at O(1) memory (workloads and table4)"
     );
     eprintln!("--stream:    use the streaming engine even at scale 1 (byte-identical metrics)");
+    eprintln!(
+        "--progress:  live heartbeat on stderr for streaming replays (rate, rss, eta, phase mix)"
+    );
+    eprintln!("--profile-out FILE: write flamegraph-compatible folded stacks (repro profile)");
 }

@@ -65,6 +65,26 @@ fn parallel_results_come_back_in_input_order() {
     }
 }
 
+/// The PR-6 snapshot pipeline: per-trace registries captured as
+/// [`MetricsSnapshot`]s and merged must not depend on the job count —
+/// the canonical byte encoding of the merged snapshot is the
+/// machine-checkable form of "parallelism never changes results".
+#[test]
+fn merged_snapshots_are_job_count_invariant() {
+    use hps_obs::MetricsSnapshot;
+    let merged_at = |jobs: usize| {
+        let mut merged = MetricsSnapshot::new();
+        for (_, metrics) in replay_all(jobs, sample_traces()) {
+            merged.merge(&MetricsSnapshot::capture(&metrics.to_registry()));
+        }
+        merged.canonical_bytes()
+    };
+    let serial = merged_at(1);
+    assert!(!serial.is_empty(), "snapshot must carry metrics");
+    assert_eq!(serial, merged_at(2), "--jobs 2 diverged from serial");
+    assert_eq!(serial, merged_at(4), "--jobs 4 diverged from serial");
+}
+
 #[test]
 fn repeated_parallel_runs_agree() {
     let first = replay_all(3, sample_traces());

@@ -145,6 +145,10 @@ pub struct EmmcDevice {
     /// Chunks that could not be placed in their preferred pool and spilled
     /// into the other page size (HPS under pool-capacity pressure).
     pool_spills: u64,
+    /// Per-plane busy window (`(window_end, ops_in_window)`): feeds the
+    /// queue-depth counter track. Maintained only while an event recorder
+    /// is attached.
+    plane_windows: Vec<(SimTime, u32)>,
     /// Cross-layer telemetry; `None` (the default) costs one branch per
     /// instrumentation site.
     telemetry: Option<Telemetry>,
@@ -169,6 +173,8 @@ impl EmmcDevice {
         let sched = ResourceSchedule::new(config.ftl.geometry, config.timing, config.channel_mode);
         let logical_pages = ftl.logical_capacity().as_u64() / 4096;
         let plane_order = striped_plane_order(config.ftl.geometry);
+        // lint: allow(hot-path-alloc) -- one-time construction, not steady state
+        let plane_windows = vec![(SimTime::ZERO, 0u32); ftl.plane_count()];
         let cache = config.write_cache.map(WriteCache::new);
         let slc = config.slc.map(SlcBuffer::new);
         let read_cache = config.read_cache.map(ReadCache::new);
@@ -186,6 +192,7 @@ impl EmmcDevice {
             slc,
             read_cache,
             pool_spills: 0,
+            plane_windows,
             telemetry: None,
             scratch: Scratch::new(),
             #[cfg(any(debug_assertions, feature = "sanitize"))]
@@ -260,6 +267,9 @@ impl EmmcDevice {
     /// Panics if requests arrive out of order (checked in debug builds and
     /// under the `sanitize` feature).
     pub fn submit(&mut self, request: &IoRequest) -> Result<Completion> {
+        // Root of the per-request host-time budget: every phase guard
+        // below attributes into this (sampled) request scope.
+        let _prof_req = hps_obs::profile::request();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         hps_core::audit::enforce(
             self.arrivals
@@ -293,6 +303,11 @@ impl EmmcDevice {
 
     fn serve(&mut self, request: &IoRequest, scratch: &mut Scratch) -> Result<Completion> {
         let arrival = request.arrival;
+
+        // Queue-wait phase: the device front end (idle-GC decision, power
+        // wakeup/doze, service-start bookkeeping). Dropped explicitly once
+        // the service start time is fixed.
+        let prof_wait = hps_obs::profile::phase(hps_obs::Phase::QueueWait);
 
         // Idle-time GC (Implication 2): if the gap since the device went
         // idle is long, reclaim garbage invisibly before the request lands.
@@ -342,6 +357,7 @@ impl EmmcDevice {
         }
         let service_start = arrival.max(self.busy_until);
         let start = service_start + wakeup + self.config.cmd_overhead;
+        drop(prof_wait);
 
         self.build_ops(request, scratch)?;
         let host_chunks = scratch.ops.iter().filter(|op| !op.for_gc).count() as u32;
@@ -423,8 +439,20 @@ impl EmmcDevice {
             None => self.sched.schedule_batch(ops, earliest),
             Some(tel) => {
                 let recording = tel.recording();
+                let windows = &mut self.plane_windows;
                 self.sched
                     .schedule_batch_observed(ops, earliest, |op, scheduled| {
+                        if recording {
+                            // Busy-window queue depth: ops whose service
+                            // overlaps the plane's current busy stretch.
+                            let (window_end, depth) = &mut windows[op.plane];
+                            if scheduled.start >= *window_end {
+                                *depth = 1;
+                            } else {
+                                *depth += 1;
+                            }
+                            *window_end = (*window_end).max(scheduled.finish);
+                        }
                         let (counter, class) = match op.kind {
                             OpKind::Read => ("emmc.flash.reads", OpClass::Read),
                             OpKind::Program => ("emmc.flash.programs", OpClass::Program),
@@ -555,6 +583,27 @@ impl EmmcDevice {
         }
         if let Some(kind) = ack {
             tel.emit(Event::instant(finish, EventKind::CacheAck { id, kind }));
+        }
+        // Per-plane counter samples (Chrome "C" tracks): queue depth at
+        // this request's completion, and the garbage ratio backing the GC
+        // victim-existence fast path.
+        for plane in 0..self.plane_windows.len() {
+            let (window_end, depth) = self.plane_windows[plane];
+            let depth = if finish < window_end { depth } else { 0 };
+            tel.emit(Event::instant(
+                finish,
+                EventKind::PlaneQueueDepth {
+                    plane: plane as u32,
+                    depth,
+                },
+            ));
+            tel.emit(Event::instant(
+                finish,
+                EventKind::PlaneGarbageRatio {
+                    plane: plane as u32,
+                    ratio: self.ftl.garbage_ratio(plane),
+                },
+            ));
         }
     }
 

@@ -94,6 +94,8 @@ pub fn split_lpn_run(first: Lpn, pages: u64, scheme: SchemeKind) -> Vec<Chunk> {
 /// Like [`split_lpn_run`], but appends into a caller-owned buffer (not
 /// cleared first); the allocation-free path for warm replay loops.
 pub fn split_lpn_run_into(first: Lpn, pages: u64, scheme: SchemeKind, chunks: &mut Vec<Chunk>) {
+    // Every request-to-chunk split funnels through this loop.
+    let _prof = hps_obs::profile::phase(hps_obs::Phase::Split);
     let mut lpn = first;
     let mut remaining = pages;
     let k4 = Bytes::kib(4);

@@ -91,6 +91,13 @@ impl ResourceSchedule {
     /// [`ResourceSchedule::schedule`], additionally reporting which channel
     /// and die the operation landed on and when it started.
     pub fn schedule_detailed(&mut self, op: &FlashOp, earliest: SimTime) -> ScheduledOp {
+        // NAND phase, keyed by op class: both batch paths funnel through
+        // here, so per-op scheduling cost is attributed exactly once.
+        let _prof = hps_obs::profile::phase(match op.kind {
+            OpKind::Read => hps_obs::Phase::NandRead,
+            OpKind::Program => hps_obs::Phase::NandProgram,
+            OpKind::Erase => hps_obs::Phase::NandErase,
+        });
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         let horizons = (
             self.channel_free[self.geometry.channel_of_plane(op.plane)],

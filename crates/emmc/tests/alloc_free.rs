@@ -15,33 +15,47 @@
 use hps_core::{Bytes, Direction, IoRequest, SimTime};
 use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counts heap traffic while `COUNTING` is set; otherwise a transparent
-/// passthrough to the system allocator.
+/// Counts heap traffic while `COUNTING` is set on the allocating thread;
+/// otherwise a transparent passthrough to the system allocator.
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+thread_local! {
+    /// Per-thread, not process-global: the libtest harness's own threads
+    /// touch the heap at unpredictable times, and a global flag let that
+    /// traffic land inside the measured window (rare spurious failures).
+    /// Only the thread running the replay arms its flag. `const` init and
+    /// no drop glue, so reading it never re-enters the allocator.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static REALLOCS: AtomicU64 = AtomicU64::new(0);
 
+/// `try_with` instead of `with`: during thread teardown TLS is gone, and
+/// the allocator must stay callable (uncounted) rather than panic.
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             REALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -100,7 +114,7 @@ fn steady_state_replay_does_not_allocate() {
     // provably ran while the counter was live.
     ALLOCS.store(0, Ordering::Relaxed);
     REALLOCS.store(0, Ordering::Relaxed);
-    COUNTING.store(true, Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
     for round in 0..3u64 {
         let mut lpn = 0u64;
         while lpn < logical_pages {
@@ -113,7 +127,7 @@ fn steady_state_replay_does_not_allocate() {
         }
         let _ = round;
     }
-    COUNTING.store(false, Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
 
     let allocs = ALLOCS.load(Ordering::Relaxed);
     let reallocs = REALLOCS.load(Ordering::Relaxed);

@@ -272,6 +272,9 @@ impl Ftl {
         data: Bytes,
         ops: &mut Vec<FlashOp>,
     ) -> Result<()> {
+        // FTL write phase; GC triggered from here nests (and is
+        // attributed to) the gc.select/gc.copyback phases.
+        let _prof = hps_obs::profile::phase(hps_obs::Phase::FtlWrite);
         assert!(
             (1..=2).contains(&lpns.len()),
             "a chunk holds one or two LPNs"
@@ -360,8 +363,14 @@ impl Ftl {
         ops: &mut Vec<FlashOp>,
         unmapped: &mut Vec<Lpn>,
     ) {
+        let _prof = hps_obs::profile::phase(hps_obs::Phase::FtlRead);
         for &lpn in lpns {
-            match self.mapping.lookup(lpn) {
+            let mapped = {
+                // Map-lookup phase, separated from read-op construction.
+                let _prof_lookup = hps_obs::profile::phase(hps_obs::Phase::FtlMapLookup);
+                self.mapping.lookup(lpn)
+            };
+            match mapped {
                 Some(ppn) => {
                     #[cfg(any(debug_assertions, feature = "sanitize"))]
                     enforce(
@@ -564,6 +573,25 @@ impl Ftl {
         self.config.physical_capacity()
     }
 
+    /// Number of planes the FTL manages.
+    pub fn plane_count(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Fraction of one plane's physical pages currently holding garbage
+    /// (invalid data), read from the O(1) per-pool garbage counters. Feeds
+    /// the per-plane garbage-ratio counter track in the Chrome export.
+    pub fn garbage_ratio(&self, plane: usize) -> f64 {
+        let p = &self.planes[plane];
+        let pages_per_block = p.block(BlockId(0)).pages_per_block();
+        let total = p.blocks_total() * pages_per_block;
+        if total == 0 {
+            return 0.0;
+        }
+        let invalid: usize = self.garbage[plane].iter().sum();
+        invalid as f64 / total as f64
+    }
+
     /// Attach the device clock and in-flight request id to the auditor so
     /// violation reports carry them. No-op shell in un-sanitized release
     /// builds (the cfg lives here so callers need no gating of their own).
@@ -724,6 +752,7 @@ impl Ftl {
         victim: BlockId,
         ops: &mut Vec<FlashOp>,
     ) -> Result<()> {
+        let _prof = hps_obs::profile::phase(hps_obs::Phase::GcCopyback);
         let page_size = self.planes[plane].block(victim).page_size();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         enforce(self.shadow.try_gc_victim(plane, victim.0));

@@ -79,6 +79,7 @@ pub struct GcScratch {
 /// when no candidate holds any invalid page — erasing such a block would
 /// reclaim nothing.
 pub fn select_victim(plane: &Plane, pool: &Pool) -> Option<BlockId> {
+    let _prof = hps_obs::profile::phase(hps_obs::Phase::GcSelect);
     pool.victim_candidates(plane)
         .filter(|&id| plane.block(id).invalid_pages() > 0)
         .max_by(|&a, &b| {

@@ -89,6 +89,9 @@ impl Block {
     /// Programs the next free page, returning its in-block index, or `None`
     /// if the block is fully written.
     pub fn program_next(&mut self) -> Option<usize> {
+        // NAND-program phase: array state transition cost, pooled with the
+        // per-op scheduling cost attributed by the device layer.
+        let _prof = hps_obs::profile::phase(hps_obs::Phase::NandProgram);
         if self.write_ptr >= self.pages.len() {
             return None;
         }
@@ -141,6 +144,7 @@ impl Block {
     /// Panics if the block still holds valid pages — the FTL must migrate
     /// live data before erasing (this is what garbage collection does).
     pub fn erase(&mut self) {
+        let _prof = hps_obs::profile::phase(hps_obs::Phase::NandErase);
         assert_eq!(
             self.valid, 0,
             "erasing a block with live data would lose it"

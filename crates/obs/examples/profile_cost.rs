@@ -1,0 +1,78 @@
+//! Micro-measurement of the profiler's always-on hot-path cost:
+//! one `request()` root guard plus six disarmed `phase()` guards per
+//! iteration, the same shape a simulated request sees.
+//!
+//! Run: `cargo run --release -p hps-obs --example profile_cost`
+
+use hps_obs::profile;
+
+fn main() {
+    const ITERS: u64 = 2_000_000;
+    // lint: allow(wall-clock) -- measuring host overhead is the point
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let _req = profile::request();
+        let p = profile::phase(hps_obs::Phase::Split);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::QueueWait);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::FtlWrite);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::FtlMapLookup);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::NandProgram);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::NandRead);
+        drop(p);
+        std::hint::black_box(());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("request + 6 phase guards (stride 64): {per_iter:.2} ns/iter");
+
+    profile::set_stride(u32::MAX);
+    profile::reset();
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let _req = profile::request();
+        let p = profile::phase(hps_obs::Phase::Split);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::QueueWait);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::FtlWrite);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::FtlMapLookup);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::NandProgram);
+        drop(p);
+        let p = profile::phase(hps_obs::Phase::NandRead);
+        drop(p);
+        std::hint::black_box(());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("request + 6 phase guards (never sampled): {per_iter:.2} ns/iter");
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let _req = profile::request();
+        std::hint::black_box(());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("request alone (never sampled): {per_iter:.2} ns/iter");
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let p = profile::phase(hps_obs::Phase::Split);
+        drop(p);
+        std::hint::black_box(());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("one disarmed phase guard: {per_iter:.2} ns/iter");
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        std::hint::black_box(());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!("empty loop: {per_iter:.2} ns/iter");
+    profile::set_stride(64);
+}

@@ -2,9 +2,11 @@
 //!
 //! Produces the JSON Object Format understood by Perfetto and
 //! `chrome://tracing`: spans as `"ph":"X"` complete events, instantaneous
-//! events as `"ph":"i"`, and one metadata record per track naming the
-//! Perfetto "thread" it renders on (requests, io-stack, gc, power, and
-//! one `chN/dieM` track per die). Timestamps are microseconds of
+//! events as `"ph":"i"`, per-plane queue-depth and garbage-ratio samples
+//! as `"ph":"C"` counter tracks, and one metadata record per track naming
+//! the Perfetto "thread" it renders on (requests, io-stack, gc, power,
+//! one `chN/dieM` track per die, and one counter pair per plane).
+//! Timestamps are microseconds of
 //! simulated time; events are written in timestamp order, so every track
 //! is monotone non-decreasing in `ts`.
 
@@ -24,6 +26,7 @@ fn category(track: Track) -> &'static str {
         Track::Gc => "gc",
         Track::Power => "power",
         Track::Die { .. } => "flash",
+        Track::PlaneQueue { .. } | Track::PlaneGarbage { .. } => "counter",
     }
 }
 
@@ -65,7 +68,21 @@ fn args_json(kind: &EventKind) -> String {
             format!("{{\"members\":{members},\"bytes\":{bytes}}}")
         }
         EventKind::PowerSleep => "{}".to_string(),
+        // Counter events: Chrome renders each args key as a series.
+        EventKind::PlaneQueueDepth { depth, .. } => format!("{{\"depth\":{depth}}}"),
+        EventKind::PlaneGarbageRatio { ratio, .. } => {
+            format!("{{\"garbage\":{}}}", number(*ratio))
+        }
     }
+}
+
+/// `true` for kinds rendered as `"ph":"C"` counter samples rather than
+/// spans or instants.
+fn is_counter(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::PlaneQueueDepth { .. } | EventKind::PlaneGarbageRatio { .. }
+    )
 }
 
 /// Writes `events` as a Chrome trace (JSON Object Format).
@@ -116,7 +133,17 @@ pub fn write_chrome_trace<W: Write>(events: &[Event], mut w: W) -> io::Result<()
         let track = event.track();
         let ts_us = event.start.as_ns() as f64 / 1_000.0;
         sep(&mut w, &mut first)?;
-        if event.dur.is_zero() {
+        if is_counter(&event.kind) {
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\"tid\":{},\"args\":{}}}",
+                escape(&event.name()),
+                category(track),
+                number(ts_us),
+                track.tid(),
+                args_json(&event.kind)
+            )?;
+        } else if event.dur.is_zero() {
             write!(
                 w,
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{PID},\"tid\":{},\"args\":{}}}",
@@ -181,6 +208,17 @@ mod tests {
                 SimDuration::from_us(3),
                 EventKind::GcPass { ops: 4, idle: true },
             ),
+            Event::instant(
+                SimTime::from_us(32),
+                EventKind::PlaneQueueDepth { plane: 2, depth: 3 },
+            ),
+            Event::instant(
+                SimTime::from_us(32),
+                EventKind::PlaneGarbageRatio {
+                    plane: 2,
+                    ratio: 0.25,
+                },
+            ),
         ]
     }
 
@@ -206,6 +244,42 @@ mod tests {
         assert!(names.contains(&"requests"));
         assert!(names.contains(&"gc"));
         assert!(names.contains(&"ch0/die1"));
+        assert!(names.contains(&"plane2 queue"));
+        assert!(names.contains(&"plane2 garbage"));
+    }
+
+    #[test]
+    fn plane_samples_become_counter_events() {
+        let mut out = Vec::new();
+        write_chrome_trace(&sample_events(), &mut out).unwrap();
+        let doc = json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        let depth = counters
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("plane2 queue depth"))
+            .expect("queue-depth counter");
+        assert_eq!(
+            depth.get("args").unwrap().get("depth").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let garbage = counters
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("plane2 garbage ratio"))
+            .expect("garbage-ratio counter");
+        assert_eq!(
+            garbage
+                .get("args")
+                .unwrap()
+                .get("garbage")
+                .unwrap()
+                .as_f64(),
+            Some(0.25)
+        );
     }
 
     #[test]

@@ -127,6 +127,23 @@ pub enum EventKind {
     },
     /// A span the device spent in a low-power state.
     PowerSleep,
+    /// Counter sample: flash operations outstanding in one plane's
+    /// current busy window (instantaneous; rendered as a Chrome counter
+    /// track).
+    PlaneQueueDepth {
+        /// FTL plane index.
+        plane: u32,
+        /// Ops overlapping the plane's busy window at sample time.
+        depth: u32,
+    },
+    /// Counter sample: fraction of one plane's physical pages holding
+    /// garbage (invalid data), from the per-pool garbage counters.
+    PlaneGarbageRatio {
+        /// FTL plane index.
+        plane: u32,
+        /// Invalid pages / physical pages, in `[0, 1]`.
+        ratio: f64,
+    },
 }
 
 /// One telemetry event on the simulated timeline.
@@ -170,6 +187,8 @@ impl Event {
             },
             EventKind::Command { .. } => Track::Stack,
             EventKind::PowerSleep => Track::Power,
+            EventKind::PlaneQueueDepth { plane, .. } => Track::PlaneQueue { plane: *plane },
+            EventKind::PlaneGarbageRatio { plane, .. } => Track::PlaneGarbage { plane: *plane },
         }
     }
 
@@ -199,6 +218,10 @@ impl Event {
             EventKind::CacheAck { kind, .. } => kind.name().to_string(),
             EventKind::Command { .. } => "command".to_string(),
             EventKind::PowerSleep => "sleep".to_string(),
+            // Counter names embed the plane so Chrome/Perfetto (which key
+            // counters by name) keep one series per plane.
+            EventKind::PlaneQueueDepth { plane, .. } => format!("plane{plane} queue depth"),
+            EventKind::PlaneGarbageRatio { plane, .. } => format!("plane{plane} garbage ratio"),
         }
     }
 }
@@ -222,11 +245,22 @@ pub enum Track {
         /// Flat die index across the device.
         die: u32,
     },
+    /// Per-plane queue-depth counter samples.
+    PlaneQueue {
+        /// FTL plane index.
+        plane: u32,
+    },
+    /// Per-plane garbage-ratio counter samples.
+    PlaneGarbage {
+        /// FTL plane index.
+        plane: u32,
+    },
 }
 
 impl Track {
     /// Stable thread id for Chrome trace export. Die tracks start at 16,
-    /// leaving the low ids for the fixed tracks.
+    /// plane queue-depth tracks at 64 and plane garbage-ratio tracks at
+    /// 96, leaving the low ids for the fixed tracks.
     pub fn tid(&self) -> u64 {
         match self {
             Track::Requests => 0,
@@ -234,6 +268,8 @@ impl Track {
             Track::Gc => 2,
             Track::Power => 3,
             Track::Die { die, .. } => 16 + u64::from(*die),
+            Track::PlaneQueue { plane } => 64 + u64::from(*plane),
+            Track::PlaneGarbage { plane } => 96 + u64::from(*plane),
         }
     }
 
@@ -245,6 +281,8 @@ impl Track {
             Track::Gc => "gc".to_string(),
             Track::Power => "power".to_string(),
             Track::Die { channel, die } => format!("ch{channel}/die{die}"),
+            Track::PlaneQueue { plane } => format!("plane{plane} queue"),
+            Track::PlaneGarbage { plane } => format!("plane{plane} garbage"),
         }
     }
 }

@@ -54,6 +54,15 @@ fn payload(kind: &EventKind) -> String {
             format!("\"kind\":\"command\",\"members\":{members},\"bytes\":{bytes}")
         }
         EventKind::PowerSleep => "\"kind\":\"power_sleep\"".to_string(),
+        EventKind::PlaneQueueDepth { plane, depth } => {
+            format!("\"kind\":\"plane_queue_depth\",\"plane\":{plane},\"depth\":{depth}")
+        }
+        EventKind::PlaneGarbageRatio { plane, ratio } => {
+            format!(
+                "\"kind\":\"plane_garbage_ratio\",\"plane\":{plane},\"ratio\":{}",
+                crate::json::number(*ratio)
+            )
+        }
     }
 }
 

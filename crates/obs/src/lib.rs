@@ -12,6 +12,12 @@
 //!   disabled);
 //! * [`registry`] — [`MetricsRegistry`]: named counters and log-bucketed
 //!   [`LogHistogram`]s, mergeable so parallel replays can aggregate;
+//! * [`profile`] — the always-on, zero-allocation phase-accounting
+//!   profiler: sampled [`RequestTimer`]/[`PhaseTimer`] guards attribute
+//!   each request's host wall time to fixed stack phases;
+//! * [`snapshot`] — [`MetricsSnapshot`]: point-in-time registry copies
+//!   with a deterministic merge and canonical byte encoding, the
+//!   primitive for fleet-scale aggregation;
 //! * [`chrome`] — Chrome `trace_event` JSON export (open in Perfetto or
 //!   `chrome://tracing`), one track per channel/die plus GC, stack, and
 //!   request tracks;
@@ -34,8 +40,10 @@ pub mod diff;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod snapshot;
 pub mod stream;
 pub mod summary;
 
@@ -43,7 +51,9 @@ pub use chrome::write_chrome_trace;
 pub use diff::{diff_summaries, parse_summary, SummaryDiff, SummaryValue};
 pub use event::{AckKind, Event, EventKind, OpClass, Track};
 pub use jsonl::{write_jsonl, write_jsonl_event};
+pub use profile::{Phase, PhaseTimer, ProfileReport, RequestTimer};
 pub use registry::{CounterId, HistogramId, LogHistogram, Metric, MetricsRegistry};
 pub use sink::{NullSink, Sink, Telemetry, VecSink};
+pub use snapshot::MetricsSnapshot;
 pub use stream::{JsonlStreamSink, StreamStats};
 pub use summary::render_summary;

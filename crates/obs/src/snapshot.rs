@@ -1,0 +1,151 @@
+//! Mergeable, canonically serializable metric snapshots.
+//!
+//! [`MetricsSnapshot`] is the aggregation primitive fleet-scale replay
+//! needs (ROADMAP items 1–2): capture one snapshot per shard/run, `merge`
+//! them in any grouping, and the result is *byte-identical* to the
+//! snapshot of an equivalent single run — counters add exactly in `u64`,
+//! histogram bucket counts add exactly in `u64`, and min/max are exact
+//! order statistics. The one non-associative quantity, a histogram's
+//! floating-point `sum`, is deliberately excluded from the canonical
+//! encoding (summation order differs between split and single runs), so
+//! canonical bytes compare equal exactly when the distributions match.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Metric, MetricsRegistry};
+
+/// A point-in-time copy of a [`MetricsRegistry`] that merges
+/// deterministically and serializes canonically.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    registry: MetricsRegistry,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (the identity element of [`merge`]).
+    ///
+    /// [`merge`]: MetricsSnapshot::merge
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Copies the current state of a registry.
+    pub fn capture(registry: &MetricsRegistry) -> Self {
+        MetricsSnapshot {
+            registry: registry.clone(),
+        }
+    }
+
+    /// The snapshot's metrics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Folds another snapshot into this one: counters add, histogram
+    /// buckets add, absent names are adopted. Associative and commutative
+    /// on everything the canonical encoding covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is a counter in one snapshot and a histogram in
+    /// the other (inherited from [`MetricsRegistry::merge`]).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.registry.merge(&other.registry);
+    }
+
+    /// Canonical byte encoding: one line per metric, sorted by name.
+    ///
+    /// * `counter <name> <value>`
+    /// * `hist <name> n=<count> min=<f64 bits as hex> max=<bits>
+    ///   buckets=<i>:<c>,...` (non-zero buckets only)
+    ///
+    /// Two snapshots encode identically iff their counters and histogram
+    /// distributions (bucket counts, count, min, max) are identical; the
+    /// float `sum` is excluded because summation order makes it
+    /// non-associative under merging.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for (name, metric) in self.registry.iter_sorted() {
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "counter {name} {v}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "hist {name} n={} min={:016x} max={:016x} buckets=",
+                        h.count(),
+                        h.min().unwrap_or(0.0).to_bits(),
+                        h.max().unwrap_or(0.0).to_bits(),
+                    );
+                    let mut first = true;
+                    for (i, &c) in h.bucket_counts().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{i}:{c}");
+                        first = false;
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(pairs: &[(&str, u64)], samples: &[(&str, f64)]) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for &(name, v) in pairs {
+            reg.add(name, v);
+        }
+        for &(name, s) in samples {
+            reg.record(name, s);
+        }
+        MetricsSnapshot::capture(&reg)
+    }
+
+    #[test]
+    fn merge_of_shards_matches_single_run() {
+        let mut merged = shard(&[("reqs", 3)], &[("lat", 1.5), ("lat", 9.0)]);
+        merged.merge(&shard(&[("reqs", 4), ("gc", 1)], &[("lat", 0.25)]));
+        let single = shard(
+            &[("reqs", 7), ("gc", 1)],
+            &[("lat", 1.5), ("lat", 9.0), ("lat", 0.25)],
+        );
+        assert_eq!(merged.canonical_bytes(), single.canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_insertion_order() {
+        let a = shard(&[("a", 1), ("z", 2)], &[("h", 4.0)]);
+        let mut reg = MetricsRegistry::new();
+        reg.record("h", 4.0);
+        reg.add("z", 2);
+        reg.add("a", 1);
+        let b = MetricsSnapshot::capture(&reg);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn distinct_distributions_encode_differently() {
+        let a = shard(&[], &[("h", 1.0)]);
+        let b = shard(&[], &[("h", 1024.0)]);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let mut a = shard(&[("c", 5)], &[("h", 2.0)]);
+        let before = a.canonical_bytes();
+        a.merge(&MetricsSnapshot::new());
+        assert_eq!(a.canonical_bytes(), before);
+    }
+}

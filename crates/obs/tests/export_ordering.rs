@@ -1,0 +1,123 @@
+//! Regression tests: every registry export path shares one canonical
+//! (name-sorted) ordering, so `repro diff` can never flag churn that is
+//! only a difference in metric *registration order*.
+//!
+//! The risk this pins down: `ReplayMetrics::to_registry` interns its
+//! percentile histograms in one order, `ProfileReport::export_into`
+//! interns the `profile.phase.*` metrics in another, and a future code
+//! motion could interleave them differently between two builds. If any
+//! exporter walked insertion order, `repro diff` would report spurious
+//! divergence on identical measurements.
+
+use hps_obs::profile::{Phase, N_PHASES, N_SLOTS, OTHER_SLOT};
+use hps_obs::{
+    diff_summaries, parse_summary, render_summary, LogHistogram, MetricsRegistry, MetricsSnapshot,
+    ProfileReport,
+};
+
+/// A deterministic, non-trivial profile report (no live profiling —
+/// ordering is a pure encoding property).
+fn sample_report() -> ProfileReport {
+    let mut hists = [const { LogHistogram::new() }; N_PHASES];
+    for (i, h) in hists.iter_mut().enumerate() {
+        for k in 1..=(i as u64 + 2) {
+            h.observe((k * 100) as f64);
+        }
+    }
+    let mut phase_ticks = [0u64; N_SLOTS];
+    let mut phase_entries = [0u64; N_SLOTS];
+    for slot in 0..N_SLOTS {
+        phase_ticks[slot] = 1_000 + slot as u64;
+        phase_entries[slot] = 10 + slot as u64;
+    }
+    ProfileReport {
+        requests: 640,
+        sampled: 10,
+        stride: 64,
+        ticks_total: phase_ticks.iter().sum(),
+        truncated_frames: 0,
+        phase_ticks,
+        phase_entries,
+        hists,
+    }
+}
+
+/// Replay-style metrics interned the way `ReplayMetrics::to_registry`
+/// does: counters first, percentile histograms after.
+fn add_replay_style(registry: &mut MetricsRegistry) {
+    registry.add("emmc.requests", 640);
+    registry.add("emmc.requests.read", 400);
+    registry.record("emmc.response_ms", 1.25);
+    registry.record("emmc.response_ms", 9.5);
+    registry.record("ftl.gc.moved_pages", 17.0);
+}
+
+#[test]
+fn summary_rendering_is_insertion_order_independent() {
+    // Registry A: replay metrics first, then the profile export.
+    let mut a = MetricsRegistry::new();
+    add_replay_style(&mut a);
+    sample_report().export_into(&mut a);
+
+    // Registry B: profile export first, then replay metrics.
+    let mut b = MetricsRegistry::new();
+    sample_report().export_into(&mut b);
+    add_replay_style(&mut b);
+
+    assert_eq!(
+        render_summary(&a),
+        render_summary(&b),
+        "render_summary must sort by name, not insertion order"
+    );
+}
+
+#[test]
+fn diff_flags_nothing_across_registration_orders() {
+    let mut a = MetricsRegistry::new();
+    add_replay_style(&mut a);
+    sample_report().export_into(&mut a);
+    let mut b = MetricsRegistry::new();
+    sample_report().export_into(&mut b);
+    add_replay_style(&mut b);
+
+    let pa = parse_summary(&render_summary(&a)).expect("summary A parses");
+    let pb = parse_summary(&render_summary(&b)).expect("summary B parses");
+    let diffs = diff_summaries(&pa, &pb, 0.0);
+    assert!(
+        diffs.is_empty(),
+        "ordering-only churn was flagged: {:?}",
+        diffs.iter().map(|d| &d.name).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn snapshot_bytes_are_insertion_order_independent() {
+    let mut a = MetricsRegistry::new();
+    add_replay_style(&mut a);
+    sample_report().export_into(&mut a);
+    let mut b = MetricsRegistry::new();
+    sample_report().export_into(&mut b);
+    add_replay_style(&mut b);
+
+    assert_eq!(
+        MetricsSnapshot::capture(&a).canonical_bytes(),
+        MetricsSnapshot::capture(&b).canonical_bytes(),
+        "canonical snapshot encoding must sort by name"
+    );
+}
+
+#[test]
+fn profile_export_names_follow_the_label_convention() {
+    // The profile.* namespace must stay disjoint from the emmc.*/ftl.*
+    // replay namespaces and use each phase's stable label, so sorted
+    // exports group deterministically.
+    let mut registry = MetricsRegistry::new();
+    sample_report().export_into(&mut registry);
+    let names: Vec<&str> = registry.iter_sorted().iter().map(|(n, _)| *n).collect();
+    assert!(names.iter().all(|n| n.starts_with("profile.")));
+    for phase in Phase::ALL {
+        assert!(names.contains(&format!("profile.phase.{}.ticks", phase.label()).as_str()));
+    }
+    assert!(names.contains(&"profile.phase.device.dispatch.self_ticks"));
+    assert_eq!(OTHER_SLOT, N_PHASES);
+}

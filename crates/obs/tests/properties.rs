@@ -1,11 +1,39 @@
-//! Property-based tests for the log-bucketed histogram and the Chrome
-//! trace exporter.
+//! Property-based tests for the log-bucketed histogram, the Chrome
+//! trace exporter, and mergeable metric snapshots.
 
 use hps_core::{SimDuration, SimTime};
 use hps_obs::json::{parse, Value};
-use hps_obs::{write_chrome_trace, Event, EventKind, LogHistogram, OpClass};
+use hps_obs::{
+    write_chrome_trace, Event, EventKind, LogHistogram, MetricsRegistry, MetricsSnapshot, OpClass,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// One recorded operation against a registry: a counter bump or a
+/// histogram sample, on one of a small set of metric names so splits
+/// share names across shards.
+#[derive(Clone, Debug)]
+enum Op {
+    Inc(usize, u64),
+    Observe(usize, f64),
+}
+
+const COUNTER_NAMES: [&str; 4] = ["reqs", "bytes", "gc_runs", "cache_hits"];
+const HIST_NAMES: [&str; 4] = ["latency_ns", "queue_depth", "chunk_bytes", "gc_ops"];
+
+fn apply(registry: &mut MetricsRegistry, op: &Op) {
+    match *op {
+        Op::Inc(name, by) => registry.add(COUNTER_NAMES[name], by),
+        Op::Observe(name, sample) => registry.record(HIST_NAMES[name], sample),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..COUNTER_NAMES.len()), 0u64..1000).prop_map(|(n, by)| Op::Inc(n, by)),
+        ((0..HIST_NAMES.len()), 1e-6f64..1e9).prop_map(|(n, s)| Op::Observe(n, s)),
+    ]
+}
 
 proptest! {
     #[test]
@@ -156,5 +184,57 @@ proptest! {
             last_ts.insert(tid, ts);
         }
         prop_assert_eq!(spans_seen, events.len());
+    }
+
+    #[test]
+    fn merged_shard_snapshots_equal_single_run_byte_for_byte(
+        ops in prop::collection::vec(op_strategy(), 0..400),
+        shards in 1usize..6,
+        assignment in prop::collection::vec(0usize..6, 0..400),
+    ) {
+        // One registry sees every op in order; K shard registries each
+        // see a disjoint subset. Merging the shard snapshots must
+        // reproduce the single-run snapshot exactly — counters, histogram
+        // bucket counts, count/min/max — down to the canonical bytes.
+        let mut single = MetricsRegistry::new();
+        let mut shard_regs: Vec<MetricsRegistry> =
+            (0..shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut single, op);
+            let shard = assignment.get(i).copied().unwrap_or(0) % shards;
+            apply(&mut shard_regs[shard], op);
+        }
+        let mut merged = MetricsSnapshot::new();
+        for reg in &shard_regs {
+            merged.merge(&MetricsSnapshot::capture(reg));
+        }
+        let single_snap = MetricsSnapshot::capture(&single);
+        prop_assert_eq!(merged.canonical_bytes(), single_snap.canonical_bytes());
+    }
+
+    #[test]
+    fn merge_order_of_shards_is_irrelevant(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        split in 1usize..4,
+    ) {
+        // Round-robin the ops over `split + 1` shards, then merge the
+        // shard snapshots in forward and reverse order: identical bytes.
+        let shards = split + 1;
+        let mut shard_regs: Vec<MetricsRegistry> =
+            (0..shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut shard_regs[i % shards], op);
+        }
+        let snaps: Vec<MetricsSnapshot> =
+            shard_regs.iter().map(MetricsSnapshot::capture).collect();
+        let mut forward = MetricsSnapshot::new();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        let mut reverse = MetricsSnapshot::new();
+        for s in snaps.iter().rev() {
+            reverse.merge(s);
+        }
+        prop_assert_eq!(forward.canonical_bytes(), reverse.canonical_bytes());
     }
 }

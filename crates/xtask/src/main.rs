@@ -66,6 +66,7 @@ enum Rule {
     WallClock,
     MissingDocs,
     HotPathAlloc,
+    PhaseTimer,
 }
 
 impl Rule {
@@ -78,6 +79,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::MissingDocs => "missing-docs",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::PhaseTimer => "phase-timer",
         }
     }
 
@@ -99,6 +101,12 @@ impl Rule {
                 "Vec::new()/vec![] in a replay hot-path module; reuse \
                  ReplayScratch/GcScratch buffers or the *_into APIs \
                  (waive cold paths with lint: allow(hot-path-alloc))"
+            }
+            Rule::PhaseTimer => {
+                "profiler guard dropped where it was created — a zero-width \
+                 scope measures nothing; bind it (`let _prof = ...`) so the \
+                 guard spans the region it accounts \
+                 (waive intentional cases with lint: allow(phase-timer))"
             }
         }
     }
@@ -372,7 +380,32 @@ fn rules_for_line(code: &str, is_binary: bool, hot_path: bool) -> Vec<Rule> {
             hits.push(Rule::NoPrint);
         }
     }
+    if unbalanced_phase_guard(code) {
+        hits.push(Rule::PhaseTimer);
+    }
     hits
+}
+
+/// `true` when the line creates a `PhaseTimer`/`RequestTimer` guard that
+/// drops immediately: discarded via `let _ =` or used as a bare
+/// expression statement. Either way the scope is zero-width and the
+/// phase accounts nothing, which is always a bug at the call site.
+fn unbalanced_phase_guard(code: &str) -> bool {
+    let creates_guard = code.contains("profile::phase(") || code.contains("profile::request()");
+    if !creates_guard {
+        return false;
+    }
+    if code.contains("let _ =") || code.contains("let _=") {
+        return true;
+    }
+    let trimmed = code.trim_start();
+    ["profile::phase(", "profile::request()"]
+        .iter()
+        .any(|call| {
+            trimmed.starts_with(call)
+                || trimmed.starts_with(&format!("hps_obs::{call}"))
+                || trimmed.starts_with(&format!("crate::{call}"))
+        })
 }
 
 /// `true` when the raw line carries a waiver comment for `rule`.
@@ -515,6 +548,35 @@ mod tests {
         let hits = scan("let t = std::time::SystemTime::now();\n", true);
         assert_eq!(hits, vec![(1, Rule::WallClock)], "binaries are NOT exempt");
         assert!(scan("use std::time::Duration;\n", false).is_empty());
+    }
+
+    #[test]
+    fn flags_unbound_phase_guards() {
+        // Discarded binding: the guard drops before the region runs.
+        let hits = scan("let _ = hps_obs::profile::phase(Phase::Split);\n", false);
+        assert_eq!(hits, vec![(1, Rule::PhaseTimer)]);
+        // Bare expression statement: same zero-width scope.
+        let hits = scan("    hps_obs::profile::phase(Phase::Split);\n", false);
+        assert_eq!(hits, vec![(1, Rule::PhaseTimer)]);
+        let hits = scan("let _ = profile::request();\n", true);
+        assert_eq!(hits, vec![(1, Rule::PhaseTimer)], "binaries are NOT exempt");
+    }
+
+    #[test]
+    fn allows_bound_phase_guards_and_waivers() {
+        assert!(scan(
+            "let _prof = hps_obs::profile::phase(Phase::Split);\n",
+            false
+        )
+        .is_empty());
+        assert!(scan("let _req = profile::request();\n", false).is_empty());
+        // Non-guard profile calls are not the rule's business.
+        assert!(scan("hps_obs::profile::reset();\n", false).is_empty());
+        assert!(scan(
+            "// lint: allow(phase-timer)\nlet _ = profile::phase(Phase::Split);\n",
+            false
+        )
+        .is_empty());
     }
 
     #[test]
