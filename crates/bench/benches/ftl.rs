@@ -16,6 +16,7 @@ fn config(trigger: GcTrigger) -> FtlConfig {
         pools: vec![(Bytes::kib(4), 16)],
         pages_per_block: 32,
         gc_trigger: trigger,
+        faults: hps_nand::FaultConfig::NONE,
     }
 }
 

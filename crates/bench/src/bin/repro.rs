@@ -12,7 +12,7 @@
 //!   table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!   overhead characteristics
 //!   ablate-gc ablate-ratio ablate-power ablate-channels
-//!   implication3 implication5 endurance stack
+//!   implication3 implication5 endurance stack faults
 //!   all            run everything
 //! ```
 //!
@@ -71,6 +71,7 @@ use hps_bench::experiments::{
 use hps_bench::implications::{
     endurance, implication3_read_cache, implication5_slc, stack_pipeline,
 };
+use hps_bench::reliability::exp_faults;
 use hps_core::Bytes;
 use hps_core::IoRequest;
 use hps_emmc::{ChannelMode, DeviceConfig, EmmcDevice, SchemeKind};
@@ -82,7 +83,7 @@ use std::path::Path;
 // lint: allow(wall-clock) -- operator progress timing only; never enters simulation results
 use std::time::Instant;
 
-const EXPERIMENTS: [&str; 20] = [
+const EXPERIMENTS: [&str; 21] = [
     "table3",
     "table4",
     "table5",
@@ -103,6 +104,7 @@ const EXPERIMENTS: [&str; 20] = [
     "implication5",
     "endurance",
     "stack",
+    "faults",
 ];
 
 fn main() {
@@ -274,8 +276,17 @@ fn main() {
             "fig5" => exp_fig5(),
             "fig6" => exp_fig6(),
             "fig7" => exp_fig7(),
-            "fig8" => exp_fig8(case_rows.as_ref().expect("precomputed")),
-            "fig9" => exp_fig9(case_rows.as_ref().expect("precomputed")),
+            "fig8" | "fig9" => match case_rows.as_ref() {
+                Some(rows) if target == "fig8" => exp_fig8(rows),
+                Some(rows) => exp_fig9(rows),
+                None => {
+                    // Unreachable by construction (`needs_case_study` scans
+                    // the same target list), but a structured exit beats a
+                    // panic if the two ever drift.
+                    eprintln!("internal error: case study rows missing for {target}");
+                    std::process::exit(1);
+                }
+            },
             "overhead" => exp_overhead(),
             "characteristics" => exp_characteristics(),
             "ablate-gc" => ablate_gc(),
@@ -286,6 +297,7 @@ fn main() {
             "implication5" => implication5_slc(),
             "endurance" => endurance(),
             "stack" => stack_pipeline(),
+            "faults" => exp_faults(),
             workload if by_name(workload).is_some() => {
                 match replay_workload(
                     workload,
@@ -345,7 +357,8 @@ fn replay_workload(
     metrics_out: Option<&str>,
     jsonl_out: Option<&str>,
 ) -> Result<String, Box<dyn std::error::Error>> {
-    let profile = by_name(name).expect("caller checked the name");
+    let profile =
+        by_name(name).ok_or_else(|| format!("unknown workload '{name}' (see trace-tool list)"))?;
     // Same device as `trace-tool replay`: Table V plus the write cache and
     // interleaved channels, so the two tools report comparable numbers.
     let mut cfg = DeviceConfig::table_v(scheme).with_write_cache(Bytes::kib(512));
@@ -385,7 +398,9 @@ fn replay_workload(
         device.replay(&mut trace)?
     };
     device.export_state_metrics();
-    let mut telemetry = device.take_telemetry().expect("attached above");
+    let mut telemetry = device
+        .take_telemetry()
+        .ok_or("telemetry bundle missing after replay")?;
 
     let mut output = format!(
         "{metrics}\np50={:.3}ms p99={:.3}ms write_amp={:.3}\n",
@@ -395,17 +410,17 @@ fn replay_workload(
     );
     if let Some(path) = trace_out {
         let events = telemetry.take_events();
-        write_chrome_trace(
-            &events,
-            std::io::BufWriter::new(std::fs::File::create(path)?),
-        )?;
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        write_chrome_trace(&events, std::io::BufWriter::new(file))?;
         output.push_str(&format!(
             "wrote {} trace events to {path} (load in https://ui.perfetto.dev)\n",
             events.len()
         ));
     }
     if let Some(path) = metrics_out {
-        std::fs::write(path, render_summary(&telemetry.registry))?;
+        std::fs::write(path, render_summary(&telemetry.registry))
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
         output.push_str(&format!(
             "wrote {} metrics to {path}\n",
             telemetry.registry.len()

@@ -9,7 +9,9 @@
 pub mod ablations;
 pub mod experiments;
 pub mod implications;
+pub mod reliability;
 pub mod runner;
 
 pub use experiments::*;
+pub use reliability::exp_faults;
 pub use runner::{combo_traces, individual_traces, replay_on, trace_by_name, MASTER_SEED};

@@ -1,0 +1,306 @@
+//! Reliability sweep: fault injection × page-size scheme.
+//!
+//! Not a figure from the paper — an extension of its Section V case study.
+//! The paper's eMMC design argument (hybrid page sizes) is evaluated on a
+//! fault-free flash array; this sweep asks how the three schemes behave
+//! when the array misbehaves: program/erase failures, wear-dependent raw
+//! bit errors with ECC read-retry, bad-block retirement onto spares, and a
+//! sudden power-off followed by OOB-scan recovery.
+//!
+//! Each cell of the sweep replays the same synthetic GC-stressing workload
+//! on a scaled device of one scheme with one error-rate point, then arms a
+//! power-off, drives the device into it, and recovers. Everything is
+//! seed-deterministic: the fault draws are pure hashes of flash
+//! coordinates, so a rerun (at any `--jobs`) reproduces every number.
+
+use crate::runner::MASTER_SEED;
+use hps_analysis::report::{fnum, Table};
+use hps_core::{par, Bytes, Direction, Error, IoRequest, Result, SimDuration, SimRng, SimTime};
+use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig, SchemeKind};
+use hps_nand::FaultConfig;
+
+/// One error-rate point of the sweep: per-op program-failure probability
+/// and the base raw bit error rate feeding the ECC model.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorPoint {
+    /// Label printed in the table ("low", "medium", "high").
+    pub label: &'static str,
+    /// Per-program-attempt failure probability.
+    pub program_fail_prob: f64,
+    /// Raw bit error rate of a fresh page.
+    pub rber_base: f64,
+}
+
+/// The three error-rate points of the sweep, mild to hostile. The high
+/// point is far above any healthy NAND part; it exists to exercise the
+/// degradation ladder (retry → retire → spares exhausted → read-only).
+pub const ERROR_POINTS: [ErrorPoint; 3] = [
+    ErrorPoint {
+        label: "low",
+        program_fail_prob: 1e-4,
+        rber_base: 1e-4,
+    },
+    ErrorPoint {
+        label: "medium",
+        program_fail_prob: 1e-3,
+        rber_base: 5e-4,
+    },
+    ErrorPoint {
+        label: "high",
+        program_fail_prob: 5e-3,
+        rber_base: 2e-3,
+    },
+];
+
+/// Fault profile for one sweep cell: the error point's rates plus the
+/// fixed ECC / spares policy shared by every cell.
+pub fn fault_profile(point: ErrorPoint, seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        program_fail_prob: point.program_fail_prob,
+        erase_fail_prob: point.program_fail_prob,
+        rber_base: point.rber_base,
+        rber_wear_slope: point.rber_base / 100.0,
+        read_disturb_rber: point.rber_base / 1000.0,
+        ecc_bits_per_kib: 8,
+        max_read_retries: 3,
+        retry_rber_scale: 0.5,
+        spare_blocks_per_pool: 2,
+        bad_block_program_fails: 2,
+    }
+}
+
+/// The synthetic workload every cell replays: small hot writes whose
+/// footprint wraps the scaled device repeatedly (steady GC pressure, so
+/// erase draws happen) mixed with re-reads of recently written data (so
+/// the ECC path sees real traffic).
+pub fn sweep_requests(num: u64) -> Vec<IoRequest> {
+    let mut rng = SimRng::seed_from(MASTER_SEED ^ 0xFA17);
+    let mut reqs = Vec::with_capacity(num as usize);
+    let mut now = SimTime::ZERO;
+    // 16 MiB footprint on a 32 MiB device: overwrites dominate once warm.
+    let footprint_pages = Bytes::mib(16).as_u64() / 4096;
+    for id in 0..num {
+        now += SimDuration::from_ms(2);
+        let pages = *rng.pick(&[1u64, 1, 2, 2, 3, 4]);
+        let lba = rng.uniform_u64(footprint_pages - pages) * 4096;
+        let dir = if rng.chance(0.3) {
+            Direction::Read
+        } else {
+            Direction::Write
+        };
+        reqs.push(IoRequest::new(id, now, dir, Bytes::kib(4 * pages), lba));
+    }
+    reqs
+}
+
+/// What one sweep cell produced.
+struct CellOutcome {
+    served: u64,
+    degraded: bool,
+    crash_fired: bool,
+    stats: hps_nand::FaultStats,
+    spares_left: usize,
+    recovery_pages: u64,
+    recovery_ms: f64,
+}
+
+/// Replays the workload on one `(scheme, point)` cell, arms a power-off,
+/// drives the device into it, and recovers.
+fn run_cell(scheme: SchemeKind, point: ErrorPoint, seed: u64) -> Result<CellOutcome> {
+    let mut cfg = DeviceConfig::scaled(scheme, 64, 16);
+    cfg.power = PowerConfig::DISABLED;
+    cfg.ftl.faults = fault_profile(point, seed);
+    let mut dev = EmmcDevice::new(cfg)?;
+
+    let requests = sweep_requests(4_000);
+    let mut served = 0u64;
+    let mut degraded = false;
+    for req in &requests {
+        match dev.submit(req) {
+            Ok(_) => served += 1,
+            Err(Error::ReadOnly { .. }) => {
+                degraded = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Phase two: pull the plug mid-write-burst, then recover. A degraded
+    // (read-only) device performs no further flash mutations, so the armed
+    // crash would never fire — skip straight to recovery in that case.
+    let mut crash_fired = false;
+    if !degraded {
+        dev.arm_crash(50)?;
+        let mut now = dev.busy_until();
+        for i in 0..2_000u64 {
+            now += SimDuration::from_ms(1);
+            let req = IoRequest::new(
+                1_000_000 + i,
+                now,
+                Direction::Write,
+                Bytes::kib(4),
+                (i % 512) * 4096,
+            );
+            match dev.submit(&req) {
+                Ok(_) => {}
+                Err(Error::PowerLoss { .. }) => {
+                    crash_fired = true;
+                    break;
+                }
+                Err(Error::ReadOnly { .. }) => {
+                    degraded = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    let outcome = dev.recover()?;
+    let stats = dev.ftl().fault_stats().ok_or_else(|| {
+        Error::InvalidConfig("fault sweep cell built without fault injection".into())
+    })?;
+    Ok(CellOutcome {
+        served,
+        degraded,
+        crash_fired,
+        stats,
+        spares_left: dev.ftl().spare_blocks_remaining(),
+        recovery_pages: outcome.report.pages_scanned,
+        recovery_ms: outcome.duration.as_ms_f64(),
+    })
+}
+
+/// The reliability sweep: 3 schemes × 3 error-rate points, each cell
+/// replayed, crashed, and recovered. Fan-out is over the job pool;
+/// results are order-preserving and byte-identical across reruns.
+///
+/// # Errors
+///
+/// Propagates device errors other than the injected ones the sweep is
+/// designed to absorb (read-only degradation, the armed power loss).
+pub fn exp_faults() -> String {
+    let cells: Vec<(usize, SchemeKind, usize)> = SchemeKind::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &s)| (0..ERROR_POINTS.len()).map(move |pi| (si, s, pi)))
+        .collect();
+    let rows = par::par_map(cells, |(si, scheme, pi)| {
+        let point = ERROR_POINTS[pi];
+        let seed = MASTER_SEED + (si as u64) * 16 + pi as u64;
+        match run_cell(scheme, point, seed) {
+            Ok(c) => {
+                let uecc_pct = if c.stats.read_retries + c.stats.corrected_reads > 0
+                    || c.stats.uecc_events > 0
+                {
+                    // UECC events per ECC-engaged read, in percent.
+                    let engaged = c.stats.corrected_reads + c.stats.uecc_events;
+                    if engaged > 0 {
+                        100.0 * c.stats.uecc_events as f64 / engaged as f64
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                };
+                vec![
+                    scheme.label().to_string(),
+                    point.label.to_string(),
+                    c.served.to_string(),
+                    c.stats.program_failures.to_string(),
+                    c.stats.erase_failures.to_string(),
+                    c.stats.read_retries.to_string(),
+                    c.stats.uecc_events.to_string(),
+                    fnum(uecc_pct, 2),
+                    c.stats.bad_blocks.to_string(),
+                    c.spares_left.to_string(),
+                    match (c.degraded, c.crash_fired) {
+                        (true, _) => "read-only".to_string(),
+                        (false, true) => "crashed".to_string(),
+                        (false, false) => "ran out".to_string(),
+                    },
+                    c.recovery_pages.to_string(),
+                    fnum(c.recovery_ms, 2),
+                ]
+            }
+            Err(e) => vec![
+                scheme.label().to_string(),
+                point.label.to_string(),
+                format!("error: {e}"),
+            ],
+        }
+    });
+
+    let mut t = Table::new(&[
+        "Scheme",
+        "Errors",
+        "Served",
+        "Prog fails",
+        "Erase fails",
+        "Retries",
+        "UECC",
+        "UECC %",
+        "Bad blks",
+        "Spares left",
+        "End state",
+        "Scan pages",
+        "Recovery (ms)",
+    ]);
+    for row in rows {
+        t.row(row);
+    }
+    format!(
+        "Reliability sweep (extension): fault injection x scheme on a 32 MiB scaled \
+         device — 4000 mixed requests, then a sudden power-off and OOB-scan recovery. \
+         ECC 8 bits/KiB, 3 read retries, 2 spare blocks per pool. \
+         Deterministic per seed; rates are per-op probabilities.\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_requests_are_deterministic_and_sorted() {
+        let a = sweep_requests(200);
+        let b = sweep_requests(200);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn fault_profile_is_valid_for_every_point() {
+        for (i, &p) in ERROR_POINTS.iter().enumerate() {
+            fault_profile(p, MASTER_SEED + i as u64).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn one_cell_crashes_and_recovers() {
+        let c = run_cell(SchemeKind::Hps, ERROR_POINTS[1], MASTER_SEED).unwrap();
+        assert!(c.served > 0);
+        assert!(c.degraded || c.crash_fired, "cell must hit an end state");
+        assert!(c.recovery_pages > 0);
+        assert!(c.recovery_ms > 0.0);
+        assert!(
+            c.stats.program_failures > 0,
+            "medium rates must draw failures"
+        );
+    }
+
+    #[test]
+    fn exp_faults_renders_all_nine_cells() {
+        let out = exp_faults();
+        for scheme in SchemeKind::ALL {
+            assert!(out.contains(scheme.label()), "{scheme} row missing");
+        }
+        for point in ERROR_POINTS {
+            assert!(out.contains(point.label), "{} row missing", point.label);
+        }
+        assert!(!out.contains("error:"), "no cell may fail:\n{out}");
+    }
+}

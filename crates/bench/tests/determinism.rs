@@ -93,3 +93,60 @@ fn repeated_parallel_runs_agree() {
         assert_eq!(summary(at, am), summary(bt, bm));
     }
 }
+
+/// One fault-injected replay cell, flattened to a comparable string:
+/// requests served, every reliability counter, and the recovery report.
+/// Fault draws are pure hashes of flash coordinates, so this must not
+/// depend on worker count or scheduling.
+fn faulted_cell_summary(scheme: SchemeKind) -> String {
+    use hps_bench::reliability::{fault_profile, sweep_requests, ERROR_POINTS};
+    use hps_emmc::{DeviceConfig, EmmcDevice, PowerConfig};
+
+    let mut cfg = DeviceConfig::scaled(scheme, 64, 16);
+    cfg.power = PowerConfig::DISABLED;
+    cfg.ftl.faults = fault_profile(ERROR_POINTS[1], 1234);
+    let mut dev = EmmcDevice::new(cfg).expect("valid faulted config");
+    let mut served = 0u64;
+    for req in &sweep_requests(1_200) {
+        match dev.submit(req) {
+            Ok(_) => served += 1,
+            Err(hps_core::Error::ReadOnly { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let report = dev.recover().expect("recovery succeeds");
+    format!(
+        "served={served}\nstats={:?}\nspares={}\nreport={:?}",
+        dev.ftl().fault_stats(),
+        dev.ftl().spare_blocks_remaining(),
+        report
+    )
+}
+
+/// Satellite of the fault-injection PR: with faults enabled, the sweep is
+/// byte-identical at any job count — the error model consumes no shared
+/// RNG stream, so parallel cells cannot perturb each other.
+#[test]
+fn fault_injected_sweep_is_byte_identical_across_jobs() {
+    let run = |jobs: usize| {
+        par_map_jobs(jobs, SchemeKind::ALL.to_vec(), faulted_cell_summary).join("\n---\n")
+    };
+    let serial = run(1);
+    assert!(serial.contains("program_failures"), "stats must be present");
+    assert_eq!(serial, run(4), "--jobs 4 diverged from serial");
+}
+
+/// `FaultConfig::NONE` (the default) must leave every paper artifact
+/// byte-identical: the checked-in `experiments/fig3.txt` golden file was
+/// produced before the fault subsystem existed, and regenerating it with
+/// the fault-aware code must reproduce it exactly.
+#[test]
+fn none_fault_profile_reproduces_golden_fig3() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../experiments/fig3.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden fig3.txt is checked in");
+    assert_eq!(
+        hps_bench::exp_fig3(),
+        golden,
+        "fault-free replay must match the pre-fault-subsystem golden output"
+    );
+}

@@ -39,6 +39,21 @@ pub enum Error {
     /// An I/O error wrapped from the filesystem while reading or writing a
     /// trace file (stringified to keep the error `Clone + Eq`).
     Io(String),
+    /// The device degraded to read-only mode: bad blocks exceeded the
+    /// per-plane spare capacity, so writes can no longer be placed safely.
+    /// Reads keep working; the reason records which pool ran out.
+    ReadOnly {
+        /// Human-readable cause, e.g. `"plane 3 (4 KiB pool): spares exhausted"`.
+        reason: String,
+    },
+    /// Simulated sudden power loss: the armed crash point fired before the
+    /// next flash mutation, so the in-flight request was torn. Call
+    /// `Ftl::recover()` (or `EmmcDevice::recover()`) to rebuild state from
+    /// the per-page OOB metadata.
+    PowerLoss {
+        /// Flash mutations (programs + erases) applied before the cut.
+        ops_completed: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +73,15 @@ impl fmt::Display for Error {
                 )
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::ReadOnly { reason } => {
+                write!(f, "device degraded to read-only: {reason}")
+            }
+            Error::PowerLoss { ops_completed } => {
+                write!(
+                    f,
+                    "sudden power loss after {ops_completed} flash mutation(s); recovery required"
+                )
+            }
         }
     }
 }
@@ -86,6 +110,16 @@ mod tests {
             capacity: 5,
         };
         assert!(e.to_string().contains("outside device capacity"));
+    }
+
+    #[test]
+    fn fault_errors_carry_structured_context() {
+        let e = Error::ReadOnly {
+            reason: "plane 0 (4 KiB pool): spares exhausted".into(),
+        };
+        assert!(e.to_string().starts_with("device degraded to read-only"));
+        let e = Error::PowerLoss { ops_completed: 17 };
+        assert!(e.to_string().contains("after 17 flash mutation(s)"));
     }
 
     #[test]

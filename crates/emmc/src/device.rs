@@ -17,7 +17,7 @@ use crate::scheme::SchemeKind;
 use crate::slc::{SlcBuffer, SlcConfig};
 use hps_core::scratch::ReplayScratch;
 use hps_core::{Bytes, Direction, Error, IoRequest, Result, SimDuration, SimTime};
-use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn, OpKind};
+use hps_ftl::{FlashOp, Ftl, FtlConfig, Lpn, OpKind, RecoveryReport};
 use hps_nand::NandTiming;
 use hps_obs::{AckKind, Event, EventKind, OpClass, Telemetry};
 use hps_trace::{Trace, TraceSource};
@@ -123,6 +123,17 @@ pub struct Completion {
     pub finish: SimTime,
     /// Wake-up penalty this request paid (zero if the device was awake).
     pub wakeup: SimDuration,
+}
+
+/// What a power-loss recovery pass did and what it cost in simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use = "recovery results carry the simulated downtime; inspect or log them"]
+pub struct RecoveryOutcome {
+    /// What the FTL rebuilt (pages scanned, mappings restored, fix-ups).
+    pub report: RecoveryReport,
+    /// Simulated wall-clock cost of the OOB scan: one page read per
+    /// programmed page, charged to the device timeline.
+    pub duration: SimDuration,
 }
 
 /// A simulated eMMC device replaying block-level requests.
@@ -252,6 +263,37 @@ impl EmmcDevice {
     /// When the device becomes idle after everything submitted so far.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
+    }
+
+    /// Arms a sudden-power-off: after `after_ops` further flash mutations
+    /// (program attempts or erases) the device fails every request with
+    /// [`hps_core::Error::PowerLoss`] until [`EmmcDevice::recover`] runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hps_core::Error::InvalidConfig`] when fault injection is
+    /// disabled (`FaultConfig::NONE`).
+    pub fn arm_crash(&mut self, after_ops: u64) -> Result<()> {
+        self.ftl.arm_crash(after_ops)
+    }
+
+    /// Runs power-loss recovery: rebuilds the FTL mapping and space
+    /// accounting from the simulated per-page OOB journal, then charges the
+    /// simulated scan time (one read per programmed page) to the device
+    /// timeline by advancing `busy_until`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates audit violations detected while re-verifying the rebuilt
+    /// state (debug/`sanitize` builds).
+    pub fn recover(&mut self) -> Result<RecoveryOutcome> {
+        let report = self.ftl.recover()?;
+        let mut duration = SimDuration::ZERO;
+        for &(size, count) in &report.pages_scanned_by_size {
+            duration += self.config.timing.read_total(size) * count;
+        }
+        self.busy_until += duration;
+        Ok(RecoveryOutcome { report, duration })
     }
 
     /// Serves one request. Requests must be submitted in non-decreasing
@@ -827,12 +869,19 @@ impl EmmcDevice {
         let exhausted = || Error::CapacityExhausted {
             location: format!("plane {plane} (both pools, spill failed)"),
         };
+        // Only a capacity failure on the alternative pool collapses into
+        // the combined "both pools" exhaustion; fault-injection errors
+        // (power loss, read-only degradation) must propagate untouched.
+        let collapse = |e: Error| match e {
+            Error::CapacityExhausted { .. } => exhausted(),
+            other => other,
+        };
         if chunk.page_size == k8 && self.config.scheme.has_4k() {
             for &lpn in &chunk.lpns {
                 let plane = self.pick_plane();
                 self.ftl
                     .write_chunk_observed_into(plane, k4, &[lpn], k4, self.telemetry.as_mut(), ops)
-                    .map_err(|_| exhausted())?;
+                    .map_err(collapse)?;
             }
         } else if chunk.page_size == k4 && self.config.scheme.has_8k() {
             self.ftl
@@ -844,7 +893,7 @@ impl EmmcDevice {
                     self.telemetry.as_mut(),
                     ops,
                 )
-                .map_err(|_| exhausted())?;
+                .map_err(collapse)?;
         } else {
             return Err(exhausted());
         }
@@ -1259,5 +1308,78 @@ mod tests {
             dev.slc().unwrap().stalls() > 0,
             "tiny region must backpressure"
         );
+    }
+
+    fn faulty_device(scheme: SchemeKind) -> EmmcDevice {
+        let mut cfg = DeviceConfig::scaled(scheme, 64, 16);
+        cfg.power = PowerConfig::DISABLED;
+        cfg.ftl.faults = hps_nand::FaultConfig {
+            seed: 7,
+            ecc_bits_per_kib: 8,
+            max_read_retries: 3,
+            retry_rber_scale: 0.5,
+            spare_blocks_per_pool: 2,
+            ..hps_nand::FaultConfig::NONE
+        };
+        EmmcDevice::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn arm_crash_requires_fault_injection() {
+        let mut dev = device(SchemeKind::Ps4);
+        assert!(matches!(dev.arm_crash(1), Err(Error::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn crash_mid_replay_then_recovery_resumes_service() {
+        let mut dev = faulty_device(SchemeKind::Hps);
+        // Land some data before the lights go out.
+        for i in 0..8u64 {
+            dev.submit(&req(i, i, Direction::Write, 4, i * 8)).unwrap();
+        }
+        dev.arm_crash(4).unwrap();
+        let mut crashed = false;
+        for i in 8..64u64 {
+            match dev.submit(&req(i, i, Direction::Write, 4, (i % 16) * 8)) {
+                Ok(_) => {}
+                Err(Error::PowerLoss { .. }) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(crashed, "armed crash must fire during the replay");
+
+        let busy_before = dev.busy_until();
+        let outcome = dev.recover().unwrap();
+        assert!(outcome.report.pages_scanned > 0);
+        assert!(
+            outcome.duration > SimDuration::ZERO,
+            "OOB scan must cost simulated time"
+        );
+        assert_eq!(dev.busy_until(), busy_before + outcome.duration);
+
+        // The device serves requests again after recovery.
+        let c = dev.submit(&req(100, 5000, Direction::Read, 4, 0)).unwrap();
+        assert!(c.finish > c.service_start);
+    }
+
+    #[test]
+    fn recovery_scan_time_matches_pages_scanned() {
+        let mut dev = faulty_device(SchemeKind::Ps4);
+        for i in 0..4u64 {
+            dev.submit(&req(i, i, Direction::Write, 4, i * 8)).unwrap();
+        }
+        let outcome = dev.recover().unwrap();
+        let t = NandTiming::TABLE_V;
+        let expected: SimDuration = outcome
+            .report
+            .pages_scanned_by_size
+            .iter()
+            .map(|&(size, count)| t.read_total(size) * count)
+            .fold(SimDuration::ZERO, |a, d| a + d);
+        assert_eq!(outcome.duration, expected);
+        assert_eq!(outcome.report.pages_scanned, 4, "one page per 4 KiB write");
     }
 }

@@ -36,7 +36,7 @@ pub mod scheme;
 pub mod slc;
 
 pub use cache::WriteCache;
-pub use device::{DeviceConfig, EmmcDevice};
+pub use device::{DeviceConfig, EmmcDevice, RecoveryOutcome};
 pub use distributor::{split_request, Chunk};
 pub use metrics::{ReplayMetrics, RESPONSE_SAMPLE_CAP};
 pub use power::{PowerConfig, PowerModel};

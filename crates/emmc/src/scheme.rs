@@ -4,7 +4,7 @@ use core::fmt;
 use hps_core::Bytes;
 use hps_ftl::gc::GcTrigger;
 use hps_ftl::FtlConfig;
-use hps_nand::Geometry;
+use hps_nand::{FaultConfig, Geometry};
 
 /// Which page-size organization the device uses (Table V).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -78,6 +78,7 @@ impl SchemeKind {
             pools: self.pools(),
             pages_per_block: 1024,
             gc_trigger: GcTrigger::default(),
+            faults: FaultConfig::NONE,
         }
     }
 
@@ -93,6 +94,7 @@ impl SchemeKind {
             pools: self.scaled_pools(blocks_4k_equiv),
             pages_per_block,
             gc_trigger: GcTrigger::default(),
+            faults: FaultConfig::NONE,
         }
     }
 }

@@ -15,9 +15,10 @@ use crate::addr::{FlashOp, Lpn, Ppn};
 use crate::gc::{self, GcScratch, GcTrigger};
 use crate::mapping::{MappingTable, ResidentTable};
 use crate::pool::Pool;
+use crate::recovery::FaultRuntime;
 use crate::space::SpaceAccounting;
 use hps_core::{Bytes, Error, FxHashSet, Result};
-use hps_nand::{BlockId, Geometry, PageAddr, Plane, WearStats};
+use hps_nand::{BlockId, FaultConfig, Geometry, PageAddr, Plane, WearStats};
 
 #[cfg(any(debug_assertions, feature = "sanitize"))]
 use hps_core::audit::{enforce, ShadowFlash};
@@ -34,6 +35,12 @@ pub struct FtlConfig {
     pub pages_per_block: usize,
     /// When garbage collection runs.
     pub gc_trigger: GcTrigger,
+    /// Fault-injection profile. [`FaultConfig::NONE`] (the default
+    /// everywhere) disables every mechanism and keeps behaviour
+    /// byte-identical to a fault-free build. When enabled, each pool also
+    /// gets `spare_blocks_per_pool` extra physical blocks per plane for
+    /// bad-block replacement — spares never add logical capacity.
+    pub faults: FaultConfig,
 }
 
 impl FtlConfig {
@@ -42,7 +49,8 @@ impl FtlConfig {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] if there are no pools, any pool is
-    /// empty, page sizes repeat, or `pages_per_block` is zero.
+    /// empty, page sizes repeat, `pages_per_block` is zero, or the fault
+    /// profile is invalid.
     pub fn validate(&self) -> Result<()> {
         if self.pools.is_empty() {
             return Err(Error::InvalidConfig("at least one pool required".into()));
@@ -68,6 +76,7 @@ impl FtlConfig {
             }
             seen.push(size);
         }
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -117,15 +126,18 @@ impl FtlStats {
 }
 
 /// The flash translation layer.
+///
+/// Fields are crate-visible so the power-loss recovery pass
+/// (`crate::recovery`) can rebuild them in place.
 pub struct Ftl {
-    config: FtlConfig,
-    planes: Vec<Plane>,
+    pub(crate) config: FtlConfig,
+    pub(crate) planes: Vec<Plane>,
     /// `pools[plane][i]` corresponds to `config.pools[i]`.
-    pools: Vec<Vec<Pool>>,
-    mapping: MappingTable,
-    residents: ResidentTable,
-    space: SpaceAccounting,
-    stats: FtlStats,
+    pub(crate) pools: Vec<Vec<Pool>>,
+    pub(crate) mapping: MappingTable,
+    pub(crate) residents: ResidentTable,
+    pub(crate) space: SpaceAccounting,
+    pub(crate) stats: FtlStats,
     /// Reusable GC migration buffers (see [`GcScratch`]).
     gc_scratch: GcScratch,
     /// Invalid ("garbage") page count per `[plane][pool]`, maintained
@@ -133,13 +145,17 @@ pub struct Ftl {
     /// provably has no GC victim, so the write path skips victim selection
     /// in O(1) instead of scanning every candidate block near the
     /// free-block floor.
-    garbage: Vec<Vec<usize>>,
+    pub(crate) garbage: Vec<Vec<usize>>,
     /// Reusable dedup set for [`Ftl::read_ops_into`]; cleared per call,
     /// capacity retained.
     read_seen: FxHashSet<Ppn>,
+    /// Fault-injection runtime; `None` when the configured profile is
+    /// [`FaultConfig::NONE`], making the fault-free hot path one
+    /// pointer-null test.
+    pub(crate) faults: Option<Box<FaultRuntime>>,
     /// Shadow-state invariant auditor (debug builds + `sanitize` feature).
     #[cfg(any(debug_assertions, feature = "sanitize"))]
-    shadow: ShadowFlash,
+    pub(crate) shadow: ShadowFlash,
 }
 
 impl Ftl {
@@ -150,8 +166,23 @@ impl Ftl {
     /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: FtlConfig) -> Result<Self> {
         config.validate()?;
+        // Under fault injection each pool gets extra physical blocks as
+        // bad-block spares. They live at the tail of the plane's pool
+        // segment, invisible to allocation (and to `physical_capacity`,
+        // which reads `config.pools`) until a retirement adopts one.
+        let spares = if config.faults.enabled() {
+            config.faults.spare_blocks_per_pool
+        } else {
+            0
+        };
+        // lint: allow(hot-path-alloc) -- constructor, runs once per device
+        let plane_spec: Vec<(Bytes, usize)> = config
+            .pools
+            .iter()
+            .map(|&(size, count)| (size, count + spares))
+            .collect();
         let planes: Vec<Plane> = (0..config.geometry.planes_total())
-            .map(|_| Plane::new(&config.pools, config.pages_per_block))
+            .map(|_| Plane::new(&plane_spec, config.pages_per_block))
             .collect();
         let pools = planes
             .iter()
@@ -159,19 +190,24 @@ impl Ftl {
                 config
                     .pools
                     .iter()
-                    .map(|&(size, _)| Pool::new(plane, size))
+                    .map(|&(size, _)| Pool::with_spares(plane, size, spares))
                     .collect()
             })
             .collect();
+        let blocks_per_plane: usize = plane_spec.iter().map(|&(_, n)| n).sum();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
-        let shadow = {
-            let blocks_per_plane: usize = config.pools.iter().map(|&(_, n)| n).sum();
-            ShadowFlash::new(
+        let shadow = ShadowFlash::new(
+            config.geometry.planes_total(),
+            blocks_per_plane,
+            config.pages_per_block,
+        );
+        let faults = config.faults.enabled().then(|| {
+            Box::new(FaultRuntime::new(
+                config.faults,
                 config.geometry.planes_total(),
                 blocks_per_plane,
-                config.pages_per_block,
-            )
-        };
+            ))
+        });
         // lint: allow(hot-path-alloc) -- constructor, runs once per device
         let garbage = vec![vec![0; config.pools.len()]; planes.len()];
         Ok(Ftl {
@@ -185,6 +221,7 @@ impl Ftl {
             stats: FtlStats::default(),
             gc_scratch: GcScratch::default(),
             read_seen: FxHashSet::default(),
+            faults,
             #[cfg(any(debug_assertions, feature = "sanitize"))]
             shadow,
         })
@@ -284,6 +321,13 @@ impl Ftl {
             "duplicate LPN in chunk"
         );
         assert!(data <= page_size, "payload larger than the page");
+        if let Some(reason) = self.faults.as_deref().and_then(|f| f.read_only.as_deref()) {
+            // Spares exhausted earlier: writes can no longer be placed
+            // safely. Reads keep working.
+            return Err(Error::ReadOnly {
+                reason: reason.to_string(),
+            });
+        }
         let pool_idx = self.pool_index(page_size);
 
         // Threshold GC: keep a free-block floor so migration always has room.
@@ -294,13 +338,13 @@ impl Ftl {
             self.invalidate_lpn(lpn);
         }
 
-        // Program the new page.
-        let ppn = match self.allocate(plane, pool_idx) {
+        // Program the new page (re-driving past injected program failures).
+        let ppn = match self.allocate_checked(plane, pool_idx, page_size, false, ops)? {
             Some(ppn) => ppn,
             None => {
                 // Pool full mid-write: force a collection and retry once.
                 self.collect_victim(plane, pool_idx, ops)?;
-                self.allocate(plane, pool_idx)
+                self.allocate_checked(plane, pool_idx, page_size, false, ops)?
                     .ok_or_else(|| Error::CapacityExhausted {
                         location: format!("plane {plane} ({page_size} pool)"),
                     })?
@@ -329,15 +373,91 @@ impl Ftl {
         }
         self.space.record_write(data, page_size);
         self.stats.host_programs += 1;
+        if let Some(f) = self.faults.as_deref_mut() {
+            // The OOB reverse map is written atomically with the page; it
+            // is what recovery rebuilds the mapping from.
+            f.journal(plane, ppn.addr.block.0, ppn.addr.page, lpns);
+        }
         ops.push(FlashOp::program(plane, page_size));
         Ok(())
+    }
+
+    /// [`Ftl::allocate`] with fault injection: ticks the crash countdown,
+    /// draws a program-failure verdict for the allocated page, and on
+    /// failure consumes the page (invalidated, cost charged via `ops`) and
+    /// re-drives to the next one. Termination is guaranteed because every
+    /// failed attempt consumes a page. The fault-free path is a single
+    /// null test in front of [`Ftl::allocate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PowerLoss`] when an armed crash point fires.
+    fn allocate_checked(
+        &mut self,
+        plane: usize,
+        pool_idx: usize,
+        page_size: Bytes,
+        for_gc: bool,
+        ops: &mut Vec<FlashOp>,
+    ) -> Result<Option<Ppn>> {
+        if self.faults.is_none() {
+            return Ok(self.allocate(plane, pool_idx));
+        }
+        loop {
+            // The crash fires before the program applies: a torn program
+            // leaves nothing durable (no OOB entry on real parts either).
+            if let Some(f) = self.faults.as_deref_mut() {
+                f.check_crash()?;
+            }
+            let Some(ppn) = self.allocate(plane, pool_idx) else {
+                return Ok(None);
+            };
+            let block = ppn.addr.block;
+            let epoch = self.planes[plane].block(block).erase_count();
+            let failed = if let Some(f) = self.faults.as_deref_mut() {
+                let failed = f.cfg.program_fails(plane, block.0, ppn.addr.page, epoch);
+                if failed {
+                    f.stats.program_failures += 1;
+                    f.program_fails[plane][block.0] += 1;
+                }
+                failed
+            } else {
+                false
+            };
+            if !failed {
+                return Ok(Some(ppn));
+            }
+            // Program failure: the attempt's time cost is still paid, the
+            // page is garbage (journals no OOB entry), and the loop
+            // re-drives the write to the next page.
+            let op = FlashOp::program(plane, page_size);
+            ops.push(if for_gc { op.gc() } else { op });
+            self.planes[plane]
+                .block_mut(block)
+                .invalidate(ppn.addr.page);
+            self.garbage[plane][pool_idx] += 1;
+            #[cfg(any(debug_assertions, feature = "sanitize"))]
+            {
+                // An empty LPN set marks the shadow page dead-on-arrival.
+                let tick = self
+                    .shadow
+                    .try_program(plane, block.0, ppn.addr.page, &[], 1);
+                self.audit_tick(tick);
+            }
+        }
     }
 
     /// Resolves `lpns` to the physical reads required: one op per distinct
     /// mapped physical page (two LPNs sharing an 8 KiB page cost one read),
     /// plus the list of LPNs that were never written (the device models
     /// those as pre-existing data).
-    pub fn read_ops(&self, lpns: &[Lpn]) -> (Vec<FlashOp>, Vec<Lpn>) {
+    ///
+    /// Under fault injection each distinct physical read also runs the
+    /// ECC/read-retry state machine (`&mut self` exists for its counters):
+    /// bit errors above the correction threshold trigger bounded re-reads
+    /// at reduced effective RBER, each costing one extra flash read, and
+    /// exhausting the budget records an uncorrectable-ECC event.
+    pub fn read_ops(&mut self, lpns: &[Lpn]) -> (Vec<FlashOp>, Vec<Lpn>) {
         // lint: allow(hot-path-alloc) — allocating wrapper; hot path uses read_ops_into
         let mut seen: FxHashSet<Ppn> = FxHashSet::default();
         let mut ops = Vec::new(); // lint: allow(hot-path-alloc)
@@ -357,7 +477,7 @@ impl Ftl {
     }
 
     fn read_ops_with(
-        &self,
+        &mut self,
         lpns: &[Lpn],
         seen: &mut FxHashSet<Ppn>,
         ops: &mut Vec<FlashOp>,
@@ -378,7 +498,12 @@ impl Ftl {
                             .try_read(ppn.plane, ppn.addr.block.0, ppn.addr.page),
                     );
                     if seen.insert(ppn) {
-                        let size = self.planes[ppn.plane].block(ppn.addr.block).page_size();
+                        let block = self.planes[ppn.plane].block(ppn.addr.block);
+                        let size = block.page_size();
+                        let epoch = block.erase_count();
+                        if let Some(f) = self.faults.as_deref_mut() {
+                            ecc_read_retry(f, ppn, size, epoch, ops);
+                        }
                         ops.push(FlashOp::read(ppn.plane, size));
                     }
                 }
@@ -411,6 +536,15 @@ impl Ftl {
     pub fn idle_gc_into(&mut self, ops: &mut Vec<FlashOp>) -> Result<()> {
         let trigger = self.config.gc_trigger;
         if !trigger.collects_when_idle() {
+            return Ok(());
+        }
+        if self
+            .faults
+            .as_deref()
+            .is_some_and(|f| f.read_only.is_some())
+        {
+            // A degraded device performs no background erases; idling is
+            // simply a no-op rather than an error.
             return Ok(());
         }
         for plane in 0..self.planes.len() {
@@ -565,6 +699,26 @@ impl Ftl {
             self.space.flash_consumed().as_u64(),
         );
         self.wear().record_into(registry, "nand.wear");
+        if let Some(f) = self.faults.as_deref() {
+            // Reliability counters exist only under fault injection, so the
+            // fault-free metric surface stays byte-identical.
+            let s = f.stats;
+            registry.add("ftl.reliability.program_failures", s.program_failures);
+            registry.add("ftl.reliability.erase_failures", s.erase_failures);
+            registry.add("ftl.reliability.bad_blocks", s.bad_blocks);
+            registry.add("ftl.reliability.spare_adoptions", s.spare_adoptions);
+            registry.add("ftl.reliability.read_retries", s.read_retries);
+            registry.add("ftl.reliability.corrected_reads", s.corrected_reads);
+            registry.add("ftl.reliability.uecc_events", s.uecc_events);
+            registry.add(
+                "ftl.reliability.spare_blocks_remaining",
+                self.spare_blocks_remaining() as u64,
+            );
+            for (depth, &count) in s.retry_depth.iter().enumerate() {
+                // lint: allow(hot-path-alloc) -- end-of-run export, not replay
+                registry.add(&format!("ftl.reliability.retry_depth.{depth}"), count);
+            }
+        }
     }
 
     /// Logical capacity: every pool byte is addressable (the model reserves
@@ -774,11 +928,19 @@ impl Ftl {
             // Allocate the destination FIRST: if the pool is truly out of
             // space we must fail before touching the old page, or the
             // mapping and resident tables would diverge.
-            let new = self
-                .allocate(plane, pool_idx)
-                .ok_or_else(|| Error::CapacityExhausted {
-                    location: format!("plane {plane} ({page_size} pool) during GC"),
-                })?;
+            let new = match self.allocate_checked(plane, pool_idx, page_size, true, ops) {
+                Ok(Some(ppn)) => ppn,
+                Ok(None) => {
+                    self.gc_scratch.live_pages = live_pages;
+                    return Err(Error::CapacityExhausted {
+                        location: format!("plane {plane} ({page_size} pool) during GC"),
+                    });
+                }
+                Err(e) => {
+                    self.gc_scratch.live_pages = live_pages;
+                    return Err(e);
+                }
+            };
             // Read the live page...
             ops.push(FlashOp::read(plane, page_size).gc());
             self.stats.gc_reads += 1;
@@ -790,6 +952,12 @@ impl Ftl {
             self.residents.occupy(new, &lpns);
             for &lpn in lpns.iter() {
                 self.mapping.remap(lpn, new);
+            }
+            if let Some(f) = self.faults.as_deref_mut() {
+                // The migrated copy journals a fresher sequence number, so
+                // recovery prefers it over the victim's stale copy even if
+                // the crash preempts the erase below.
+                f.journal(plane, new.addr.block.0, new.addr.page, &lpns);
             }
             #[cfg(any(debug_assertions, feature = "sanitize"))]
             {
@@ -813,16 +981,59 @@ impl Ftl {
             ops.push(FlashOp::program(plane, page_size).gc());
             self.stats.gc_programs += 1;
         }
-        // Hand the buffer back; a `?` above only loses capacity, never
-        // correctness.
+        // Hand the buffer back; an early return above only loses capacity,
+        // never correctness.
         self.gc_scratch.live_pages = live_pages;
-        // The erase reclaims every invalid page the counter has accrued for
-        // this block (each was counted exactly once, by `invalidate_lpn` or
-        // the migration loop above), so the bookkeeping nets to zero across
-        // a full collect cycle.
+        // Under fault injection the erase may fail outright (a draw) or the
+        // block may have accrued enough program failures to be retired as
+        // grown-bad. Both retire at erase time, when the block provably
+        // holds no live data — so retirement never migrates anything.
+        let mut retire = false;
+        let epoch = self.planes[plane].block(victim).erase_count();
+        if let Some(f) = self.faults.as_deref_mut() {
+            // The crash fires before the erase applies: the victim's pages
+            // (and OOB entries) stay intact for recovery to judge.
+            f.check_crash()?;
+            let draw_failed = f.cfg.erase_fails(plane, victim.0, epoch);
+            if draw_failed {
+                f.stats.erase_failures += 1;
+            }
+            retire = draw_failed
+                || (f.cfg.bad_block_program_fails > 0
+                    && f.program_fails[plane][victim.0] >= f.cfg.bad_block_program_fails);
+            f.remove_block_oob(plane, victim.0);
+            f.reads_since_erase[plane][victim.0] = 0;
+        }
+        // The erase (or retirement) reclaims every invalid page the counter
+        // has accrued for this block (each was counted exactly once, by
+        // `invalidate_lpn`, a failed program, or the migration loop above),
+        // so the bookkeeping nets to zero across a full collect cycle. A
+        // retired block leaves the pool's membership, so its pages leave
+        // the victim-existence counter too.
         let reclaimed = self.planes[plane].block(victim).invalid_pages();
         debug_assert!(self.garbage[plane][pool_idx] >= reclaimed);
         self.garbage[plane][pool_idx] -= reclaimed;
+        if retire {
+            // The failed erase attempt still costs erase time; the block is
+            // never erased (its pages stay invalid, consistent with the
+            // shadow's view) and a spare replaces it — or, with spares
+            // exhausted, the device degrades to read-only.
+            ops.push(FlashOp::erase(plane, page_size).gc());
+            let replaced = self.pools[plane][pool_idx].retire_and_replace(victim);
+            if let Some(f) = self.faults.as_deref_mut() {
+                f.stats.bad_blocks += 1;
+                match replaced {
+                    Some(_) => f.stats.spare_adoptions += 1,
+                    None => {
+                        f.read_only = Some(format!(
+                            "plane {plane} ({page_size} pool): spares exhausted"
+                        ));
+                    }
+                }
+            }
+            self.stats.gc_runs += 1;
+            return Ok(());
+        }
         self.planes[plane].block_mut(victim).erase();
         #[cfg(any(debug_assertions, feature = "sanitize"))]
         {
@@ -835,6 +1046,52 @@ impl Ftl {
         self.stats.gc_runs += 1;
         Ok(())
     }
+}
+
+/// Runs the ECC/read-retry state machine for one distinct physical page
+/// read. Bit errors are drawn from the configured RBER model (wear- and
+/// disturb-conditioned); when they exceed the page's correction threshold,
+/// each retry re-reads at a reduced effective RBER and pushes one extra
+/// flash read so the latency cost lands in simulated time. A read that
+/// exhausts the retry budget is recorded as an uncorrectable-ECC event —
+/// the simulator still completes it, since payload contents are not
+/// modeled.
+fn ecc_read_retry(
+    f: &mut FaultRuntime,
+    ppn: Ppn,
+    page_size: Bytes,
+    erase_epoch: u64,
+    ops: &mut Vec<FlashOp>,
+) {
+    let cfg = &f.cfg;
+    if cfg.rber_base == 0.0 && cfg.rber_wear_slope == 0.0 && cfg.read_disturb_rber == 0.0 {
+        return;
+    }
+    let counter = &mut f.reads_since_erase[ppn.plane][ppn.addr.block.0];
+    *counter += 1;
+    let reads = u64::from(*counter);
+    let threshold = cfg.ecc_threshold(page_size);
+    let mut retries = 0u32;
+    let corrected = loop {
+        let errors = cfg.read_bit_errors(
+            ppn.plane,
+            ppn.addr.block.0,
+            ppn.addr.page,
+            page_size,
+            erase_epoch,
+            reads,
+            retries,
+        );
+        if errors <= threshold {
+            break true;
+        }
+        if retries >= cfg.max_read_retries {
+            break false;
+        }
+        retries += 1;
+        ops.push(FlashOp::read(ppn.plane, page_size));
+    };
+    f.stats.record_read(retries, corrected);
 }
 
 impl core::fmt::Debug for Ftl {
@@ -858,6 +1115,7 @@ mod tests {
             pools: vec![(Bytes::kib(4), 4)],
             pages_per_block: 4,
             gc_trigger: GcTrigger::Threshold { min_free_blocks: 1 },
+            faults: FaultConfig::NONE,
         }
     }
 
@@ -867,6 +1125,7 @@ mod tests {
             pools: vec![(Bytes::kib(4), 4), (Bytes::kib(8), 2)],
             pages_per_block: 4,
             gc_trigger: GcTrigger::Threshold { min_free_blocks: 1 },
+            faults: FaultConfig::NONE,
         }
     }
 
@@ -893,6 +1152,7 @@ mod tests {
             pools: vec![(Bytes::kib(4), 512), (Bytes::kib(8), 256)],
             pages_per_block: 1024,
             gc_trigger: GcTrigger::default(),
+            faults: FaultConfig::NONE,
         };
         assert_eq!(c.physical_capacity(), Bytes::gib(32));
     }
@@ -1092,6 +1352,195 @@ mod tests {
         let ops = ftl.idle_gc().unwrap();
         assert!(!ops.is_empty(), "idle trigger collects reclaimable garbage");
         assert!(ops.iter().all(|op| op.for_gc));
+    }
+
+    fn faulty_config(program_fail: f64, erase_fail: f64, seed: u64) -> FtlConfig {
+        let mut c = tiny_config();
+        c.faults = FaultConfig {
+            seed,
+            program_fail_prob: program_fail,
+            erase_fail_prob: erase_fail,
+            ecc_bits_per_kib: 8,
+            max_read_retries: 3,
+            retry_rber_scale: 0.5,
+            spare_blocks_per_pool: 2,
+            ..FaultConfig::NONE
+        };
+        c
+    }
+
+    #[test]
+    fn none_profile_allocates_no_runtime() {
+        let ftl = Ftl::new(tiny_config()).unwrap();
+        assert!(ftl.fault_stats().is_none());
+        assert_eq!(ftl.spare_blocks_remaining(), 0);
+        assert!(ftl.read_only_reason().is_none());
+    }
+
+    #[test]
+    fn arm_crash_and_recover_require_faults() {
+        let mut ftl = Ftl::new(tiny_config()).unwrap();
+        assert!(matches!(ftl.arm_crash(3), Err(Error::InvalidConfig(_))));
+        assert!(matches!(ftl.recover(), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn program_failures_redrive_without_data_loss() {
+        let mut ftl = Ftl::new(faulty_config(0.2, 0.0, 11)).unwrap();
+        for i in 0..64u64 {
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 4)], Bytes::kib(4))
+                .unwrap();
+        }
+        let stats = ftl.fault_stats().unwrap();
+        assert!(stats.program_failures > 0, "20% failure rate must fire");
+        let lpns: Vec<Lpn> = (0..4).map(Lpn).collect();
+        let (reads, unmapped) = ftl.read_ops(&lpns);
+        assert!(unmapped.is_empty(), "re-drive lost data: {unmapped:?}");
+        assert_eq!(reads.len(), 4);
+        enforce(ftl.audit_deep_verify());
+    }
+
+    #[test]
+    fn erase_failures_retire_blocks_onto_spares() {
+        let mut ftl = Ftl::new(faulty_config(0.0, 0.4, 5)).unwrap();
+        let mut hit_read_only = false;
+        for i in 0..200u64 {
+            match ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 2)], Bytes::kib(4)) {
+                Ok(_) => {}
+                Err(Error::ReadOnly { .. }) => {
+                    hit_read_only = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let stats = ftl.fault_stats().unwrap();
+        assert!(
+            stats.bad_blocks > 0,
+            "40% erase failures must retire blocks"
+        );
+        assert!(stats.spare_adoptions > 0, "spares must be adopted first");
+        if hit_read_only {
+            assert_eq!(ftl.spare_blocks_remaining(), 0);
+            assert!(ftl.read_only_reason().unwrap().contains("spares exhausted"));
+            // Degradation is sticky for writes; reads keep working.
+            let err = ftl
+                .write_chunk(0, Bytes::kib(4), &[Lpn(0)], Bytes::kib(4))
+                .unwrap_err();
+            assert!(matches!(err, Error::ReadOnly { .. }));
+        }
+        let (_, unmapped) = ftl.read_ops(&[Lpn(0), Lpn(1)]);
+        assert!(unmapped.is_empty(), "retirement lost live data");
+        enforce(ftl.audit_deep_verify());
+    }
+
+    #[test]
+    fn read_retries_correct_high_rber() {
+        let mut c = faulty_config(0.0, 0.0, 3);
+        // Mean raw bit errors ≈ 33 on a 4 KiB page vs a threshold of 32:
+        // roughly half of first reads fail, retries halve the rate.
+        c.faults.rber_base = 1e-3;
+        let mut ftl = Ftl::new(c).unwrap();
+        for i in 0..8u64 {
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i)], Bytes::kib(4))
+                .unwrap();
+        }
+        let lpns: Vec<Lpn> = (0..8).map(Lpn).collect();
+        let mut ops = Vec::new();
+        let mut unmapped = Vec::new();
+        for _ in 0..16 {
+            ftl.read_ops_into(&lpns, &mut ops, &mut unmapped);
+        }
+        let stats = ftl.fault_stats().unwrap();
+        assert!(stats.read_retries > 0, "half the reads need a retry");
+        assert!(stats.corrected_reads > 0, "retries must correct some");
+        assert!(
+            ops.len() as u64 >= 16 * 8 + stats.read_retries,
+            "each retry costs one extra flash read"
+        );
+        let depth_total: u64 = stats.retry_depth.iter().sum();
+        assert_eq!(depth_total, 16 * 8, "one histogram entry per physical read");
+    }
+
+    #[test]
+    fn uncorrectable_reads_are_counted() {
+        let mut c = faulty_config(0.0, 0.0, 9);
+        // Overwhelm ECC: mean errors ≈ 164 vs threshold 32, and retries
+        // only halve the rate once — guaranteed UECC territory.
+        c.faults.rber_base = 5e-3;
+        c.faults.max_read_retries = 1;
+        let mut ftl = Ftl::new(c).unwrap();
+        ftl.write_chunk(0, Bytes::kib(4), &[Lpn(0)], Bytes::kib(4))
+            .unwrap();
+        for _ in 0..32 {
+            let (_, unmapped) = ftl.read_ops(&[Lpn(0)]);
+            assert!(unmapped.is_empty(), "UECC still completes the read");
+        }
+        assert!(ftl.fault_stats().unwrap().uecc_events > 0);
+    }
+
+    #[test]
+    fn crash_fires_then_recovery_rebuilds_state() {
+        let mut ftl = Ftl::new(faulty_config(0.05, 0.0, 7)).unwrap();
+        let mut acked: Vec<u64> = Vec::new();
+        for i in 0..10u64 {
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 6)], Bytes::kib(4))
+                .unwrap();
+            if !acked.contains(&(i % 6)) {
+                acked.push(i % 6);
+            }
+        }
+        ftl.arm_crash(5).unwrap();
+        let mut crashed = false;
+        for i in 0..64u64 {
+            match ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 6)], Bytes::kib(4)) {
+                Ok(_) => {}
+                Err(Error::PowerLoss { .. }) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(crashed, "armed crash must fire within a few writes");
+        // Power stays lost until recovery.
+        let again = ftl
+            .write_chunk(0, Bytes::kib(4), &[Lpn(0)], Bytes::kib(4))
+            .unwrap_err();
+        assert!(matches!(again, Error::PowerLoss { .. }));
+        let report = ftl.recover().unwrap();
+        assert!(report.pages_scanned > 0);
+        assert_eq!(report.mappings_rebuilt, ftl.mapped_lpns() as u64);
+        // Every acknowledged write survives (recover() deep-verified the
+        // rebuilt state against a fresh shadow already).
+        let lpns: Vec<Lpn> = acked.iter().map(|&l| Lpn(l)).collect();
+        let (_, unmapped) = ftl.read_ops(&lpns);
+        assert!(
+            unmapped.is_empty(),
+            "recovery lost acked writes: {unmapped:?}"
+        );
+        // And the device keeps working afterwards.
+        for i in 0..16u64 {
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 6)], Bytes::kib(4))
+                .unwrap();
+        }
+        enforce(ftl.audit_deep_verify());
+    }
+
+    #[test]
+    fn recovery_is_idempotent_on_uncrashed_state() {
+        let mut ftl = Ftl::new(faulty_config(0.1, 0.0, 2)).unwrap();
+        for i in 0..24u64 {
+            ftl.write_chunk(0, Bytes::kib(4), &[Lpn(i % 5)], Bytes::kib(4))
+                .unwrap();
+        }
+        let mapped_before = ftl.mapped_lpns();
+        let report = ftl.recover().unwrap();
+        assert_eq!(report.pages_revalidated, 0, "nothing was torn");
+        assert_eq!(ftl.mapped_lpns(), mapped_before);
+        let lpns: Vec<Lpn> = (0..5).map(Lpn).collect();
+        let (_, unmapped) = ftl.read_ops(&lpns);
+        assert!(unmapped.is_empty());
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   migration, triggered when a pool's free blocks run low, plus an
 //!   idle-time variant motivated by Implication 2 ([`gc`]);
 //! * **space-utilization accounting** — the Fig. 9 metric: bytes of data
-//!   written over bytes of flash consumed ([`space`]).
+//!   written over bytes of flash consumed ([`space`]);
+//! * **fault handling and recovery** — ECC read-retry, write re-drive,
+//!   bad-block retirement onto spares, read-only degradation, and
+//!   power-loss recovery from a simulated OOB journal, active only when a
+//!   [`hps_nand::FaultConfig`] is enabled ([`recovery`]).
 //!
 //! The FTL is *timeless*: every mutating call returns the list of physical
 //! [`FlashOp`]s it performed, and the event engine in `hps-emmc` turns those
@@ -27,10 +31,12 @@ pub mod ftl;
 pub mod gc;
 pub mod mapping;
 pub mod pool;
+pub mod recovery;
 pub mod space;
 
 pub use addr::{FlashOp, Lpn, OpKind, Ppn};
 pub use ftl::{Ftl, FtlConfig, FtlStats};
 pub use gc::{GcScratch, GcTrigger};
 pub use mapping::{MappingTable, ResidentList, ResidentTable};
+pub use recovery::RecoveryReport;
 pub use space::SpaceAccounting;

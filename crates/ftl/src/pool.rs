@@ -20,6 +20,9 @@ pub struct Pool {
     free: Vec<BlockId>,
     /// The block currently being filled.
     active: Option<BlockId>,
+    /// Reserved blocks for bad-block replacement (fault injection only).
+    /// Never allocated from; a retirement pops one into `members`.
+    spares: Vec<BlockId>,
 }
 
 impl Pool {
@@ -30,19 +33,38 @@ impl Pool {
     /// Panics if the plane has no blocks of this page size, or if any of
     /// them is not erased (pools must be built on a fresh plane).
     pub fn new(plane: &Plane, page_size: Bytes) -> Self {
-        let members: Vec<BlockId> = plane.iter_pool(page_size).map(|(id, _)| id).collect();
-        assert!(!members.is_empty(), "plane has no {page_size} blocks");
+        Pool::with_spares(plane, page_size, 0)
+    }
+
+    /// Builds the pool like [`Pool::new`], but withholds the *last*
+    /// `spare_count` blocks of this page size as bad-block replacement
+    /// spares. Spares are invisible to allocation and GC until
+    /// [`Pool::retire_and_replace`] adopts one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane does not have more than `spare_count` blocks of
+    /// this page size (a pool needs at least one working block), or if any
+    /// block is not erased.
+    pub fn with_spares(plane: &Plane, page_size: Bytes, spare_count: usize) -> Self {
+        let mut members: Vec<BlockId> = plane.iter_pool(page_size).map(|(id, _)| id).collect();
+        assert!(
+            members.len() > spare_count,
+            "plane needs more than {spare_count} spare {page_size} blocks"
+        );
         for &id in &members {
             assert!(
                 plane.block(id).is_erased(),
                 "pool must start from erased blocks"
             );
         }
+        let spares = members.split_off(members.len() - spare_count);
         Pool {
             page_size,
             free: members.clone(),
             members,
             active: None,
+            spares,
         }
     }
 
@@ -111,6 +133,56 @@ impl Pool {
             .copied()
             .filter(move |&id| Some(id) != self.active && !self.free.contains(&id))
             .filter(move |&id| !plane.block(id).is_erased())
+    }
+
+    /// Spare blocks still available for bad-block replacement.
+    pub fn spare_blocks(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Retires `id` as grown-bad and adopts a spare in its place.
+    ///
+    /// The bad block leaves `members` (and the free/active sets), so it can
+    /// never be allocated from or selected as a GC victim again. The
+    /// adopted spare joins `members` and the free list. Returns the spare's
+    /// id, or `None` when the spare pool is exhausted — the caller must
+    /// degrade to read-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of this pool.
+    pub fn retire_and_replace(&mut self, id: BlockId) -> Option<BlockId> {
+        let idx = self
+            .members
+            .iter()
+            .position(|&m| m == id)
+            // lint: allow(no-unwrap) -- documented panic: a non-member block is a caller bug
+            .expect("retired block must belong to this pool");
+        self.members.swap_remove(idx);
+        if let Some(free_idx) = self.free.iter().position(|&m| m == id) {
+            self.free.swap_remove(free_idx);
+        }
+        if self.active == Some(id) {
+            self.active = None;
+        }
+        let spare = self.spares.pop()?;
+        self.members.push(spare);
+        self.free.push(spare);
+        Some(spare)
+    }
+
+    /// Rebuilds the free list from the plane's actual block states
+    /// (power-loss recovery): the active block is forgotten and every
+    /// erased member becomes free again.
+    pub fn rebuild_free_list(&mut self, plane: &Plane) {
+        self.active = None;
+        self.free.clear();
+        self.free.extend(
+            self.members
+                .iter()
+                .copied()
+                .filter(|&id| plane.block(id).is_erased()),
+        );
     }
 
     /// Simple wear leveling: promote the free block with the lowest erase
@@ -219,6 +291,53 @@ mod tests {
         assert_eq!(p4.members().len(), 2);
         assert_eq!(p8.members().len(), 3);
         assert!(p4.members().iter().all(|id| !p8.members().contains(id)));
+    }
+
+    #[test]
+    fn spares_are_withheld_until_adopted() {
+        let mut plane = plane_4k(4, 1);
+        let mut pool = Pool::with_spares(&plane, Bytes::kib(4), 2);
+        assert_eq!(pool.members().len(), 2);
+        assert_eq!(pool.spare_blocks(), 2);
+        assert_eq!(pool.free_blocks(), 2);
+        // Fill both working blocks; spares must not be touched.
+        assert!(pool.allocate_page(&mut plane).is_some());
+        assert!(pool.allocate_page(&mut plane).is_some());
+        assert!(pool.allocate_page(&mut plane).is_none(), "spares invisible");
+        // Retire one working block: a spare is adopted and allocatable.
+        let bad = pool.members()[0];
+        let spare = pool.retire_and_replace(bad).expect("spare available");
+        assert_eq!(pool.spare_blocks(), 1);
+        assert!(pool.members().contains(&spare));
+        assert!(!pool.members().contains(&bad));
+        let (got, _) = pool.allocate_page(&mut plane).expect("spare allocatable");
+        assert_eq!(got, spare);
+        // Retired block never reappears as a GC victim.
+        assert!(pool.victim_candidates(&plane).all(|id| id != bad));
+    }
+
+    #[test]
+    fn retire_exhausts_to_none() {
+        let plane = plane_4k(3, 1);
+        let mut pool = Pool::with_spares(&plane, Bytes::kib(4), 1);
+        let first = pool.members()[0];
+        let spare = pool.retire_and_replace(first).expect("one spare");
+        assert!(pool.retire_and_replace(spare).is_none(), "spares exhausted");
+    }
+
+    #[test]
+    fn rebuild_free_list_reflects_block_states() {
+        let mut plane = plane_4k(3, 1);
+        let mut pool = Pool::new(&plane, Bytes::kib(4));
+        let (b, p) = pool.allocate_page(&mut plane).unwrap();
+        // Simulate recovery: block b holds data, the others are erased.
+        pool.rebuild_free_list(&plane);
+        assert_eq!(pool.active(), None);
+        assert_eq!(pool.free_blocks(), 2);
+        plane.block_mut(b).invalidate(p);
+        plane.block_mut(b).erase();
+        pool.rebuild_free_list(&plane);
+        assert_eq!(pool.free_blocks(), 3);
     }
 
     #[test]

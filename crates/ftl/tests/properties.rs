@@ -32,6 +32,7 @@ fn small_ftl(planes: usize, blocks: usize, pages: usize, hybrid: bool) -> Ftl {
         pools,
         pages_per_block: pages,
         gc_trigger: GcTrigger::Threshold { min_free_blocks: 1 },
+        faults: hps_nand::FaultConfig::NONE,
     })
     .unwrap()
 }

@@ -136,6 +136,33 @@ impl Block {
         self.pages[page]
     }
 
+    /// Restores an invalidated page to [`PageState::Valid`].
+    ///
+    /// This exists only for power-loss recovery: the FTL invalidates the
+    /// old physical page *before* programming its replacement, so a crash
+    /// inside that window leaves the durable copy of an LPN flagged
+    /// invalid. Recovery, having determined from OOB metadata that the
+    /// page still holds the newest acknowledged copy, undoes the
+    /// invalidation. Normal operation never calls this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not behind the write pointer or not currently
+    /// [`PageState::Invalid`].
+    pub fn revalidate(&mut self, page: usize) {
+        assert!(
+            page < self.write_ptr,
+            "only programmed pages can be revalidated"
+        );
+        assert_eq!(
+            self.pages[page],
+            PageState::Invalid,
+            "only invalid pages can be revalidated (recovery bug)"
+        );
+        self.pages[page] = PageState::Valid;
+        self.valid += 1;
+    }
+
     /// Erases the block: every page becomes free, the write pointer rewinds,
     /// and the wear count increments.
     ///
@@ -171,6 +198,13 @@ impl Block {
     /// Pages holding superseded data (reclaimable).
     pub fn invalid_pages(&self) -> usize {
         self.write_ptr - self.valid
+    }
+
+    /// Pages programmed since the last erase (the write pointer): recovery
+    /// scans exactly `0..programmed_pages()` when rebuilding from OOB
+    /// metadata.
+    pub fn programmed_pages(&self) -> usize {
+        self.write_ptr
     }
 
     /// `true` once every page has been programmed.
@@ -307,6 +341,33 @@ mod tests {
         }
         b.invalidate(1);
         assert_eq!(b.valid_page_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn revalidate_undoes_invalidation() {
+        let mut b = block4(4);
+        b.program_next();
+        b.program_next();
+        b.invalidate(0);
+        b.revalidate(0);
+        assert_eq!(b.page_state(0), PageState::Valid);
+        assert_eq!(b.valid_pages(), 2);
+        assert_eq!(b.invalid_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only invalid pages")]
+    fn revalidate_valid_page_panics() {
+        let mut b = block4(2);
+        b.program_next();
+        b.revalidate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only programmed pages")]
+    fn revalidate_free_page_panics() {
+        let mut b = block4(2);
+        b.revalidate(0);
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Deterministic, seed-driven NAND fault model.
+//!
+//! Real eMMC parts spend their lives handling three failure families the
+//! rest of this simulator idealizes away: *program/erase failures*
+//! (transient or block-killing), *raw bit errors* whose rate climbs with
+//! wear and read disturb, and *sudden power loss*. This module supplies the
+//! physics half of that story — [`FaultConfig`] describes a fault profile
+//! and answers "does this operation fail?" with **pure hash draws**: every
+//! decision is a deterministic function of the fault seed and the
+//! operation's physical coordinates (plane, block, page, the block's erase
+//! epoch, retry index). No RNG stream is consumed, so fault outcomes do not
+//! depend on operation interleaving, GC timing, or the `--jobs` worker
+//! count — the same seed and config always reproduce the same failures.
+//!
+//! The policy half — read-retry, bad-block remapping, write re-drive,
+//! power-loss recovery — lives above, in `hps_ftl::recovery`.
+//!
+//! [`FaultConfig::NONE`] (the default everywhere) disables every draw; the
+//! simulator's behaviour and outputs are byte-identical to a build without
+//! this module.
+
+use hps_core::{Bytes, Error, Result};
+
+/// splitmix64's finalizer: a fast, high-quality 64-bit mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform float in `[0, 1)` from a hash (53 mantissa bits).
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Domain separators so the same coordinates draw independently per
+/// operation kind.
+#[derive(Clone, Copy)]
+enum DrawKind {
+    Program = 1,
+    Erase = 2,
+    Read = 3,
+}
+
+/// A deterministic fault-injection profile for the NAND array.
+///
+/// All probabilities are per-operation; the raw bit-error rate (RBER) is
+/// per-bit. [`FaultConfig::NONE`] turns every mechanism off and is the
+/// default on every device configuration, keeping existing results
+/// byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the pure hash draws; same seed + same config ⇒ identical
+    /// fault outcomes on every platform and at any parallelism.
+    pub seed: u64,
+    /// Probability that one page program fails (the page is consumed and
+    /// the FTL re-drives the write to a fresh page).
+    pub program_fail_prob: f64,
+    /// Probability that one block erase fails (the block is retired to the
+    /// bad-block list and a spare adopted in its place).
+    pub erase_fail_prob: f64,
+    /// Raw bit-error rate of a fresh page (errors per bit read).
+    pub rber_base: f64,
+    /// Additional RBER per erase the page's block has endured
+    /// (wear-dependent error growth).
+    pub rber_wear_slope: f64,
+    /// Additional RBER per read issued to the block since its last erase
+    /// (read-disturb accumulation; `0.0` disables the mechanism).
+    pub read_disturb_rber: f64,
+    /// ECC strength: correctable bits per KiB of page payload. The
+    /// per-page threshold scales with page size, so an 8 KiB page corrects
+    /// twice the bits of a 4 KiB page.
+    pub ecc_bits_per_kib: u32,
+    /// Read-retry budget: additional read attempts (each at a reduced
+    /// effective RBER) before a read is declared uncorrectable (UECC).
+    pub max_read_retries: u32,
+    /// Effective-RBER multiplier applied per retry attempt (modeling
+    /// re-reads at tuned reference voltages); must be in `(0, 1]`.
+    pub retry_rber_scale: f64,
+    /// Spare blocks reserved per plane *per pool* for bad-block
+    /// remapping. Spares are extra physical blocks: they never add logical
+    /// capacity.
+    pub spare_blocks_per_pool: usize,
+    /// Program failures a block may accrue before its next erase retires
+    /// it as grown-bad (`0` = never retire on program failures).
+    pub bad_block_program_fails: u32,
+}
+
+impl FaultConfig {
+    /// The no-fault profile: every mechanism disabled. This is the default
+    /// everywhere and guarantees byte-identical behaviour to a fault-free
+    /// build.
+    pub const NONE: FaultConfig = FaultConfig {
+        seed: 0,
+        program_fail_prob: 0.0,
+        erase_fail_prob: 0.0,
+        rber_base: 0.0,
+        rber_wear_slope: 0.0,
+        read_disturb_rber: 0.0,
+        ecc_bits_per_kib: 0,
+        max_read_retries: 0,
+        retry_rber_scale: 1.0,
+        spare_blocks_per_pool: 0,
+        bad_block_program_fails: 0,
+    };
+
+    /// `true` when any fault mechanism is active. The FTL takes the
+    /// fault-free fast path (no draws, no OOB journal, no counters) when
+    /// this is `false`.
+    pub fn enabled(&self) -> bool {
+        *self != FaultConfig::NONE
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any probability is outside
+    /// `[0, 0.5]` (rates above one half would defeat bounded re-drive), a
+    /// rate is negative or non-finite, the retry scale is outside
+    /// `(0, 1]`, or bit errors are modeled without any ECC to correct
+    /// them.
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            ("program_fail_prob", self.program_fail_prob),
+            ("erase_fail_prob", self.erase_fail_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=0.5).contains(&p) {
+                return Err(Error::InvalidConfig(format!(
+                    "{name} must be in [0, 0.5], got {p}"
+                )));
+            }
+        }
+        let rates = [
+            ("rber_base", self.rber_base),
+            ("rber_wear_slope", self.rber_wear_slope),
+            ("read_disturb_rber", self.read_disturb_rber),
+        ];
+        for (name, r) in rates {
+            if !r.is_finite() || r < 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "{name} must be a finite non-negative rate, got {r}"
+                )));
+            }
+        }
+        if !(self.retry_rber_scale > 0.0 && self.retry_rber_scale <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "retry_rber_scale must be in (0, 1], got {}",
+                self.retry_rber_scale
+            )));
+        }
+        if self.rber_base > 0.0 && self.ecc_bits_per_kib == 0 {
+            return Err(Error::InvalidConfig(
+                "rber_base > 0 needs ecc_bits_per_kib > 0 (no ECC would fail every read)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// One hash draw, domain-separated by operation kind and mixed over
+    /// the physical coordinates.
+    #[inline]
+    fn draw(&self, kind: DrawKind, a: u64, b: u64, c: u64, d: u64) -> u64 {
+        let mut h = self
+            .seed
+            .wrapping_add((kind as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for v in [a, b, c, d] {
+            h = mix64(h ^ v.wrapping_add(0xA24B_AED4_963E_E407));
+        }
+        h
+    }
+
+    /// Does programming page (`plane`, `block`, `page`) fail? `erase_epoch`
+    /// is the block's erase count, so each reuse of the page draws afresh.
+    pub fn program_fails(&self, plane: usize, block: usize, page: usize, erase_epoch: u64) -> bool {
+        self.program_fail_prob > 0.0
+            && unit(self.draw(
+                DrawKind::Program,
+                plane as u64,
+                block as u64,
+                page as u64,
+                erase_epoch,
+            )) < self.program_fail_prob
+    }
+
+    /// Does erasing block (`plane`, `block`) fail at this erase epoch?
+    pub fn erase_fails(&self, plane: usize, block: usize, erase_epoch: u64) -> bool {
+        self.erase_fail_prob > 0.0
+            && unit(self.draw(DrawKind::Erase, plane as u64, block as u64, 0, erase_epoch))
+                < self.erase_fail_prob
+    }
+
+    /// Effective RBER of one read attempt: base rate, plus wear growth,
+    /// plus read disturb, scaled down per retry.
+    pub fn effective_rber(&self, erase_count: u64, reads_since_erase: u64, retry: u32) -> f64 {
+        let raw = self.rber_base
+            + self.rber_wear_slope * erase_count as f64
+            + self.read_disturb_rber * reads_since_erase as f64;
+        raw * self.retry_rber_scale.powi(retry as i32)
+    }
+
+    /// ECC correction threshold for one page: correctable bits scale with
+    /// the payload size.
+    pub fn ecc_threshold(&self, page_size: Bytes) -> u32 {
+        let kib = (page_size.as_u64() / 1024).max(1);
+        self.ecc_bits_per_kib.saturating_mul(kib as u32)
+    }
+
+    /// Raw bit errors observed by one read attempt of page (`plane`,
+    /// `block`, `page`): a Poisson draw with mean `effective_rber × page
+    /// bits`, sampled by deterministic inversion from one hash. The retry
+    /// index is folded into the draw so each attempt re-samples
+    /// independently.
+    // Every argument is a physical coordinate or wear counter that feeds
+    // the deterministic draw; bundling them into a struct would obscure
+    // the call sites without removing any.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_bit_errors(
+        &self,
+        plane: usize,
+        block: usize,
+        page: usize,
+        page_size: Bytes,
+        erase_count: u64,
+        reads_since_erase: u64,
+        retry: u32,
+    ) -> u32 {
+        let lambda = self.effective_rber(erase_count, reads_since_erase, retry)
+            * (page_size.as_u64() * 8) as f64;
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let cap = self.ecc_threshold(page_size).saturating_mul(4).max(64);
+        // Far past the ECC budget the exact count is irrelevant: the read
+        // is uncorrectable either way, and the inversion loop below would
+        // spin for thousands of iterations.
+        if lambda >= cap as f64 {
+            return cap;
+        }
+        let coords = (block as u64) << 20 ^ (page as u64) << 4 ^ retry as u64;
+        let u = unit(self.draw(
+            DrawKind::Read,
+            plane as u64,
+            coords,
+            erase_count,
+            reads_since_erase,
+        ));
+        // Poisson inversion: walk the CDF until it passes the uniform.
+        let mut p = (-lambda).exp();
+        let mut cum = p;
+        let mut k: u32 = 0;
+        while u > cum && k < cap {
+            k += 1;
+            p *= lambda / k as f64;
+            cum += p;
+        }
+        k
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+/// Reliability counters accumulated while a fault profile is active.
+///
+/// Zero-valued and never exported when faults are disabled, so the
+/// fault-free metric surface is unchanged.
+#[must_use = "reliability counters are the observable outcome of fault injection"]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Page programs that failed (each consumed a page and was re-driven).
+    pub program_failures: u64,
+    /// Block erases that failed (each retired the block).
+    pub erase_failures: u64,
+    /// Blocks retired to the bad-block list (erase failures plus grown-bad
+    /// retirements from accumulated program failures).
+    pub bad_blocks: u64,
+    /// Spare blocks adopted to replace retired blocks.
+    pub spare_adoptions: u64,
+    /// Extra read attempts issued by the read-retry state machine.
+    pub read_retries: u64,
+    /// Reads that needed at least one retry but ultimately corrected.
+    pub corrected_reads: u64,
+    /// Reads that exhausted the retry budget: uncorrectable ECC events.
+    pub uecc_events: u64,
+    /// Histogram of retry depth per physical read (`[0]` = corrected on
+    /// the first attempt, last bucket = that depth or deeper).
+    pub retry_depth: [u64; 8],
+}
+
+impl FaultStats {
+    /// Records the outcome of one physical read: how many retries it took
+    /// (bucketed into the depth histogram) and whether ECC ultimately
+    /// corrected it — `false` means the retry budget was exhausted and the
+    /// read is a UECC event.
+    pub fn record_read(&mut self, retries: u32, corrected: bool) {
+        let bucket = (retries as usize).min(self.retry_depth.len() - 1);
+        self.retry_depth[bucket] += 1;
+        self.read_retries += u64::from(retries);
+        if !corrected {
+            self.uecc_events += 1;
+        } else if retries > 0 {
+            self.corrected_reads += 1;
+        }
+    }
+
+    /// Element-wise accumulation (for merging per-shard stats).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.program_failures += other.program_failures;
+        self.erase_failures += other.erase_failures;
+        self.bad_blocks += other.bad_blocks;
+        self.spare_adoptions += other.spare_adoptions;
+        self.read_retries += other.read_retries;
+        self.corrected_reads += other.corrected_reads;
+        self.uecc_events += other.uecc_events;
+        for (a, b) in self.retry_depth.iter_mut().zip(other.retry_depth.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active() -> FaultConfig {
+        FaultConfig {
+            seed: 7,
+            program_fail_prob: 0.05,
+            erase_fail_prob: 0.02,
+            rber_base: 1e-4,
+            rber_wear_slope: 1e-6,
+            read_disturb_rber: 1e-8,
+            ecc_bits_per_kib: 8,
+            max_read_retries: 3,
+            retry_rber_scale: 0.5,
+            spare_blocks_per_pool: 2,
+            bad_block_program_fails: 2,
+        }
+    }
+
+    #[test]
+    fn none_is_disabled_and_valid() {
+        assert!(!FaultConfig::NONE.enabled());
+        assert!(FaultConfig::NONE.validate().is_ok());
+        assert_eq!(FaultConfig::default(), FaultConfig::NONE);
+        // No mechanism ever fires.
+        for i in 0..64 {
+            assert!(!FaultConfig::NONE.program_fails(0, i, 0, 0));
+            assert!(!FaultConfig::NONE.erase_fails(0, i, 0));
+            assert_eq!(
+                FaultConfig::NONE.read_bit_errors(0, i, 0, Bytes::kib(4), 9, 9, 0),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        let mut c = active();
+        c.program_fail_prob = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = active();
+        c.rber_base = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = active();
+        c.retry_rber_scale = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = active();
+        c.ecc_bits_per_kib = 0;
+        assert!(c.validate().is_err(), "RBER without ECC");
+        assert!(active().validate().is_ok());
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_coordinates() {
+        let c = active();
+        for (plane, block, page, epoch) in [(0, 1, 2, 0), (7, 511, 1023, 12)] {
+            assert_eq!(
+                c.program_fails(plane, block, page, epoch),
+                c.program_fails(plane, block, page, epoch)
+            );
+            assert_eq!(
+                c.read_bit_errors(plane, block, page, Bytes::kib(4), epoch, 3, 1),
+                c.read_bit_errors(plane, block, page, Bytes::kib(4), epoch, 3, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_outcomes() {
+        let a = active();
+        let mut b = active();
+        b.seed = 8;
+        let diverges =
+            (0..4096).any(|i| a.program_fails(0, i, 0, 0) != b.program_fails(0, i, 0, 0));
+        assert!(diverges, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn program_failure_rate_tracks_probability() {
+        let c = active();
+        let n = 20_000;
+        let fails = (0..n)
+            .filter(|&i| c.program_fails(0, i % 64, i / 64, 0))
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!(
+            (rate - c.program_fail_prob).abs() < 0.01,
+            "empirical {rate} vs configured {}",
+            c.program_fail_prob
+        );
+    }
+
+    #[test]
+    fn ecc_threshold_scales_with_page_size() {
+        let c = active();
+        assert_eq!(c.ecc_threshold(Bytes::kib(4)), 32);
+        assert_eq!(c.ecc_threshold(Bytes::kib(8)), 64);
+    }
+
+    #[test]
+    fn wear_and_disturb_raise_rber_and_retries_lower_it() {
+        let c = active();
+        assert!(c.effective_rber(1000, 0, 0) > c.effective_rber(0, 0, 0));
+        assert!(c.effective_rber(0, 1_000_000, 0) > c.effective_rber(0, 0, 0));
+        assert!(c.effective_rber(0, 0, 2) < c.effective_rber(0, 0, 0));
+    }
+
+    #[test]
+    fn bit_error_counts_follow_the_mean() {
+        let mut c = active();
+        c.rber_base = 5e-4; // mean ≈ 16.4 bits on a 4 KiB page
+        let n = 2_000;
+        let total: u64 = (0..n)
+            .map(|i| c.read_bit_errors(0, i % 64, i / 64, Bytes::kib(4), 0, 0, 0) as u64)
+            .sum();
+        let mean = total as f64 / n as f64;
+        let expect = 5e-4 * (4096.0 * 8.0);
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "empirical mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn huge_lambda_saturates_without_spinning() {
+        let mut c = active();
+        c.rber_base = 0.25;
+        let bits = c.read_bit_errors(0, 0, 0, Bytes::kib(8), 0, 0, 0);
+        assert!(
+            bits > c.ecc_threshold(Bytes::kib(8)),
+            "must be uncorrectable"
+        );
+    }
+
+    #[test]
+    fn stats_record_and_merge() {
+        let mut a = FaultStats::default();
+        a.record_read(0, true);
+        a.record_read(2, true);
+        a.record_read(40, false); // UECC; depth clamps into the last bucket
+        assert_eq!(a.read_retries, 42);
+        assert_eq!(a.corrected_reads, 1);
+        assert_eq!(a.uecc_events, 1);
+        assert_eq!(a.retry_depth[0], 1);
+        assert_eq!(a.retry_depth[2], 1);
+        assert_eq!(a.retry_depth[7], 1);
+        let mut b = FaultStats {
+            uecc_events: 3,
+            ..Default::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.read_retries, 42);
+        assert_eq!(b.uecc_events, 4);
+    }
+}

@@ -16,6 +16,9 @@
 //!   sizes* (the HPS enabler: page size is uniform within a block but may
 //!   vary across blocks of the same die, Fig. 10 of the paper).
 //! * [`wear`] — erase-count accounting used by the wear-leveling analysis.
+//! * [`faults`] — deterministic, seed-driven fault injection: program/erase
+//!   failure draws, a wear- and disturb-dependent raw bit-error model, and
+//!   the reliability counters the FTL's recovery machinery accumulates.
 //!
 //! The crate holds *state and legality*, not time: the discrete-event
 //! scheduling of channel and die occupancy lives in `hps-emmc`.
@@ -23,12 +26,14 @@
 #![deny(missing_docs)]
 
 pub mod block;
+pub mod faults;
 pub mod geometry;
 pub mod plane;
 pub mod timing;
 pub mod wear;
 
 pub use block::{Block, PageState};
+pub use faults::{FaultConfig, FaultStats};
 pub use geometry::{Geometry, PlaneAddr};
 pub use plane::{BlockId, PageAddr, Plane};
 pub use timing::{NandTiming, PageTiming};

@@ -25,6 +25,11 @@
 //!   allocation-free by contract (reuse `ReplayScratch`/`GcScratch`
 //!   buffers or the `*_into` APIs instead). Cold paths — constructors,
 //!   allocating compatibility wrappers — carry explicit waivers.
+//! * **error-path** — discarding the `Result` of a fault-handling or
+//!   recovery API (`recover`, `arm_crash`, `write_chunk*`,
+//!   `retire_and_replace`) with `let _ =` is forbidden everywhere,
+//!   binaries included: a swallowed `PowerLoss`/`ReadOnly` turns an
+//!   injected fault into silent data loss. Handle or propagate.
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) and binary
 //! targets (`src/bin/`, `src/main.rs`) are exempt from `no-unwrap` and
@@ -67,6 +72,7 @@ enum Rule {
     MissingDocs,
     HotPathAlloc,
     PhaseTimer,
+    ErrorPath,
 }
 
 impl Rule {
@@ -80,6 +86,7 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::PhaseTimer => "phase-timer",
+            Rule::ErrorPath => "error-path",
         }
     }
 
@@ -107,6 +114,13 @@ impl Rule {
                  scope measures nothing; bind it (`let _prof = ...`) so the \
                  guard spans the region it accounts \
                  (waive intentional cases with lint: allow(phase-timer))"
+            }
+            Rule::ErrorPath => {
+                "discarded Result from a fault-handling/recovery API \
+                 (recover/arm_crash/write_chunk/retire_and_replace); a \
+                 swallowed PowerLoss or ReadOnly is silent data loss — \
+                 handle or propagate it \
+                 (waive intentional cases with lint: allow(error-path))"
             }
         }
     }
@@ -359,9 +373,24 @@ fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Viol
     }
 }
 
+/// Fault-handling / recovery APIs whose `Result` must never be discarded
+/// (the `error-path` rule). Substring match on stripped code: `write_chunk`
+/// also covers `write_chunk_into`/`write_chunk_observed_into`.
+const ERROR_PATH_APIS: &[&str] = &[
+    ".recover(",
+    ".arm_crash(",
+    ".write_chunk",
+    ".retire_and_replace(",
+];
+
 /// Which rules the (comment- and string-stripped) line violates.
 fn rules_for_line(code: &str, is_binary: bool, hot_path: bool) -> Vec<Rule> {
     let mut hits = Vec::new();
+    if (code.contains("let _ =") || code.contains("let _="))
+        && ERROR_PATH_APIS.iter().any(|api| code.contains(api))
+    {
+        hits.push(Rule::ErrorPath);
+    }
     if hot_path && (code.contains("Vec::new()") || code.contains("vec![")) {
         hits.push(Rule::HotPathAlloc);
     }
@@ -687,6 +716,50 @@ fn lib() { x.unwrap(); }
             &mut violations,
         );
         assert!(violations.is_empty(), "test regions stay exempt");
+    }
+
+    #[test]
+    fn flags_discarded_fault_api_results() {
+        for line in [
+            "let _ = ftl.recover();\n",
+            "let _ = dev.arm_crash(10);\n",
+            "let _ = ftl.write_chunk(0, k4, &lpns, k4);\n",
+            "let _ = pool.retire_and_replace(victim);\n",
+            "let _= device.recover();\n",
+        ] {
+            assert_eq!(
+                scan(line, false),
+                vec![(1, Rule::ErrorPath)],
+                "must flag: {line}"
+            );
+            assert_eq!(
+                scan(line, true),
+                vec![(1, Rule::ErrorPath)],
+                "binaries are NOT exempt: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn handled_fault_api_results_pass() {
+        assert!(scan("let report = ftl.recover()?;\n", false).is_empty());
+        assert!(scan("dev.arm_crash(10)?;\n", false).is_empty());
+        assert!(scan("match ftl.write_chunk(0, k4, &l, k4) {\n", false).is_empty());
+        // Unrelated `let _ =` discards are not the rule's business.
+        assert!(scan("let _ = map.insert(k, v);\n", false).is_empty());
+        // A method merely *named similarly* does not fire without the call.
+        assert!(scan("let _ = self.recovery_count;\n", false).is_empty());
+    }
+
+    #[test]
+    fn error_path_waiver_and_test_region_work() {
+        let waived = "let _ = ftl.recover(); // lint: allow(error-path) -- best-effort drill\n";
+        assert!(scan(waived, false).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = ftl.recover(); }\n}\n";
+        assert!(
+            scan(test_only, false).is_empty(),
+            "test regions stay exempt"
+        );
     }
 
     #[test]
