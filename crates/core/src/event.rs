@@ -1,0 +1,703 @@
+//! Calendar-queue event scheduling for the discrete-event core.
+//!
+//! The replay hot path advances simulated time by computing, per flash op,
+//! `max` over per-resource "free at" horizons. That is correct but scales
+//! with the number of pending reservations and pays its bookkeeping cost on
+//! every op. This module provides the two structures the reworked device
+//! timeline is built on:
+//!
+//! * [`EventWheel`] — a hierarchical calendar queue (timing wheel with an
+//!   overflow tree). Events within the near horizon land in a ring of
+//!   power-of-two-width buckets with an occupancy bitmap, so insert and
+//!   pop-min are O(1) and idle gaps are skipped by a couple of
+//!   `trailing_zeros` instructions instead of a scan. Events past the near
+//!   horizon go to a `BTreeMap` and migrate into the ring as the cursor
+//!   approaches them. Ties at equal timestamps pop in insertion (FIFO)
+//!   order via a monotone sequence number, which keeps every consumer
+//!   deterministic.
+//! * [`ResourceTimeline`] — per-resource availability horizons (channel and
+//!   die "free at" instants) with a running maximum so the device's
+//!   `all_idle_at` query is O(1), plus a wheel of completion events that
+//!   lets the device observe reservations expiring without re-walking the
+//!   horizon vector.
+//!
+//! Determinism contract: nothing in this module consults wall-clock time or
+//! ambient randomness; given the same sequence of calls, the same events pop
+//! in the same order with the same timestamps. The eMMC scheduler's
+//! equivalence proptest (wheel-backed vs naive reference) pins that the
+//! rework preserves byte-identical `ScheduledOp` times.
+
+use crate::time::SimTime;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// Default bucket width: 2^17 ns = 131.072 µs, on the order of one 4 KiB
+/// NAND read (160 µs in Table V), so a bucket holds roughly one op class.
+pub const DEFAULT_BUCKET_NS: u64 = 1 << 17;
+
+/// Default bucket count: 256 buckets × 131 µs ≈ 33.6 ms of near horizon —
+/// comfortably past a full erase (3.8 ms) and most GC copyback trains.
+pub const DEFAULT_BUCKETS: usize = 256;
+
+/// A hierarchical calendar queue: O(1) insert/pop for events within the
+/// near horizon, `BTreeMap` overflow for far-future events.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::event::EventWheel;
+/// use hps_core::SimTime;
+///
+/// let mut wheel = EventWheel::with_defaults();
+/// wheel.push(SimTime::from_us(10), "b");
+/// wheel.push(SimTime::from_us(2), "a");
+/// wheel.push(SimTime::from_us(10), "c"); // FIFO among equal times
+/// assert_eq!(wheel.pop(), Some((SimTime::from_us(2), "a")));
+/// assert_eq!(wheel.pop(), Some((SimTime::from_us(10), "b")));
+/// assert_eq!(wheel.pop(), Some((SimTime::from_us(10), "c")));
+/// assert_eq!(wheel.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventWheel<T> {
+    /// log2 of the bucket width in nanoseconds.
+    bucket_shift: u32,
+    /// `buckets.len() - 1`; the ring length is a power of two.
+    index_mask: u64,
+    /// Near-horizon ring. Each slot holds the events of exactly one
+    /// absolute bucket (the push path rejects anything farther than one
+    /// rotation ahead of the cursor, so slots never mix epochs).
+    buckets: Box<[Vec<(u64, u64, T)>]>,
+    /// One bit per ring slot; set while the slot is non-empty. Finding the
+    /// next pending bucket is a word scan + `trailing_zeros`.
+    occupancy: Box<[u64]>,
+    /// Events at or beyond the near horizon, keyed by (time, seq).
+    overflow: BTreeMap<(u64, u64), T>,
+    /// All events at strictly earlier instants have been popped.
+    cursor_ns: u64,
+    /// Monotone insertion counter; ties at equal times pop in FIFO order.
+    seq: u64,
+    len: usize,
+    /// Memoized earliest pending key. `Some` is authoritative; `None`
+    /// means "recompute on demand". Pushes keep it current (new minimum
+    /// wins), pops invalidate it, cursor moves never change it — so the
+    /// steady-state `drain_until` probe is one compare, no bitmap scan.
+    cached_min: Cell<Option<(u64, u64)>>,
+}
+
+impl<T> EventWheel<T> {
+    /// Creates a wheel with the given bucket width (ns) and bucket count;
+    /// both are rounded up to the next power of two. The near horizon spans
+    /// `bucket_ns * buckets` nanoseconds past the cursor.
+    pub fn new(bucket_ns: u64, buckets: usize) -> Self {
+        let width = bucket_ns.max(1).next_power_of_two();
+        let count = buckets.max(64).next_power_of_two();
+        EventWheel {
+            bucket_shift: width.trailing_zeros(),
+            index_mask: count as u64 - 1,
+            buckets: (0..count).map(|_| Vec::new()).collect(),
+            occupancy: vec![0u64; count / 64].into_boxed_slice(),
+            overflow: BTreeMap::new(),
+            cursor_ns: 0,
+            seq: 0,
+            len: 0,
+            cached_min: Cell::new(None),
+        }
+    }
+
+    /// A wheel sized for the eMMC timeline: [`DEFAULT_BUCKET_NS`] ×
+    /// [`DEFAULT_BUCKETS`] ≈ 33.6 ms of O(1) horizon.
+    pub fn with_defaults() -> Self {
+        EventWheel::new(DEFAULT_BUCKET_NS, DEFAULT_BUCKETS)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cursor: every pending event is at or after this instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_ns(self.cursor_ns)
+    }
+
+    /// Absolute bucket number (time / width) of an instant.
+    #[inline]
+    fn bucket_of(&self, ns: u64) -> u64 {
+        ns >> self.bucket_shift
+    }
+
+    /// First instant at or past the near horizon (exclusive ring bound).
+    #[inline]
+    fn horizon_ns(&self) -> u64 {
+        let base = self.bucket_of(self.cursor_ns) << self.bucket_shift;
+        base.saturating_add((self.index_mask + 1) << self.bucket_shift)
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.occupancy[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.occupancy[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    /// Schedules `item` at instant `at`. Instants earlier than the cursor
+    /// are clamped to the cursor (they pop immediately); equal instants pop
+    /// in insertion order.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        let ns = at.as_ns().max(self.cursor_ns);
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if ns < self.horizon_ns() {
+            let slot = (self.bucket_of(ns) & self.index_mask) as usize;
+            self.buckets[slot].push((ns, seq, item));
+            self.mark(slot);
+        } else {
+            self.overflow.insert((ns, seq), item);
+        }
+        match self.cached_min.get() {
+            Some(c) if (ns, seq) < c => self.cached_min.set(Some((ns, seq))),
+            None if self.len == 1 => self.cached_min.set(Some((ns, seq))),
+            _ => {}
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek(&self) -> Option<SimTime> {
+        self.peek_key().map(|(ns, _)| SimTime::from_ns(ns))
+    }
+
+    /// Earliest pending (time, seq) without removing it.
+    fn peek_key(&self) -> Option<(u64, u64)> {
+        if let Some(k) = self.cached_min.get() {
+            return Some(k);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let ring = self.next_ring_slot().map(|slot| {
+            let mut best: Option<(u64, u64)> = None;
+            for &(ns, seq, _) in self.buckets[slot].iter() {
+                if best.is_none_or(|b| (ns, seq) < b) {
+                    best = Some((ns, seq));
+                }
+            }
+            best.expect("occupied slot is non-empty") // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
+        });
+        let over = self.overflow.keys().next().copied();
+        let min = match (ring, over) {
+            (Some(r), Some(o)) => Some(r.min(o)),
+            (r, o) => r.or(o),
+        };
+        self.cached_min.set(min);
+        min
+    }
+
+    /// Index of the first occupied ring slot at or after the cursor's slot,
+    /// scanning at most one full rotation via the occupancy bitmap.
+    fn next_ring_slot(&self) -> Option<usize> {
+        let count = (self.index_mask + 1) as usize;
+        let start = (self.bucket_of(self.cursor_ns) & self.index_mask) as usize;
+        let words = self.occupancy.len();
+        // First word: mask off bits before `start`.
+        let mut word_idx = start / 64;
+        let mut word = self.occupancy[word_idx] & (!0u64 << (start % 64));
+        for step in 0..=words {
+            if word != 0 {
+                let slot = word_idx * 64 + word.trailing_zeros() as usize;
+                return Some(slot % count);
+            }
+            if step == words {
+                break;
+            }
+            word_idx = (word_idx + 1) % words;
+            word = self.occupancy[word_idx];
+            // Wrapped past the start word: only bits before `start` remain.
+            if word_idx == start / 64 {
+                word &= !(!0u64 << (start % 64));
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the earliest event. Advances the cursor to the
+    /// popped instant, migrating overflow events that entered the near
+    /// horizon into the ring.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let (ns, seq) = self.peek_key()?;
+        self.advance_cursor(ns);
+        // After migration the winning event is wherever (ring or overflow)
+        // its timestamp places it relative to the *new* horizon; the ring
+        // wins whenever it holds the key (migration moved near events in).
+        let slot = (self.bucket_of(ns) & self.index_mask) as usize;
+        if ns < self.horizon_ns() {
+            let bucket = &mut self.buckets[slot];
+            let pos = bucket
+                .iter()
+                .position(|&(n, s, _)| (n, s) == (ns, seq))
+                .expect("peeked event present in its bucket"); // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
+            let (_, _, item) = bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                self.clear(slot);
+            }
+            self.len -= 1;
+            self.cached_min.set(None);
+            return Some((SimTime::from_ns(ns), item));
+        }
+        let item = self
+            .overflow
+            .remove(&(ns, seq))
+            .expect("peeked event present in overflow"); // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
+        self.len -= 1;
+        self.cached_min.set(None);
+        Some((SimTime::from_ns(ns), item))
+    }
+
+    /// Pops the earliest event only if it is at or before `t`.
+    pub fn pop_until(&mut self, t: SimTime) -> Option<(SimTime, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.peek() {
+            Some(at) if at <= t => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Moves the cursor forward to `min(t, earliest pending event)` — the
+    /// O(1) idle-gap skip. The cursor never crosses a pending event (that
+    /// would violate the ring's single-epoch invariant), and never moves
+    /// backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if self.len == 0 {
+            // Nothing pending: jump the cursor directly, no scan.
+            if t.as_ns() > self.cursor_ns {
+                self.cursor_ns = t.as_ns();
+            }
+            return;
+        }
+        let target = match self.peek_key() {
+            Some((ns, _)) => t.as_ns().min(ns),
+            None => t.as_ns(),
+        };
+        self.advance_cursor(target);
+    }
+
+    /// Pops every event at or before `t` into `f`, then skips the cursor
+    /// across the remaining idle gap up to `t`. The steady-state replay
+    /// call: one bitmap probe when nothing expired.
+    pub fn drain_until(&mut self, t: SimTime, mut f: impl FnMut(SimTime, T)) {
+        while let Some((at, item)) = self.pop_until(t) {
+            f(at, item);
+        }
+        self.advance_to(t);
+    }
+
+    /// Advances the cursor to `ns` (no-op when behind) and migrates newly
+    /// near overflow events into the ring. `ns` must not skip past a
+    /// pending event; callers guarantee it via `peek_key`.
+    fn advance_cursor(&mut self, ns: u64) {
+        if ns <= self.cursor_ns {
+            return;
+        }
+        self.cursor_ns = ns;
+        let horizon = self.horizon_ns();
+        while let Some(&(ev_ns, seq)) = self.overflow.keys().next() {
+            if ev_ns >= horizon {
+                break;
+            }
+            let item = self.overflow.remove(&(ev_ns, seq)).expect("key just seen"); // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
+            let slot = (self.bucket_of(ev_ns) & self.index_mask) as usize;
+            self.buckets[slot].push((ev_ns, seq, item));
+            self.mark(slot);
+        }
+    }
+
+    /// Drains every pending event in timestamp (then FIFO) order.
+    pub fn drain(&mut self, mut f: impl FnMut(SimTime, T)) {
+        while let Some((at, item)) = self.pop() {
+            f(at, item);
+        }
+    }
+}
+
+/// Per-resource availability horizons backed by an [`EventWheel`] of
+/// availability events.
+///
+/// A *resource* is anything that serializes work — in the eMMC model, one
+/// slot per channel followed by one per die. [`reserve`] extends a
+/// resource's "free at" horizon (a plain store on the batch hot path);
+/// [`announce`] publishes one resource's current horizon as an
+/// availability event, and [`announce_batch_word`] publishes a whole
+/// batch's worth in a single event: a 64-resource bitmask timestamped at
+/// the batch finish. One wheel event per batch — not per op, not per
+/// resource — is what keeps event traffic off the replay hot path; the
+/// per-resource identity survives in the mask, and draining expands it
+/// back into per-resource callbacks. The device drains expired events at
+/// each batch release, so the in-flight count stays bounded — and
+/// per-resource accurate — without any scan.
+///
+/// The running maximum over all horizons makes [`all_idle_at`] O(1) where
+/// the previous implementation folded over every resource per call.
+///
+/// [`reserve`]: ResourceTimeline::reserve
+/// [`announce`]: ResourceTimeline::announce
+/// [`announce_batch_word`]: ResourceTimeline::announce_batch_word
+/// [`all_idle_at`]: ResourceTimeline::all_idle_at
+///
+/// # Example
+///
+/// ```
+/// use hps_core::event::ResourceTimeline;
+/// use hps_core::SimTime;
+///
+/// let mut tl = ResourceTimeline::new(3);
+/// tl.reserve(1, SimTime::from_us(50));
+/// tl.reserve(2, SimTime::from_us(20));
+/// tl.announce(1);
+/// tl.announce(2);
+/// assert_eq!(tl.all_idle_at(), SimTime::from_us(50));
+/// assert_eq!(tl.in_flight(), 2);
+/// tl.advance_to(SimTime::from_us(30), |_, _| {});
+/// assert_eq!(tl.in_flight(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResourceTimeline {
+    free_at: Vec<SimTime>,
+    /// Running max of `free_at` — the instant every resource is idle.
+    horizon: SimTime,
+    /// Availability events: payload is (resource word index, bitmask of
+    /// resource slots within that word).
+    completions: EventWheel<(u32, u64)>,
+    /// Announced resource availabilities not yet expired (sum of event
+    /// mask popcounts) — the in-flight gauge.
+    announced: usize,
+}
+
+impl ResourceTimeline {
+    /// Creates a timeline of `resources` slots, all idle at time zero.
+    pub fn new(resources: usize) -> Self {
+        ResourceTimeline {
+            free_at: vec![SimTime::ZERO; resources],
+            horizon: SimTime::ZERO,
+            completions: EventWheel::with_defaults(),
+            announced: 0,
+        }
+    }
+
+    /// Number of resource slots.
+    pub fn resources(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// The instant resource `r` next becomes free.
+    #[inline]
+    pub fn free_at(&self, r: usize) -> SimTime {
+        self.free_at[r]
+    }
+
+    /// Extends resource `r`'s horizon to `until`. Horizons only move
+    /// forward; a reservation ending before the current horizon leaves the
+    /// availability unchanged. This is the per-op hot-path store — no
+    /// event traffic; batch transactions publish availability afterwards
+    /// via [`ResourceTimeline::announce`].
+    #[inline]
+    pub fn reserve(&mut self, r: usize, until: SimTime) {
+        let slot = &mut self.free_at[r];
+        if until > *slot {
+            *slot = until;
+        }
+        if until > self.horizon {
+            self.horizon = until;
+        }
+    }
+
+    /// Publishes resource `r`'s current availability horizon as an event
+    /// through the wheel.
+    #[inline]
+    pub fn announce(&mut self, r: usize) {
+        self.completions
+            .push(self.free_at[r], ((r >> 6) as u32, 1u64 << (r & 63)));
+        self.announced += 1;
+    }
+
+    /// Publishes one availability event covering every resource set in
+    /// `mask` (slots `word * 64 + bit`), timestamped `at`. A batch
+    /// transaction calls this once per touched word with its finish time —
+    /// every reservation the batch made ends at or before its finish, so
+    /// the single event covers them all.
+    #[inline]
+    pub fn announce_batch_word(&mut self, word: usize, mask: u64, at: SimTime) {
+        debug_assert!(mask != 0, "announcing an empty resource mask");
+        self.completions.push(at, (word as u32, mask));
+        self.announced += mask.count_ones() as usize;
+    }
+
+    /// The earliest instant at which every resource is idle — O(1).
+    #[inline]
+    pub fn all_idle_at(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Announced resource availabilities whose events have not yet been
+    /// drained.
+    pub fn in_flight(&self) -> usize {
+        self.announced
+    }
+
+    /// Drains availability events at or before `now`, invoking `f(at, r)`
+    /// for each covered resource in event-timestamp order, and skips the
+    /// wheel cursor across the idle gap up to `now`.
+    pub fn advance_to(&mut self, now: SimTime, mut f: impl FnMut(SimTime, u32)) {
+        let announced = &mut self.announced;
+        self.completions.drain_until(now, |at, (word, mask)| {
+            *announced -= mask.count_ones() as usize;
+            let mut bits = mask;
+            while bits != 0 {
+                f(at, word * 64 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        });
+    }
+
+    /// Resets every horizon to zero and discards pending completions.
+    pub fn reset(&mut self) {
+        self.free_at.fill(SimTime::ZERO);
+        self.horizon = SimTime::ZERO;
+        self.completions = EventWheel::with_defaults();
+        self.announced = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = EventWheel::with_defaults();
+        for &us in &[500u64, 10, 160, 3800, 160, 0] {
+            w.push(t(us), us);
+        }
+        let mut got = Vec::new();
+        w.drain(|at, v| got.push((at.as_us(), v)));
+        assert_eq!(
+            got,
+            vec![
+                (0, 0),
+                (10, 10),
+                (160, 160),
+                (160, 160),
+                (500, 500),
+                (3800, 3800)
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fifo_stable_at_equal_times() {
+        let mut w = EventWheel::with_defaults();
+        for i in 0..10 {
+            w.push(t(42), i);
+        }
+        let mut got = Vec::new();
+        w.drain(|_, v| got.push(v));
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_cursor() {
+        let mut w = EventWheel::with_defaults();
+        w.push(t(100), "late");
+        assert_eq!(w.pop(), Some((t(100), "late")));
+        assert_eq!(w.now(), t(100));
+        w.push(t(5), "early"); // behind the cursor: clamps
+        assert_eq!(w.pop(), Some((t(100), "early")));
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow_and_back() {
+        let mut w: EventWheel<u32> = EventWheel::new(1 << 10, 64); // 64 KiB-ns window
+        let horizon_us = (64u64 << 10) / 1000; // ~65 µs
+        w.push(t(horizon_us * 10), 1); // far future: overflow
+        w.push(t(1), 2); // near: ring
+        assert_eq!(w.overflow.len(), 1);
+        assert_eq!(w.pop(), Some((t(1), 2)));
+        assert_eq!(w.pop(), Some((t(horizon_us * 10), 1)));
+        assert!(w.overflow.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundary_instants_stay_ordered() {
+        let mut w: EventWheel<u64> = EventWheel::new(1 << 17, 256);
+        let width = 1u64 << 17;
+        for ns in [
+            width - 1,
+            width,
+            width + 1,
+            2 * width,
+            0,
+            width * 255,
+            width * 256,
+        ] {
+            w.push(SimTime::from_ns(ns), ns);
+        }
+        let mut got = Vec::new();
+        w.drain(|_, v| got.push(v));
+        let mut want = vec![
+            width - 1,
+            width,
+            width + 1,
+            2 * width,
+            0,
+            width * 255,
+            width * 256,
+        ];
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn advance_skips_idle_gap_but_not_events() {
+        let mut w = EventWheel::with_defaults();
+        w.push(t(100), ());
+        w.advance_to(t(1_000_000)); // must stop at the pending event
+        assert_eq!(w.now(), t(100));
+        assert_eq!(w.pop(), Some((t(100), ())));
+        w.advance_to(t(1_000_000));
+        assert_eq!(w.now(), t(1_000_000));
+    }
+
+    #[test]
+    fn pop_until_respects_bound() {
+        let mut w = EventWheel::with_defaults();
+        w.push(t(10), 'a');
+        w.push(t(20), 'b');
+        assert_eq!(w.pop_until(t(15)), Some((t(10), 'a')));
+        assert_eq!(w.pop_until(t(15)), None);
+        assert_eq!(w.pop_until(t(25)), Some((t(20), 'b')));
+    }
+
+    #[test]
+    fn ring_wraps_across_many_rotations() {
+        let mut w: EventWheel<u64> = EventWheel::new(1 << 8, 64);
+        let span = 64u64 << 8;
+        // Repeatedly schedule one rotation ahead; each pop advances the
+        // cursor so the ring wraps dozens of times.
+        let mut next = 0u64;
+        for i in 0..200 {
+            w.push(SimTime::from_ns(next), i);
+            next += span / 3 + 17; // co-prime-ish stride across slots
+        }
+        let mut last = 0;
+        let mut n = 0;
+        w.drain(|at, _| {
+            assert!(at.as_ns() >= last);
+            last = at.as_ns();
+            n += 1;
+        });
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn timeline_horizon_is_running_max() {
+        let mut tl = ResourceTimeline::new(4);
+        assert_eq!(tl.all_idle_at(), SimTime::ZERO);
+        tl.reserve(0, t(100));
+        tl.reserve(3, t(50));
+        assert_eq!(tl.all_idle_at(), t(100));
+        assert_eq!(tl.free_at(0), t(100));
+        assert_eq!(tl.free_at(1), SimTime::ZERO);
+        // A shorter reservation never regresses a horizon.
+        tl.reserve(0, t(80));
+        assert_eq!(tl.free_at(0), t(100));
+        assert_eq!(tl.all_idle_at(), t(100));
+    }
+
+    #[test]
+    fn timeline_drains_completions_in_order() {
+        let mut tl = ResourceTimeline::new(2);
+        tl.reserve(0, t(20));
+        tl.announce(0);
+        tl.reserve(1, t(10));
+        tl.announce(1);
+        tl.reserve(0, t(30));
+        tl.announce(0);
+        assert_eq!(tl.in_flight(), 3);
+        let mut seen = Vec::new();
+        tl.advance_to(t(25), |at, r| seen.push((at.as_us(), r)));
+        assert_eq!(seen, vec![(10, 1), (20, 0)]);
+        assert_eq!(tl.in_flight(), 1);
+        tl.advance_to(t(100), |at, r| seen.push((at.as_us(), r)));
+        assert_eq!(seen, vec![(10, 1), (20, 0), (30, 0)]);
+        assert_eq!(tl.in_flight(), 0);
+    }
+
+    #[test]
+    fn timeline_reset_clears_state() {
+        let mut tl = ResourceTimeline::new(2);
+        tl.reserve(1, t(500));
+        tl.announce(1);
+        tl.reset();
+        assert_eq!(tl.all_idle_at(), SimTime::ZERO);
+        assert_eq!(tl.free_at(1), SimTime::ZERO);
+        assert_eq!(tl.in_flight(), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    proptest! {
+        /// The wheel pops the exact sequence a (time, seq)-ordered binary
+        /// heap would, across interleaved pushes and pops.
+        #[test]
+        fn matches_binary_heap_reference(
+            ops in proptest::collection::vec((0u64..50_000_000u64, proptest::bool::ANY), 1..400)
+        ) {
+            let mut wheel: EventWheel<u64> = EventWheel::new(1 << 12, 64);
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut floor = 0u64; // wheel cursor mirror: pushes clamp to it
+            for &(ns, is_pop) in &ops {
+                if is_pop {
+                    let got = wheel.pop();
+                    let want = heap.pop().map(|Reverse(k)| k);
+                    prop_assert_eq!(got.map(|(at, v)| (at.as_ns(), v)), want);
+                    if let Some((t, _)) = want {
+                        floor = floor.max(t);
+                    }
+                } else {
+                    let at = ns.max(floor);
+                    wheel.push(SimTime::from_ns(ns), seq);
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+            }
+            let mut rest = Vec::new();
+            wheel.drain(|at, v| rest.push((at.as_ns(), v)));
+            let mut want = Vec::new();
+            while let Some(Reverse(k)) = heap.pop() {
+                want.push(k);
+            }
+            prop_assert_eq!(rest, want);
+        }
+    }
+}

@@ -351,6 +351,11 @@ impl EmmcDevice {
         // the service start time is fixed.
         let prof_wait = hps_obs::profile::phase(hps_obs::Phase::QueueWait);
 
+        // Retire availability events for reservations that completed
+        // before this arrival; the wheel cursor skips the idle gap in O(1)
+        // and the pending-event set stays bounded by in-flight work.
+        self.sched.advance_to(arrival);
+
         // Idle-time GC (Implication 2): if the gap since the device went
         // idle is long, reclaim garbage invisibly before the request lands.
         if self.config.ftl.gc_trigger.collects_when_idle()
@@ -852,8 +857,11 @@ impl EmmcDevice {
     /// Wraps a request so it fits inside the logical capacity.
     fn clamp_to_capacity(&self, request: &IoRequest) -> IoRequest {
         let pages = request.size.div_ceil(Bytes::kib(4)).max(1);
+        // `max_start` is strictly below `logical_pages` whenever capacity
+        // is non-zero (pages >= 1), and zero otherwise — so the min alone
+        // keeps the LPN in range; no modulo needed on this per-request path.
         let max_start = self.logical_pages.saturating_sub(pages);
-        let lpn = (request.lba / 4096).min(max_start) % self.logical_pages.max(1);
+        let lpn = (request.lba / 4096).min(max_start);
         let mut clamped = *request;
         clamped.lba = lpn * 4096;
         clamped
@@ -921,7 +929,11 @@ impl EmmcDevice {
     /// dies second, so consecutive chunks exploit the device's parallelism.
     fn pick_plane(&mut self) -> usize {
         let plane = self.plane_order[self.next_plane];
-        self.next_plane = (self.next_plane + 1) % self.plane_order.len();
+        // Compare-and-reset instead of `%`: this runs once per chunk.
+        self.next_plane += 1;
+        if self.next_plane == self.plane_order.len() {
+            self.next_plane = 0;
+        }
         plane
     }
 }
@@ -949,6 +961,7 @@ impl core::fmt::Debug for EmmcDevice {
         f.debug_struct("EmmcDevice")
             .field("scheme", &self.config.scheme)
             .field("busy_until", &self.busy_until)
+            .field("sched_in_flight", &self.sched.in_flight())
             .field("ftl", &self.ftl)
             .finish_non_exhaustive()
     }

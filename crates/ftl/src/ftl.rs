@@ -146,9 +146,12 @@ pub struct Ftl {
     /// in O(1) instead of scanning every candidate block near the
     /// free-block floor.
     pub(crate) garbage: Vec<Vec<usize>>,
-    /// Reusable dedup set for [`Ftl::read_ops_into`]; cleared per call,
-    /// capacity retained.
+    /// Reusable dedup set for [`Ftl::read_ops_into`] on large requests;
+    /// cleared per call, capacity retained.
     read_seen: FxHashSet<Ppn>,
+    /// Reusable dedup list for [`Ftl::read_ops_into`] on small requests —
+    /// a linear scan over a handful of `Ppn`s beats hashing them.
+    read_seen_list: Vec<Ppn>,
     /// Fault-injection runtime; `None` when the configured profile is
     /// [`FaultConfig::NONE`], making the fault-free hot path one
     /// pointer-null test.
@@ -156,6 +159,40 @@ pub struct Ftl {
     /// Shadow-state invariant auditor (debug builds + `sanitize` feature).
     #[cfg(any(debug_assertions, feature = "sanitize"))]
     pub(crate) shadow: ShadowFlash,
+}
+
+/// Requests of at most this many LPNs dedup physical pages by linear scan
+/// over a small reused vector; longer ones fall back to the hash set. The
+/// crossover is generous — scanning a handful of `Ppn`s is cheaper than
+/// hashing them, and replay traces are dominated by short requests — and
+/// it only affects speed: both stores keep first-seen semantics.
+const READ_DEDUP_SCAN_MAX: usize = 16;
+
+/// The dedup store behind [`Ftl::read_ops_into`].
+enum ReadSeen<'a> {
+    /// Small request: membership by linear scan.
+    Scan(&'a mut Vec<Ppn>),
+    /// Large request: membership by hash probe.
+    Hash(&'a mut FxHashSet<Ppn>),
+}
+
+impl ReadSeen<'_> {
+    /// Records `ppn`, returning `true` when it was not seen before (the
+    /// `HashSet::insert` contract).
+    #[inline]
+    fn insert(&mut self, ppn: Ppn) -> bool {
+        match self {
+            ReadSeen::Scan(list) => {
+                if list.contains(&ppn) {
+                    false
+                } else {
+                    list.push(ppn);
+                    true
+                }
+            }
+            ReadSeen::Hash(set) => set.insert(ppn),
+        }
+    }
 }
 
 impl Ftl {
@@ -221,6 +258,7 @@ impl Ftl {
             stats: FtlStats::default(),
             gc_scratch: GcScratch::default(),
             read_seen: FxHashSet::default(),
+            read_seen_list: Vec::new(), // lint: allow(hot-path-alloc) -- constructor, runs once per device
             faults,
             #[cfg(any(debug_assertions, feature = "sanitize"))]
             shadow,
@@ -462,24 +500,38 @@ impl Ftl {
         let mut seen: FxHashSet<Ppn> = FxHashSet::default();
         let mut ops = Vec::new(); // lint: allow(hot-path-alloc)
         let mut unmapped = Vec::new(); // lint: allow(hot-path-alloc)
-        self.read_ops_with(lpns, &mut seen, &mut ops, &mut unmapped);
+        self.read_ops_with(
+            lpns,
+            &mut ReadSeen::Hash(&mut seen),
+            &mut ops,
+            &mut unmapped,
+        );
         (ops, unmapped)
     }
 
     /// [`Ftl::read_ops`], but appending into caller-owned buffers (not
-    /// cleared first) and reusing the FTL's internal dedup set. The replay
-    /// hot path: a warm read performs no heap allocations.
+    /// cleared first) and reusing the FTL's internal dedup storage. The
+    /// replay hot path: a warm read performs no heap allocations. Short
+    /// requests dedup by linear scan, long ones by hash probe — first-seen
+    /// semantics either way, so the emitted ops are identical.
     pub fn read_ops_into(&mut self, lpns: &[Lpn], ops: &mut Vec<FlashOp>, unmapped: &mut Vec<Lpn>) {
-        let mut seen = core::mem::take(&mut self.read_seen);
-        seen.clear();
-        self.read_ops_with(lpns, &mut seen, ops, unmapped);
-        self.read_seen = seen;
+        if lpns.len() <= READ_DEDUP_SCAN_MAX {
+            let mut list = core::mem::take(&mut self.read_seen_list);
+            list.clear();
+            self.read_ops_with(lpns, &mut ReadSeen::Scan(&mut list), ops, unmapped);
+            self.read_seen_list = list;
+        } else {
+            let mut seen = core::mem::take(&mut self.read_seen);
+            seen.clear();
+            self.read_ops_with(lpns, &mut ReadSeen::Hash(&mut seen), ops, unmapped);
+            self.read_seen = seen;
+        }
     }
 
     fn read_ops_with(
         &mut self,
         lpns: &[Lpn],
-        seen: &mut FxHashSet<Ppn>,
+        seen: &mut ReadSeen<'_>,
         ops: &mut Vec<FlashOp>,
         unmapped: &mut Vec<Lpn>,
     ) {

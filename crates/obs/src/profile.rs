@@ -298,6 +298,19 @@ pub struct PhaseTimer {
     _not_send: PhantomData<*mut ()>,
 }
 
+/// Scoped guard for a *run* of same-class operations dispatched as one
+/// batch (the event-wheel `schedule_batch` transaction). One guard covers
+/// the whole run — one timestamp pair instead of one per op — while
+/// [`RunPhaseTimer::bump`] counts each op so the report's entries/req
+/// column stays comparable with per-op instrumentation. The per-entry
+/// histogram records one observation per run (the run's total time).
+#[must_use = "dropping the timer immediately records a zero-width phase"]
+pub struct RunPhaseTimer {
+    armed: bool,
+    ops: u32,
+    _not_send: PhantomData<*mut ()>,
+}
+
 /// Starts the per-request root timer. Call exactly once per submitted
 /// request, before any [`phase`] guard; sampling (1 in `stride`) decides
 /// whether this request is measured.
@@ -422,14 +435,54 @@ impl Drop for PhaseTimer {
         // Outlined armed body: every instrumented scope end pays only a
         // test-and-branch on the common disarmed path.
         if self.armed {
-            finish_phase();
+            finish_phase(1);
+        }
+    }
+}
+
+/// Opens a phase scope covering a batch of same-class operations. The
+/// disarmed fast path matches [`phase`]: one relaxed atomic load.
+#[inline]
+pub fn phase_run(p: Phase) -> RunPhaseTimer {
+    if ARMED_THREADS.load(Ordering::Relaxed) == 0 {
+        return RunPhaseTimer {
+            armed: false,
+            ops: 0,
+            _not_send: PhantomData,
+        };
+    }
+    let inner = phase_armed(p);
+    let armed = inner.armed;
+    core::mem::forget(inner); // the run timer owns the frame now
+    RunPhaseTimer {
+        armed,
+        ops: 0,
+        _not_send: PhantomData,
+    }
+}
+
+impl RunPhaseTimer {
+    /// Counts one operation against this run's entry total.
+    #[inline]
+    pub fn bump(&mut self) {
+        if self.armed {
+            self.ops += 1;
+        }
+    }
+}
+
+impl Drop for RunPhaseTimer {
+    #[inline]
+    fn drop(&mut self) {
+        if self.armed {
+            finish_phase(self.ops.max(1));
         }
     }
 }
 
 #[cold]
 #[inline(never)]
-fn finish_phase() {
+fn finish_phase(entries: u32) {
     let end = now();
     ACCUM.with_borrow_mut(|a| {
         debug_assert!(a.depth > 0, "armed PhaseTimer dropped with empty stack");
@@ -441,7 +494,7 @@ fn finish_phase() {
         let total = end.saturating_sub(frame.start);
         let slot = frame.phase as usize;
         a.phase_ticks[slot] += total.saturating_sub(frame.child);
-        a.phase_entries[slot] += 1;
+        a.phase_entries[slot] += u64::from(entries);
         a.hists[slot].observe(total as f64);
         if a.depth > 0 {
             a.frames[a.depth - 1].child += total;
@@ -826,6 +879,44 @@ mod tests {
             merged.hists[Phase::NandErase as usize].count(),
             a.hists[Phase::NandErase as usize].count() + b.hists[Phase::NandErase as usize].count()
         );
+        reset();
+        set_stride(64);
+    }
+
+    #[test]
+    fn run_guard_counts_ops_but_times_once() {
+        let _guard = LOCK.lock().expect("profiler test lock");
+        reset();
+        set_stride(1);
+        {
+            let _req = request();
+            let mut run = phase_run(Phase::NandProgram);
+            for _ in 0..5 {
+                run.bump();
+                spin(20);
+            }
+        }
+        let rep = report();
+        assert_eq!(rep.phase_entries[Phase::NandProgram as usize], 5);
+        // One timestamp pair per run: the histogram sees one observation.
+        assert_eq!(rep.hists[Phase::NandProgram as usize].count(), 1);
+        let slot_sum: u64 = rep.phase_ticks.iter().sum();
+        assert_eq!(slot_sum, rep.ticks_total);
+        reset();
+        set_stride(64);
+    }
+
+    #[test]
+    fn run_guard_without_bumps_counts_one_entry() {
+        let _guard = LOCK.lock().expect("profiler test lock");
+        reset();
+        set_stride(1);
+        {
+            let _req = request();
+            let _run = phase_run(Phase::NandErase);
+        }
+        let rep = report();
+        assert_eq!(rep.phase_entries[Phase::NandErase as usize], 1);
         reset();
         set_stride(64);
     }

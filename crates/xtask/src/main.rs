@@ -30,6 +30,12 @@
 //!   `retire_and_replace`) with `let _ =` is forbidden everywhere,
 //!   binaries included: a swallowed `PowerLoss`/`ReadOnly` turns an
 //!   injected fault into silent data loss. Handle or propagate.
+//! * **busy-until** — hand-rolled per-resource time-horizon arrays
+//!   (`Vec<SimTime>`, `vec![SimTime::ZERO; ..]`, `[SimTime::ZERO; ..]`)
+//!   are forbidden outside `hps_core::event`: the device timeline runs on
+//!   the calendar-queue `ResourceTimeline`, and a stray busy-until vector
+//!   reintroduces the per-op horizon walks the event wheel replaced. The
+//!   retained naive reference scheduler carries explicit waivers.
 //!
 //! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) and binary
 //! targets (`src/bin/`, `src/main.rs`) are exempt from `no-unwrap` and
@@ -73,6 +79,7 @@ enum Rule {
     HotPathAlloc,
     PhaseTimer,
     ErrorPath,
+    BusyUntil,
 }
 
 impl Rule {
@@ -87,6 +94,7 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::PhaseTimer => "phase-timer",
             Rule::ErrorPath => "error-path",
+            Rule::BusyUntil => "busy-until",
         }
     }
 
@@ -121,6 +129,12 @@ impl Rule {
                  swallowed PowerLoss or ReadOnly is silent data loss — \
                  handle or propagate it \
                  (waive intentional cases with lint: allow(error-path))"
+            }
+            Rule::BusyUntil => {
+                "per-resource busy-until time array outside hps_core::event; \
+                 schedule through ResourceTimeline so availability stays on \
+                 the calendar-queue wheel \
+                 (waive reference models with lint: allow(busy-until))"
             }
         }
     }
@@ -309,8 +323,16 @@ fn is_hot_path(file: &Path) -> bool {
     HOT_PATH_FILES.iter().any(|suffix| path.ends_with(suffix))
 }
 
+/// `true` for the one module allowed to own per-resource time arrays: the
+/// calendar-queue timeline itself.
+fn is_timeline_owner(file: &Path) -> bool {
+    let path = file.to_string_lossy().replace('\\', "/");
+    path.ends_with("core/src/event.rs")
+}
+
 fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Violation>) {
     let hot_path = is_hot_path(file);
+    let timeline_owner = is_timeline_owner(file);
     let mut scanner = Scanner {
         in_block_comment: false,
         depth: 0,
@@ -358,7 +380,7 @@ fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Viol
             continue;
         }
 
-        for rule in rules_for_line(&code, is_binary, hot_path) {
+        for rule in rules_for_line(&code, is_binary, hot_path, timeline_owner) {
             if waived(rule, raw) || waived(rule, prev_raw) {
                 continue;
             }
@@ -383,8 +405,12 @@ const ERROR_PATH_APIS: &[&str] = &[
     ".retire_and_replace(",
 ];
 
+/// Busy-until-style time arrays: the calendar-queue timeline owns these;
+/// anywhere else they reintroduce per-op horizon walks.
+const BUSY_UNTIL_PATTERNS: &[&str] = &["Vec<SimTime>", "vec![SimTime::ZERO", "[SimTime::ZERO;"];
+
 /// Which rules the (comment- and string-stripped) line violates.
-fn rules_for_line(code: &str, is_binary: bool, hot_path: bool) -> Vec<Rule> {
+fn rules_for_line(code: &str, is_binary: bool, hot_path: bool, timeline_owner: bool) -> Vec<Rule> {
     let mut hits = Vec::new();
     if (code.contains("let _ =") || code.contains("let _="))
         && ERROR_PATH_APIS.iter().any(|api| code.contains(api))
@@ -411,6 +437,9 @@ fn rules_for_line(code: &str, is_binary: bool, hot_path: bool) -> Vec<Rule> {
     }
     if unbalanced_phase_guard(code) {
         hits.push(Rule::PhaseTimer);
+    }
+    if !timeline_owner && BUSY_UNTIL_PATTERNS.iter().any(|p| code.contains(p)) {
+        hits.push(Rule::BusyUntil);
     }
     hits
 }
@@ -756,6 +785,45 @@ fn lib() { x.unwrap(); }
         let waived = "let _ = ftl.recover(); // lint: allow(error-path) -- best-effort drill\n";
         assert!(scan(waived, false).is_empty());
         let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = ftl.recover(); }\n}\n";
+        assert!(
+            scan(test_only, false).is_empty(),
+            "test regions stay exempt"
+        );
+    }
+
+    #[test]
+    fn flags_busy_until_arrays_outside_timeline() {
+        for line in [
+            "    channel_free: Vec<SimTime>,\n",
+            "let free = vec![SimTime::ZERO; geometry.channels];\n",
+            "let mut horizons = [SimTime::ZERO; 8];\n",
+        ] {
+            assert_eq!(
+                scan(line, false),
+                vec![(1, Rule::BusyUntil)],
+                "must flag: {line}"
+            );
+        }
+        // Scalar SimTime state is not the rule's business.
+        assert!(scan("let t = SimTime::ZERO;\n", false).is_empty());
+        assert!(scan("busy_until: SimTime,\n", false).is_empty());
+    }
+
+    #[test]
+    fn busy_until_exempts_timeline_owner_and_waivers() {
+        let text = "    free_at: Vec<SimTime>,\n";
+        let mut violations = Vec::new();
+        scan_file(
+            Path::new("crates/core/src/event.rs"),
+            text,
+            false,
+            &mut violations,
+        );
+        assert!(violations.is_empty(), "the timeline module owns its arrays");
+        let waived = "    die_free: Vec<SimTime>, // lint: allow(busy-until) reference model\n";
+        assert!(scan(waived, false).is_empty());
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<SimTime> = naive(); }\n}\n";
         assert!(
             scan(test_only, false).is_empty(),
             "test regions stay exempt"
