@@ -52,7 +52,9 @@ pub fn ablate_gc() -> String {
     ]);
     // Device: 8 planes x 32 blocks x 32 pages x 4 KiB = 32 MiB.
     // Workload: 24 MiB logical footprint written ~4x over.
-    let trace = hot_write_trace(24_000, Bytes::mib(24), SimDuration::from_ms(300));
+    /// Total span the synthetic hot-write trace is spread across.
+    const HOT_WRITE_SPAN: SimDuration = SimDuration::from_ms(300);
+    let trace = hot_write_trace(24_000, Bytes::mib(24), HOT_WRITE_SPAN);
     let jobs = vec![
         (
             "threshold (min_free=2)",
@@ -155,9 +157,11 @@ pub fn ablate_power() -> String {
         cfg.power = if threshold_ms == 0 {
             PowerConfig::DISABLED
         } else {
+            /// Sleep-to-active resume cost for the ablation's power model.
+            const WAKEUP_LATENCY: SimDuration = SimDuration::from_ms(5);
             PowerConfig {
                 idle_threshold: SimDuration::from_ms(threshold_ms),
-                wakeup_latency: SimDuration::from_ms(5),
+                wakeup_latency: WAKEUP_LATENCY,
                 enabled: true,
             }
         };

@@ -489,7 +489,7 @@ fn profile_cmd(
     }
     // The slot self times partition the measured total by construction,
     // so this only trips if the accounting invariant is broken.
-    let share_sum: f64 = report.percentages().iter().sum();
+    let share_sum: f64 = report.percentages().iter().sum(); // lint: allow(float-accum) -- fixed-order array
     if (share_sum - 100.0).abs() > 0.5 {
         eprintln!("phase percentages sum to {share_sum:.3}%, outside 100 +/- 0.5");
         return 1;

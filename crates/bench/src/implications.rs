@@ -132,10 +132,12 @@ pub fn endurance() -> String {
     // wraps the scaled device several times.
     let mut rng = SimRng::seed_from(MASTER_SEED);
     let mut trace = Trace::new("HotMix");
+    /// Inter-arrival gap of the synthetic hot-writer workload.
+    const ARRIVAL_GAP: SimDuration = SimDuration::from_ms(2);
     let mut now = SimTime::ZERO;
     let footprint_pages = Bytes::mib(24).as_u64() / 4096;
     for id in 0..30_000u64 {
-        now += SimDuration::from_ms(2);
+        now += ARRIVAL_GAP;
         let pages = *rng.pick(&[1u64, 1, 1, 2, 3]);
         let lba = rng.uniform_u64(footprint_pages - pages) * 4096;
         trace.push_request(IoRequest::new(

@@ -79,9 +79,11 @@ pub fn sweep_requests(num: u64) -> Vec<IoRequest> {
     let mut reqs = Vec::with_capacity(num as usize);
     let mut now = SimTime::ZERO;
     // 16 MiB footprint on a 32 MiB device: overwrites dominate once warm.
+    /// Inter-arrival gap of the synthetic wear workload.
+    const ARRIVAL_GAP: SimDuration = SimDuration::from_ms(2);
     let footprint_pages = Bytes::mib(16).as_u64() / 4096;
     for id in 0..num {
-        now += SimDuration::from_ms(2);
+        now += ARRIVAL_GAP;
         let pages = *rng.pick(&[1u64, 1, 2, 2, 3, 4]);
         let lba = rng.uniform_u64(footprint_pages - pages) * 4096;
         let dir = if rng.chance(0.3) {
@@ -133,9 +135,11 @@ fn run_cell(scheme: SchemeKind, point: ErrorPoint, seed: u64) -> Result<CellOutc
     let mut crash_fired = false;
     if !degraded {
         dev.arm_crash(50)?;
+        /// Inter-arrival gap of the crash-phase write burst.
+        const BURST_GAP: SimDuration = SimDuration::from_ms(1);
         let mut now = dev.busy_until();
         for i in 0..2_000u64 {
-            now += SimDuration::from_ms(1);
+            now += BURST_GAP;
             let req = IoRequest::new(
                 1_000_000 + i,
                 now,

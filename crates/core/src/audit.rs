@@ -553,12 +553,8 @@ impl ShadowFlash {
     /// Cross-check device-wide space accounting (total valid and invalid
     /// programmed pages across all planes) against the shadow tally.
     pub fn try_check_space(&self, real_valid: usize, real_invalid: usize) -> Result<(), Violation> {
-        let mut live = 0usize;
-        let mut dead = 0usize;
-        for b in self.blocks.values() {
-            live += b.live;
-            dead += b.dead;
-        }
+        let live = self.blocks.values().map(|b| b.live).sum::<usize>();
+        let dead = self.blocks.values().map(|b| b.dead).sum::<usize>();
         if live != real_valid || dead != real_invalid {
             return Err(self.violation(
                 InvariantId::SpaceDiverged,
@@ -620,18 +616,23 @@ impl ShadowFlash {
     }
 
     /// Iterate the logical pages currently mapped in the shadow, with
-    /// their physical coordinates, in unspecified order.
-    pub fn mappings(&self) -> impl Iterator<Item = (u64, (usize, usize, usize))> + '_ {
-        self.forward.iter().map(|(&lpn, &key)| {
-            (
-                lpn,
+    /// their physical coordinates, in ascending LPN order (so the first
+    /// divergence an audit reports is the same on every run).
+    pub fn mappings(&self) -> impl Iterator<Item = (u64, (usize, usize, usize))> {
+        self.forward
+            .iter()
+            .map(|(&lpn, &key)| {
                 (
-                    (key >> 48) as usize,
-                    ((key >> 24) & 0xff_ffff) as usize,
-                    (key & 0xff_ffff) as usize,
-                ),
-            )
-        })
+                    lpn,
+                    (
+                        (key >> 48) as usize,
+                        ((key >> 24) & 0xff_ffff) as usize,
+                        (key & 0xff_ffff) as usize,
+                    ),
+                )
+            })
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .into_iter()
     }
 
     /// Total mutations recorded so far.
@@ -688,7 +689,7 @@ impl SpanLedger {
 
     /// Assert that every opened span has been closed (end-of-run check).
     pub fn try_drained(&self, sim_time_ns: u64) -> Result<(), Violation> {
-        if let Some(&id) = self.open.iter().next() {
+        if let Some(id) = self.open.iter().copied().min() {
             return Err(Violation {
                 invariant: InvariantId::SpanUnbalanced,
                 sim_time_ns,

@@ -62,6 +62,16 @@ pub struct DeviceConfig {
     pub read_cache: Option<Bytes>,
 }
 
+/// Host-interface command setup/teardown overhead charged per eMMC command
+/// in the Table V configuration.
+const TABLE_V_CMD_OVERHEAD: SimDuration = SimDuration::from_us(100);
+
+/// Minimum device-idle gap before background GC may start (Table V policy).
+const TABLE_V_IDLE_GC_MIN_GAP: SimDuration = SimDuration::from_ms(200);
+
+/// Cost of absorbing one write into the RAM write cache (Table V policy).
+const TABLE_V_CACHE_WRITE_OVERHEAD: SimDuration = SimDuration::from_ms(1);
+
 impl DeviceConfig {
     /// The paper's Table V device for the given scheme: 32 GiB, 2×1×2×2
     /// geometry, Micron latencies, Nexus 5 power model.
@@ -71,11 +81,11 @@ impl DeviceConfig {
             ftl: scheme.table_v_ftl(),
             timing: NandTiming::TABLE_V,
             power: PowerConfig::NEXUS5,
-            cmd_overhead: SimDuration::from_us(100),
-            idle_gc_min_gap: SimDuration::from_ms(200),
+            cmd_overhead: TABLE_V_CMD_OVERHEAD,
+            idle_gc_min_gap: TABLE_V_IDLE_GC_MIN_GAP,
             channel_mode: ChannelMode::Legacy,
             write_cache: None,
-            cache_write_overhead: SimDuration::from_ms(1),
+            cache_write_overhead: TABLE_V_CACHE_WRITE_OVERHEAD,
             slc: None,
             read_cache: None,
         }

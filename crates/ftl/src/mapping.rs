@@ -210,18 +210,18 @@ impl ResidentTable {
     /// Panics if `ppn` has no residents or `lpn` is not among them — either
     /// indicates the mapping and resident tables have diverged.
     pub fn evict(&mut self, ppn: Ppn, lpn: Lpn) -> bool {
-        let residents = self
+        let list = self
             .residents
             .get_mut(&ppn)
             // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             .expect("evict from unoccupied page");
-        let pos = residents
+        let pos = list
             .iter()
             .position(|&l| l == lpn)
             // lint: allow(no-unwrap) -- infallible by construction; the message documents the invariant
             .expect("evicted LPN not resident in page");
-        residents.swap_remove(pos);
-        if residents.is_empty() {
+        list.swap_remove(pos);
+        if list.is_empty() {
             self.residents.remove(&ppn);
             true
         } else {

@@ -5,12 +5,12 @@
 //! auditor's deep verification holds (checked inside `recover` in debug and
 //! `sanitize` builds).
 
+use hps_core::hash::FxHashSet;
 use hps_core::{Bytes, Error};
 use hps_ftl::gc::GcTrigger;
 use hps_ftl::{Ftl, FtlConfig, Lpn};
 use hps_nand::{FaultConfig, Geometry};
 use proptest::prelude::*;
-use std::collections::HashSet;
 
 /// A small hybrid device with full fault injection: program and erase
 /// failures, a nonzero bit error rate, two spares per pool.
@@ -49,7 +49,7 @@ proptest! {
         let mut ftl = faulty_ftl(seed);
         ftl.arm_crash(crash_at).unwrap();
 
-        let mut acked: HashSet<u64> = HashSet::new();
+        let mut acked: FxHashSet<u64> = FxHashSet::default();
         let mut crashed = false;
         for &(lpn, plane) in &writes {
             match ftl.write_chunk(plane, Bytes::kib(4), &[Lpn(lpn)], Bytes::kib(4)) {
@@ -74,7 +74,7 @@ proptest! {
         // (a) + (b): exactly the acknowledged LPNs resolve.
         let all: Vec<Lpn> = (0..24).map(Lpn).collect();
         let (_, unmapped) = ftl.read_ops(&all);
-        let unmapped: HashSet<u64> = unmapped.into_iter().map(|l| l.0).collect();
+        let unmapped: FxHashSet<u64> = unmapped.into_iter().map(|l| l.0).collect();
         for lpn in 0..24u64 {
             prop_assert_eq!(
                 acked.contains(&lpn),

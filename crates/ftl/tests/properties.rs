@@ -4,12 +4,12 @@
 //! [`MappingTable`], inline [`ResidentTable`]) behave exactly like their
 //! plain-`HashMap` reference models under arbitrary operation sequences.
 
+use hps_core::hash::{FxHashMap, FxHashSet};
 use hps_core::Bytes;
 use hps_ftl::gc::GcTrigger;
 use hps_ftl::{Ftl, FtlConfig, Lpn, MappingTable, Ppn, ResidentTable};
 use hps_nand::{BlockId, Geometry, PageAddr};
 use proptest::prelude::*;
-use std::collections::{HashMap, HashSet};
 
 fn ppn(plane: usize, block: usize, page: usize) -> Ppn {
     Ppn {
@@ -47,7 +47,7 @@ proptest! {
         // 4 blocks x 8 pages x 4 planes = 128 pages; LPN space of 24 forces
         // constant overwriting, hence GC with live migration.
         let mut ftl = small_ftl(4, 4, 8, false);
-        let mut written: HashSet<u64> = HashSet::new();
+        let mut written: FxHashSet<u64> = FxHashSet::default();
         for (lpn, plane) in writes {
             ftl.write_chunk(plane, Bytes::kib(4), &[Lpn(lpn)], Bytes::kib(4)).unwrap();
             written.insert(lpn);
@@ -55,7 +55,7 @@ proptest! {
         // Every LPN ever written must still resolve; nothing else may.
         let all: Vec<Lpn> = (0..24).map(Lpn).collect();
         let (ops, unmapped) = ftl.read_ops(&all);
-        let unmapped: HashSet<u64> = unmapped.into_iter().map(|l| l.0).collect();
+        let unmapped: FxHashSet<u64> = unmapped.into_iter().map(|l| l.0).collect();
         for lpn in 0..24u64 {
             prop_assert_eq!(written.contains(&lpn), !unmapped.contains(&lpn), "lpn {}", lpn);
         }
@@ -70,7 +70,7 @@ proptest! {
         writes in prop::collection::vec((0u64..6, prop::bool::ANY), 1..150),
     ) {
         let mut ftl = small_ftl(2, 4, 8, true);
-        let mut written: HashSet<u64> = HashSet::new();
+        let mut written: FxHashSet<u64> = FxHashSet::default();
         for (base, use_8k) in writes {
             if use_8k {
                 let pair = [Lpn(base * 2), Lpn(base * 2 + 1)];
@@ -115,7 +115,7 @@ proptest! {
         ops in prop::collection::vec((0u8..4, 0u64..1200, 0usize..4, 0usize..512), 1..400),
     ) {
         let mut table = MappingTable::new();
-        let mut model: HashMap<u64, Ppn> = HashMap::new();
+        let mut model: FxHashMap<u64, Ppn> = FxHashMap::default();
         for (op, raw, plane, page) in ops {
             let lpn = if raw < 600 { raw } else { (1 << 20) + (raw - 600) };
             let loc = ppn(plane, page / 32, page % 32);
@@ -140,12 +140,12 @@ proptest! {
     #[test]
     fn resident_table_matches_reference_model(
         // (op, page, pick, pair): occupy/occupy/evict/take against a
-        // HashMap<Ppn, Vec<Lpn>> model. Both sides use swap-remove
+        // FxHashMap<Ppn, Vec<Lpn>> model. Both sides use swap-remove
         // semantics, so even the resident *order* must agree.
         ops in prop::collection::vec((0u8..4, 0usize..32, 0usize..4, prop::bool::ANY), 1..300),
     ) {
         let mut table = ResidentTable::new();
-        let mut model: HashMap<Ppn, Vec<Lpn>> = HashMap::new();
+        let mut model: FxHashMap<Ppn, Vec<Lpn>> = FxHashMap::default();
         let mut next = 0u64;
         for (op, page, pick, pair) in ops {
             let p = ppn(0, page / 8, page % 8);

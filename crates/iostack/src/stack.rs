@@ -27,10 +27,14 @@ pub struct StackConfig {
     pub max_packed_bytes: Bytes,
 }
 
+/// Default plug window: 3 ms, the block-layer plug/unplug horizon the
+/// paper's traces were collected under.
+const DEFAULT_DISPATCH_WINDOW: SimDuration = SimDuration::from_ms(3);
+
 impl Default for StackConfig {
     fn default() -> Self {
         StackConfig {
-            dispatch_window: SimDuration::from_ms(3),
+            dispatch_window: DEFAULT_DISPATCH_WINDOW,
             max_packed_members: 32,
             max_packed_bytes: Bytes::mib(16),
         }

@@ -4,11 +4,13 @@
 //!
 //! Run: `cargo run --release -p hps-obs --example profile_cost`
 
+// lint: allow-scope(wall-clock) -- this example measures the profiler's real
+// (host) overhead, so wall-clock time is the measurement, not a bug.
+
 use hps_obs::profile;
 
 fn main() {
     const ITERS: u64 = 2_000_000;
-    // lint: allow(wall-clock) -- measuring host overhead is the point
     let t0 = std::time::Instant::now();
     for _ in 0..ITERS {
         let _req = profile::request();

@@ -288,7 +288,7 @@ mod tests {
         write_chrome_trace(&sample_events(), &mut out).unwrap();
         let doc = json::parse(std::str::from_utf8(&out).unwrap()).unwrap();
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
-        let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+        let mut last_ts: hps_core::hash::FxHashMap<u64, f64> = Default::default();
         for e in events
             .iter()
             .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))

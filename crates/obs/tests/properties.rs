@@ -1,13 +1,13 @@
 //! Property-based tests for the log-bucketed histogram, the Chrome
 //! trace exporter, and mergeable metric snapshots.
 
+use hps_core::hash::FxHashMap;
 use hps_core::{SimDuration, SimTime};
 use hps_obs::json::{parse, Value};
 use hps_obs::{
     write_chrome_trace, Event, EventKind, LogHistogram, MetricsRegistry, MetricsSnapshot, OpClass,
 };
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 /// One recorded operation against a registry: a counter bump or a
 /// histogram sample, on one of a small set of metric names so splits
@@ -168,7 +168,7 @@ proptest! {
             .and_then(Value::as_array)
             .expect("traceEvents array");
         // ts must be monotone non-decreasing per track (tid).
-        let mut last_ts: HashMap<i64, f64> = HashMap::new();
+        let mut last_ts: FxHashMap<i64, f64> = FxHashMap::default();
         let mut spans_seen = 0usize;
         for e in trace_events {
             let ph = e.get("ph").and_then(Value::as_str).expect("ph");

@@ -1,0 +1,532 @@
+//! A dependency-free Rust lexer for the lint engine.
+//!
+//! Produces a flat token stream with source positions. The lexer is
+//! deliberately forgiving — it never fails; malformed input degrades to
+//! punctuation tokens — because lint must keep going on code that rustc
+//! has not seen yet. It does handle every construct that tripped the old
+//! line-regex linter:
+//!
+//! * nested block comments (`/* /* */ */`) and doc comments,
+//! * raw strings with any hash count (`r#"…"#`), byte strings, multi-line
+//!   cooked strings with escapes,
+//! * lifetimes vs. char literals (`'a` vs `'a'` vs `b'x'`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals with separators, suffixes and exponents
+//!   (`1_000u64`, `1.5e9`), without swallowing range expressions (`0..n`)
+//!   or method calls on integers (`1.max(2)`).
+
+/// Classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`, `_`).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'q'`.
+    Char,
+    /// A cooked or byte string literal: `"…"`, `b"…"`.
+    Str,
+    /// A raw string literal: `r"…"`, `r#"…"#`, `br#"…"#`.
+    RawStr,
+    /// An integer or float literal, including suffix: `42`, `1_000u64`, `1.5e9`.
+    Num,
+    /// A plain `//` comment (the only place waivers are recognized).
+    LineComment,
+    /// A doc comment: `///`, `//!`, `/** */`, `/*! */`.
+    DocComment,
+    /// A plain block comment, possibly nested.
+    BlockComment,
+    /// A single punctuation character; multi-char operators are joined by
+    /// [`join_puncts`] downstream.
+    Punct,
+}
+
+/// One token: kind, the exact source slice, and its position.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub pos: usize,
+}
+
+impl Token<'_> {
+    /// `true` for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::DocComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (the waiver scanner needs them).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while self.i < self.bytes.len() {
+            let b = self.bytes[self.i];
+            match b {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => out.push(self.line_comment()),
+                b'/' if self.peek(1) == Some(b'*') => out.push(self.block_comment()),
+                b'"' => out.push(self.cooked_string(self.i)),
+                b'r' | b'b' if self.raw_string_ahead() => out.push(self.raw_string()),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    let start = self.i;
+                    self.i += 1;
+                    out.push(self.cooked_string(start));
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    let start = self.i;
+                    self.i += 1;
+                    out.push(self.char_literal(start));
+                }
+                b'\'' => out.push(self.quote(self.i)),
+                _ if b.is_ascii_digit() => out.push(self.number()),
+                _ if is_ident_start(b) => out.push(self.ident()),
+                _ => {
+                    let start = self.i;
+                    self.i += 1;
+                    out.push(self.tok(TokenKind::Punct, start));
+                }
+            }
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn tok(&self, kind: TokenKind, start: usize) -> Token<'a> {
+        Token {
+            kind,
+            text: &self.src[start..self.i],
+            line: self.line,
+            pos: start,
+        }
+    }
+
+    /// Builds a token that may span newlines: `line` is the line of its
+    /// first byte, and the internal counter advances past them.
+    fn multiline_tok(&mut self, kind: TokenKind, start: usize, start_line: u32) -> Token<'a> {
+        let text = &self.src[start..self.i];
+        self.line = start_line + text.bytes().filter(|&b| b == b'\n').count() as u32;
+        Token {
+            kind,
+            text,
+            line: start_line,
+            pos: start,
+        }
+    }
+
+    fn line_comment(&mut self) -> Token<'a> {
+        let start = self.i;
+        while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = &self.src[start..self.i];
+        // `///` and `//!` are doc comments; `////…` is plain again.
+        let kind =
+            if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::LineComment
+            };
+        self.tok(kind, start)
+    }
+
+    fn block_comment(&mut self) -> Token<'a> {
+        let start = self.i;
+        let start_line = self.line;
+        let text_after = &self.src[self.i..];
+        let kind = if (text_after.starts_with("/**") && !text_after.starts_with("/**/"))
+            || text_after.starts_with("/*!")
+        {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.bytes.len() && depth > 0 {
+            if self.bytes[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.bytes[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.multiline_tok(kind, start, start_line)
+    }
+
+    fn cooked_string(&mut self, start: usize) -> Token<'a> {
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.multiline_tok(TokenKind::Str, start, start_line)
+    }
+
+    /// `true` when the cursor sits on `r"`, `r#…"`, `br"`, or `br#…"`.
+    /// `r#ident` (a raw identifier) returns `false`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = self.i + 1;
+        if self.bytes[self.i] == b'b' {
+            if self.peek(1) != Some(b'r') {
+                return false;
+            }
+            j += 1;
+        }
+        while self.bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.bytes.get(j) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) -> Token<'a> {
+        let start = self.i;
+        let start_line = self.line;
+        if self.bytes[self.i] == b'b' {
+            self.i += 1;
+        }
+        self.i += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        'outer: while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'"' {
+                let mut j = self.i + 1;
+                for _ in 0..hashes {
+                    if self.bytes.get(j) != Some(&b'#') {
+                        self.i += 1;
+                        continue 'outer;
+                    }
+                    j += 1;
+                }
+                self.i = j;
+                break;
+            }
+            self.i += 1;
+        }
+        self.multiline_tok(TokenKind::RawStr, start, start_line)
+    }
+
+    /// Disambiguates `'a` (lifetime), `'a'` / `'\n'` (char literal), and a
+    /// stray quote (punct).
+    fn quote(&mut self, start: usize) -> Token<'a> {
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(start),
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier run; a closing quote right after it
+                // means a char literal ('a'), otherwise a lifetime ('a).
+                let mut j = self.i + 1;
+                while self.bytes.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    self.char_literal(start)
+                } else {
+                    self.i = j;
+                    self.tok(TokenKind::Lifetime, start)
+                }
+            }
+            Some(c) if c != b'\'' => self.char_literal(start),
+            _ => {
+                self.i += 1;
+                self.tok(TokenKind::Punct, start)
+            }
+        }
+    }
+
+    fn char_literal(&mut self, start: usize) -> Token<'a> {
+        self.i += 1; // opening quote
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i = (self.i + 2).min(self.bytes.len()),
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't eat the rest of the file
+                _ => self.i += 1,
+            }
+        }
+        self.tok(TokenKind::Char, start)
+    }
+
+    fn number(&mut self) -> Token<'a> {
+        let start = self.i;
+        let radix_prefix = self.bytes[self.i] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'));
+        if radix_prefix {
+            self.i += 2;
+        }
+        let mut seen_dot = false;
+        while self.i < self.bytes.len() {
+            let b = self.bytes[self.i];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Decimal exponent may carry a sign: 1e-9.
+                if !radix_prefix
+                    && (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.i += 2;
+                }
+                self.i += 1;
+            } else if b == b'.'
+                && !seen_dot
+                && !radix_prefix
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // `1.5` continues the literal; `0..n` and `1.max(2)` do not.
+                seen_dot = true;
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.tok(TokenKind::Num, start)
+    }
+
+    fn ident(&mut self) -> Token<'a> {
+        let start = self.i;
+        // Raw identifier: r#type.
+        if self.bytes[self.i] == b'r'
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(is_ident_start)
+        {
+            self.i += 2;
+        }
+        while self.i < self.bytes.len() && is_ident_continue(self.bytes[self.i]) {
+            self.i += 1;
+        }
+        self.tok(TokenKind::Ident, start)
+    }
+}
+
+/// Operators the rule matchers want as single tokens. Only adjacent
+/// punctuation pairs are joined, so `: :` (spaced) stays two tokens just
+/// like rustc would reject it.
+const JOINED: &[&str] = &["::", "->", "=>", "+=", "-=", "*=", "/=", "..", "&&", "||"];
+
+/// Joins adjacent punctuation pairs (`::`, `+=`, …) into single tokens and
+/// drops comments, producing the "code view" the rule matchers run on.
+/// Each output token remembers its originating index into `tokens` so
+/// scope lookups still work.
+pub fn join_puncts<'a>(tokens: &[Token<'a>]) -> Vec<(Token<'a>, usize)> {
+    let mut out: Vec<(Token<'a>, usize)> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Punct && i + 1 < tokens.len() {
+            let n = tokens[i + 1];
+            if n.kind == TokenKind::Punct && n.pos == t.pos + t.text.len() {
+                let pair = [t.text.as_bytes()[0], n.text.as_bytes()[0]];
+                // All joined operators are ASCII pairs, so the merged text
+                // can come from the static table rather than re-slicing
+                // the source.
+                if let Some(joined) = JOINED.iter().find(|j| j.as_bytes() == pair) {
+                    out.push((
+                        Token {
+                            kind: TokenKind::Punct,
+                            text: joined,
+                            line: t.line,
+                            pos: t.pos,
+                        },
+                        i,
+                    ));
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push((t, i));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() {}");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert_eq!(toks[2].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let toks = kinds(r####"let s = r#"println!("hi")"#;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("println")));
+        // Nothing inside the raw string leaks as code tokens.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "println"));
+        let toks = kinds("r##\"nested \"# quote\"##");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds("b\"bytes\" b'q' br#\"raw\"#");
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![TokenKind::Str, TokenKind::Char, TokenKind::RawStr]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("//! inner doc")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("// plain")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("//// rule line")[0].0, TokenKind::LineComment);
+        assert_eq!(kinds("/** block doc */")[0].0, TokenKind::DocComment);
+        assert_eq!(kinds("/*! inner block doc */")[0].0, TokenKind::DocComment);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+        // 'static in a type position is a lifetime.
+        let toks = kinds("&'static str");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let toks = lex("let a = \"line\none\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_with_separators_suffixes_exponents() {
+        let toks = kinds("1_000u64 0x1F 1.5e9 2e-3 0b1010 7usize");
+        assert!(toks.iter().all(|(k, _)| *k == TokenKind::Num));
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_ints_stay_separate() {
+        let toks = kinds("0..n");
+        assert_eq!(toks[0], (TokenKind::Num, "0".into()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Num, "1".into()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn join_puncts_merges_adjacent_operators() {
+        let toks = lex("std::collections x += 1; a . . b");
+        let code = join_puncts(&toks);
+        let texts: Vec<&str> = code.iter().map(|(t, _)| t.text).collect();
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"+="));
+        // Spaced dots do not join.
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 2);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("let s = r#\"unterminated");
+        let _ = lex("let c = 'x");
+    }
+}

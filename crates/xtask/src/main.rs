@@ -1,236 +1,85 @@
-//! `cargo xtask` — repo-specific developer tasks.
-//!
-//! The only task today is `lint`: a syn-free, line/token-based source lint
-//! pass over the workspace enforcing rules `clippy` cannot express because
-//! they are about *this* simulator's determinism and error discipline:
-//!
-//! * **default-hasher** — `std::collections::HashMap`/`HashSet` with the
-//!   default (randomly seeded) hasher are forbidden in simulation crates:
-//!   their iteration order varies across processes, which would break the
-//!   byte-identical-replay guarantee. Use `hps_core::hash::FxHashMap` /
-//!   `FxHashSet` or a `BTreeMap`.
-//! * **no-unwrap** — `unwrap()` / `expect()` are forbidden in library
-//!   crates' non-test code; route failures through `hps_core::Error`.
-//! * **no-print** — `println!` / `eprintln!` are forbidden in library
-//!   crates' non-test code; report through telemetry or returned values.
-//! * **wall-clock** — `std::time::SystemTime` / `Instant` are forbidden in
-//!   simulation crates: the simulator runs on `SimTime` only, and wall
-//!   clocks would smuggle nondeterminism into results.
-//! * **missing-docs** — `hps-core`, `hps-ftl`, and `hps-nand` must carry
-//!   `#![deny(missing_docs)]` so rustc enforces doc coverage on their
-//!   public items.
-//! * **hot-path-alloc** — `Vec::new()` / `vec![...]` are forbidden in the
-//!   replay hot-path modules (`emmc::device`, `emmc::distributor`,
-//!   `ftl::ftl`, `ftl::gc`): the steady-state replay loop is
-//!   allocation-free by contract (reuse `ReplayScratch`/`GcScratch`
-//!   buffers or the `*_into` APIs instead). Cold paths — constructors,
-//!   allocating compatibility wrappers — carry explicit waivers.
-//! * **error-path** — discarding the `Result` of a fault-handling or
-//!   recovery API (`recover`, `arm_crash`, `write_chunk*`,
-//!   `retire_and_replace`) with `let _ =` is forbidden everywhere,
-//!   binaries included: a swallowed `PowerLoss`/`ReadOnly` turns an
-//!   injected fault into silent data loss. Handle or propagate.
-//! * **busy-until** — hand-rolled per-resource time-horizon arrays
-//!   (`Vec<SimTime>`, `vec![SimTime::ZERO; ..]`, `[SimTime::ZERO; ..]`)
-//!   are forbidden outside `hps_core::event`: the device timeline runs on
-//!   the calendar-queue `ResourceTimeline`, and a stray busy-until vector
-//!   reintroduces the per-op horizon walks the event wheel replaced. The
-//!   retained naive reference scheduler carries explicit waivers.
-//!
-//! Test code (`#[cfg(test)]` regions, `tests/`, `benches/`) and binary
-//! targets (`src/bin/`, `src/main.rs`) are exempt from `no-unwrap` and
-//! `no-print`. A rare legitimate use is waived in place with a trailing
-//! `// lint: allow(<rule>)` comment on the offending (or preceding) line.
-//!
-//! Run as `cargo xtask lint`; exits non-zero when any violation remains,
-//! so CI fails the build.
+//! CLI for the repo's developer tasks. The linting itself lives in the
+//! `xtask` library crate (`lexer`/`scope`/`rules`/`engine`/`report`) so
+//! the test suite can drive it on fixture sources.
 
-use std::fmt;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Vendored third-party shims: not ours to lint.
-const SKIP_CRATES: &[&str] = &["proptest", "criterion"];
-
-/// Crates whose `lib.rs` must enforce rustc-level doc coverage.
-const DOC_COVERED: &[&str] = &["core", "ftl", "nand"];
-
-/// Replay hot-path modules where steady-state heap allocation is banned:
-/// every request of a 100x-scale streamed replay flows through these
-/// files, so a stray `Vec::new()` there turns into millions of allocator
-/// round-trips (the counting-allocator test in `hps-emmc` enforces the
-/// same contract at runtime).
-const HOT_PATH_FILES: &[&str] = &[
-    "emmc/src/device.rs",
-    "emmc/src/distributor.rs",
-    "ftl/src/ftl.rs",
-    "ftl/src/gc.rs",
-];
-
-/// One lint rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Rule {
-    DefaultHasher,
-    NoUnwrap,
-    NoPrint,
-    WallClock,
-    MissingDocs,
-    HotPathAlloc,
-    PhaseTimer,
-    ErrorPath,
-    BusyUntil,
-}
-
-impl Rule {
-    /// The stable id used in reports and `lint: allow(...)` waivers.
-    fn id(self) -> &'static str {
-        match self {
-            Rule::DefaultHasher => "default-hasher",
-            Rule::NoUnwrap => "no-unwrap",
-            Rule::NoPrint => "no-print",
-            Rule::WallClock => "wall-clock",
-            Rule::MissingDocs => "missing-docs",
-            Rule::HotPathAlloc => "hot-path-alloc",
-            Rule::PhaseTimer => "phase-timer",
-            Rule::ErrorPath => "error-path",
-            Rule::BusyUntil => "busy-until",
-        }
-    }
-
-    fn message(self) -> &'static str {
-        match self {
-            Rule::DefaultHasher => {
-                "std HashMap/HashSet default hasher is nondeterministic; \
-                 use hps_core::hash::{FxHashMap, FxHashSet} or BTreeMap"
-            }
-            Rule::NoUnwrap => "unwrap()/expect() in library code; route through hps_core::Error",
-            Rule::NoPrint => {
-                "println!/eprintln! in library code; report through telemetry or return values"
-            }
-            Rule::WallClock => {
-                "std::time::{SystemTime, Instant} in a simulation crate; use SimTime"
-            }
-            Rule::MissingDocs => "lib.rs must carry #![deny(missing_docs)]",
-            Rule::HotPathAlloc => {
-                "Vec::new()/vec![] in a replay hot-path module; reuse \
-                 ReplayScratch/GcScratch buffers or the *_into APIs \
-                 (waive cold paths with lint: allow(hot-path-alloc))"
-            }
-            Rule::PhaseTimer => {
-                "profiler guard dropped where it was created — a zero-width \
-                 scope measures nothing; bind it (`let _prof = ...`) so the \
-                 guard spans the region it accounts \
-                 (waive intentional cases with lint: allow(phase-timer))"
-            }
-            Rule::ErrorPath => {
-                "discarded Result from a fault-handling/recovery API \
-                 (recover/arm_crash/write_chunk/retire_and_replace); a \
-                 swallowed PowerLoss or ReadOnly is silent data loss — \
-                 handle or propagate it \
-                 (waive intentional cases with lint: allow(error-path))"
-            }
-            Rule::BusyUntil => {
-                "per-resource busy-until time array outside hps_core::event; \
-                 schedule through ResourceTimeline so availability stays on \
-                 the calendar-queue wheel \
-                 (waive reference models with lint: allow(busy-until))"
-            }
-        }
-    }
-}
-
-/// One reported lint violation.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: Rule,
-    excerpt: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}\n    {}",
-            self.file.display(),
-            self.line,
-            self.rule.id(),
-            self.rule.message(),
-            self.excerpt.trim()
-        )
-    }
-}
+use xtask::{engine, report};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`; available: lint");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint [--format text|json] [--out FILE]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations = Vec::new();
-    let mut files = 0usize;
-
-    for krate in list_crates(&root) {
-        let name = krate
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_string();
-        if SKIP_CRATES.contains(&name.as_str()) {
-            continue;
-        }
-        let src = krate.join("src");
-        for file in rust_files(&src) {
-            files += 1;
-            let is_binary = is_binary_target(&src, &file);
-            match fs::read_to_string(&file) {
-                Ok(text) => scan_file(&file, &text, is_binary, &mut violations),
-                Err(e) => {
-                    eprintln!("xtask: cannot read {}: {e}", file.display());
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "json" => format = f.clone(),
+                _ => {
+                    eprintln!("--format takes `text` or `json`");
                     return ExitCode::FAILURE;
                 }
-            }
-        }
-        if DOC_COVERED.contains(&name.as_str()) {
-            check_doc_coverage(&krate, &mut violations);
-        }
-    }
-
-    // The workspace root package's own sources.
-    for file in rust_files(&root.join("src")) {
-        files += 1;
-        match fs::read_to_string(&file) {
-            Ok(text) => scan_file(&file, &text, false, &mut violations),
-            Err(e) => {
-                eprintln!("xtask: cannot read {}: {e}", file.display());
+            },
+            "--out" => match it.next() {
+                Some(f) => out_file = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--out takes a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    if violations.is_empty() {
-        println!("xtask lint: {files} files clean");
+    let report = match engine::lint_workspace(&workspace_root()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = match format.as_str() {
+        "json" => report::json(&report),
+        _ => report::text(&report),
+    };
+    match &out_file {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("xtask lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            // Keep the human summary visible even when the report goes to
+            // a file (CI uploads the file, developers read the terminal).
+            eprint!("{}", report::text(&report));
+        }
+        None => print!("{rendered}"),
+    }
+    if format == "json" && out_file.is_none() {
+        eprint!("{}", report::text(&report));
+    }
+
+    if report.clean() {
         ExitCode::SUCCESS
     } else {
-        for v in &violations {
-            println!("{v}");
-        }
-        println!(
-            "xtask lint: {} violation(s) in {files} files",
-            violations.len()
-        );
         ExitCode::FAILURE
     }
 }
@@ -241,601 +90,6 @@ fn workspace_root() -> PathBuf {
     manifest
         .parent()
         .and_then(Path::parent)
-        .expect("xtask lives two levels under the workspace root")
-        .to_path_buf()
-}
-
-/// Workspace member directories under `crates/`, sorted for stable output.
-fn list_crates(root: &Path) -> Vec<PathBuf> {
-    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
-        .into_iter()
-        .flatten()
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.join("Cargo.toml").is_file())
-        .collect();
-    dirs.sort();
-    dirs
-}
-
-/// All `.rs` files under `dir`, recursively, sorted for stable output.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// `true` for binary targets: `src/main.rs` and anything under `src/bin/`.
-fn is_binary_target(src: &Path, file: &Path) -> bool {
-    if file == src.join("main.rs") {
-        return true;
-    }
-    file.strip_prefix(src)
-        .map(|rel| rel.starts_with("bin"))
-        .unwrap_or(false)
-}
-
-/// `hps-core`/`hps-ftl`/`hps-nand` must enforce doc coverage at the
-/// compiler level.
-fn check_doc_coverage(krate: &Path, violations: &mut Vec<Violation>) {
-    let lib = krate.join("src/lib.rs");
-    let text = fs::read_to_string(&lib).unwrap_or_default();
-    if !text.contains("#![deny(missing_docs)]") {
-        violations.push(Violation {
-            file: lib,
-            line: 1,
-            rule: Rule::MissingDocs,
-            excerpt: "(crate root)".to_string(),
-        });
-    }
-}
-
-/// Line-by-line scan state for one file.
-struct Scanner {
-    /// Inside a `/* ... */` comment.
-    in_block_comment: bool,
-    /// Brace depth of code seen so far.
-    depth: i32,
-    /// A `#[cfg(test)]`-ish attribute was seen and its item has not yet
-    /// opened a brace.
-    test_attr_armed: bool,
-    /// When inside a `#[cfg(test)]` item: the depth to return to.
-    test_region_exit: Option<i32>,
-}
-
-/// `true` for files whose steady-state code must not heap-allocate.
-fn is_hot_path(file: &Path) -> bool {
-    let path = file.to_string_lossy().replace('\\', "/");
-    HOT_PATH_FILES.iter().any(|suffix| path.ends_with(suffix))
-}
-
-/// `true` for the one module allowed to own per-resource time arrays: the
-/// calendar-queue timeline itself.
-fn is_timeline_owner(file: &Path) -> bool {
-    let path = file.to_string_lossy().replace('\\', "/");
-    path.ends_with("core/src/event.rs")
-}
-
-fn scan_file(file: &Path, text: &str, is_binary: bool, violations: &mut Vec<Violation>) {
-    let hot_path = is_hot_path(file);
-    let timeline_owner = is_timeline_owner(file);
-    let mut scanner = Scanner {
-        in_block_comment: false,
-        depth: 0,
-        test_attr_armed: false,
-        test_region_exit: None,
-    };
-    let mut prev_raw = "";
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let code = strip_noise(raw, &mut scanner.in_block_comment);
-
-        // Track `#[cfg(test)]` regions by brace depth.
-        let opens: i32 = code.matches('{').count() as i32;
-        let closes: i32 = code.matches('}').count() as i32;
-        let depth_before = scanner.depth;
-        scanner.depth += opens - closes;
-
-        if let Some(exit) = scanner.test_region_exit {
-            if scanner.depth <= exit {
-                scanner.test_region_exit = None;
-            }
-        }
-        let in_test = scanner.test_region_exit.is_some();
-        if scanner.test_attr_armed {
-            if opens > 0 {
-                if scanner.test_region_exit.is_none() {
-                    scanner.test_region_exit = Some(depth_before);
-                }
-                scanner.test_attr_armed = false;
-            } else if code.contains(';') {
-                // `#[cfg(test)] use ...;` — a single braceless item.
-                scanner.test_attr_armed = false;
-            }
-        }
-        if is_test_cfg(&code) {
-            scanner.test_attr_armed = true;
-        }
-
-        if in_test || scanner.test_region_exit.is_some() && scanner.test_attr_armed {
-            prev_raw = raw;
-            continue;
-        }
-        if scanner.test_region_exit.is_some() {
-            prev_raw = raw;
-            continue;
-        }
-
-        for rule in rules_for_line(&code, is_binary, hot_path, timeline_owner) {
-            if waived(rule, raw) || waived(rule, prev_raw) {
-                continue;
-            }
-            violations.push(Violation {
-                file: file.to_path_buf(),
-                line: line_no,
-                rule,
-                excerpt: raw.to_string(),
-            });
-        }
-        prev_raw = raw;
-    }
-}
-
-/// Fault-handling / recovery APIs whose `Result` must never be discarded
-/// (the `error-path` rule). Substring match on stripped code: `write_chunk`
-/// also covers `write_chunk_into`/`write_chunk_observed_into`.
-const ERROR_PATH_APIS: &[&str] = &[
-    ".recover(",
-    ".arm_crash(",
-    ".write_chunk",
-    ".retire_and_replace(",
-];
-
-/// Busy-until-style time arrays: the calendar-queue timeline owns these;
-/// anywhere else they reintroduce per-op horizon walks.
-const BUSY_UNTIL_PATTERNS: &[&str] = &["Vec<SimTime>", "vec![SimTime::ZERO", "[SimTime::ZERO;"];
-
-/// Which rules the (comment- and string-stripped) line violates.
-fn rules_for_line(code: &str, is_binary: bool, hot_path: bool, timeline_owner: bool) -> Vec<Rule> {
-    let mut hits = Vec::new();
-    if (code.contains("let _ =") || code.contains("let _="))
-        && ERROR_PATH_APIS.iter().any(|api| code.contains(api))
-    {
-        hits.push(Rule::ErrorPath);
-    }
-    if hot_path && (code.contains("Vec::new()") || code.contains("vec![")) {
-        hits.push(Rule::HotPathAlloc);
-    }
-    if code.contains("std::collections::") && (code.contains("HashMap") || code.contains("HashSet"))
-    {
-        hits.push(Rule::DefaultHasher);
-    }
-    if code.contains("std::time::") && (code.contains("SystemTime") || code.contains("Instant")) {
-        hits.push(Rule::WallClock);
-    }
-    if !is_binary {
-        if code.contains(".unwrap()") || code.contains(".expect(") {
-            hits.push(Rule::NoUnwrap);
-        }
-        if code.contains("println!") || code.contains("eprintln!") {
-            hits.push(Rule::NoPrint);
-        }
-    }
-    if unbalanced_phase_guard(code) {
-        hits.push(Rule::PhaseTimer);
-    }
-    if !timeline_owner && BUSY_UNTIL_PATTERNS.iter().any(|p| code.contains(p)) {
-        hits.push(Rule::BusyUntil);
-    }
-    hits
-}
-
-/// `true` when the line creates a `PhaseTimer`/`RequestTimer` guard that
-/// drops immediately: discarded via `let _ =` or used as a bare
-/// expression statement. Either way the scope is zero-width and the
-/// phase accounts nothing, which is always a bug at the call site.
-fn unbalanced_phase_guard(code: &str) -> bool {
-    let creates_guard = code.contains("profile::phase(") || code.contains("profile::request()");
-    if !creates_guard {
-        return false;
-    }
-    if code.contains("let _ =") || code.contains("let _=") {
-        return true;
-    }
-    let trimmed = code.trim_start();
-    ["profile::phase(", "profile::request()"]
-        .iter()
-        .any(|call| {
-            trimmed.starts_with(call)
-                || trimmed.starts_with(&format!("hps_obs::{call}"))
-                || trimmed.starts_with(&format!("crate::{call}"))
-        })
-}
-
-/// `true` when the raw line carries a waiver comment for `rule`.
-fn waived(rule: Rule, raw: &str) -> bool {
-    raw.contains(&format!("lint: allow({})", rule.id()))
-}
-
-/// `true` for attributes that put the following item under `cfg(test)`.
-fn is_test_cfg(code: &str) -> bool {
-    code.contains("#[cfg(test)]")
-        || code.contains("#[cfg(all(test")
-        || code.contains("#[cfg(any(test")
-}
-
-/// Removes comments and the contents of string/char literals from one
-/// line, so token matching cannot fire inside either. Block-comment state
-/// carries across lines; string literals are treated as line-local (the
-/// workspace style keeps multi-line literals out of simulation code).
-fn strip_noise(raw: &str, in_block_comment: &mut bool) -> String {
-    let bytes = raw.as_bytes();
-    let mut out = String::with_capacity(raw.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if *in_block_comment {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                *in_block_comment = true;
-                i += 2;
-            }
-            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
-                // Raw string literal: r"..." or r#"..."# (any hash count).
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == b'"' {
-                    let closer: String = std::iter::once('"')
-                        .chain("#".repeat(hashes).chars())
-                        .collect();
-                    match raw[j + 1..].find(&closer) {
-                        Some(off) => i = j + 1 + off + closer.len(),
-                        None => break, // unterminated on this line; drop the rest
-                    }
-                } else {
-                    out.push('r');
-                    i += 1;
-                }
-            }
-            b'"' => {
-                // Cooked string literal with escapes.
-                let mut j = i + 1;
-                while j < bytes.len() {
-                    match bytes[j] {
-                        b'\\' => j += 2,
-                        b'"' => break,
-                        _ => j += 1,
-                    }
-                }
-                i = (j + 1).min(bytes.len());
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
-                let rest = &bytes[i + 1..];
-                let is_char = matches!(rest, [b'\\', ..] | [_, b'\'', ..]);
-                if is_char {
-                    let mut j = i + 1;
-                    while j < bytes.len() && bytes[j] != b'\'' {
-                        if bytes[j] == b'\\' {
-                            j += 1;
-                        }
-                        j += 1;
-                    }
-                    i = (j + 1).min(bytes.len());
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            b => {
-                out.push(b as char);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn scan(text: &str, is_binary: bool) -> Vec<(usize, Rule)> {
-        let mut violations = Vec::new();
-        scan_file(Path::new("test.rs"), text, is_binary, &mut violations);
-        violations.into_iter().map(|v| (v.line, v.rule)).collect()
-    }
-
-    #[test]
-    fn flags_default_hasher_import() {
-        let hits = scan("use std::collections::HashMap;\n", false);
-        assert_eq!(hits, vec![(1, Rule::DefaultHasher)]);
-        let hits = scan("use std::collections::{BTreeMap, HashSet};\n", false);
-        assert_eq!(hits, vec![(1, Rule::DefaultHasher)]);
-    }
-
-    #[test]
-    fn allows_btreemap_and_fx() {
-        assert!(scan("use std::collections::BTreeMap;\n", false).is_empty());
-        assert!(scan("use hps_core::hash::FxHashMap;\n", false).is_empty());
-        assert!(scan(
-            "let m: FxHashMap<u64, u64> = FxHashMap::default();\n",
-            false
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn flags_unwrap_and_print_in_library_only() {
-        let text = "fn f() { x.unwrap(); println!(\"hi\"); }\n";
-        let hits = scan(text, false);
-        assert_eq!(hits, vec![(1, Rule::NoUnwrap), (1, Rule::NoPrint)]);
-        assert!(scan(text, true).is_empty(), "binaries are exempt");
-    }
-
-    #[test]
-    fn flags_wall_clock() {
-        let hits = scan("use std::time::Instant;\n", false);
-        assert_eq!(hits, vec![(1, Rule::WallClock)]);
-        let hits = scan("let t = std::time::SystemTime::now();\n", true);
-        assert_eq!(hits, vec![(1, Rule::WallClock)], "binaries are NOT exempt");
-        assert!(scan("use std::time::Duration;\n", false).is_empty());
-    }
-
-    #[test]
-    fn flags_unbound_phase_guards() {
-        // Discarded binding: the guard drops before the region runs.
-        let hits = scan("let _ = hps_obs::profile::phase(Phase::Split);\n", false);
-        assert_eq!(hits, vec![(1, Rule::PhaseTimer)]);
-        // Bare expression statement: same zero-width scope.
-        let hits = scan("    hps_obs::profile::phase(Phase::Split);\n", false);
-        assert_eq!(hits, vec![(1, Rule::PhaseTimer)]);
-        let hits = scan("let _ = profile::request();\n", true);
-        assert_eq!(hits, vec![(1, Rule::PhaseTimer)], "binaries are NOT exempt");
-    }
-
-    #[test]
-    fn allows_bound_phase_guards_and_waivers() {
-        assert!(scan(
-            "let _prof = hps_obs::profile::phase(Phase::Split);\n",
-            false
-        )
-        .is_empty());
-        assert!(scan("let _req = profile::request();\n", false).is_empty());
-        // Non-guard profile calls are not the rule's business.
-        assert!(scan("hps_obs::profile::reset();\n", false).is_empty());
-        assert!(scan(
-            "// lint: allow(phase-timer)\nlet _ = profile::phase(Phase::Split);\n",
-            false
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn cfg_test_region_is_exempt() {
-        let text = "\
-fn lib() {}
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn t() { x.unwrap(); println!(\"ok\"); }
-}
-fn after() { y.unwrap(); }
-";
-        let hits = scan(text, false);
-        assert_eq!(
-            hits,
-            vec![(7, Rule::NoUnwrap)],
-            "only code after the region"
-        );
-    }
-
-    #[test]
-    fn cfg_test_single_item_does_not_open_region() {
-        let text = "\
-#[cfg(test)]
-use foo::bar;
-fn lib() { x.unwrap(); }
-";
-        let hits = scan(text, false);
-        assert_eq!(hits, vec![(3, Rule::NoUnwrap)]);
-    }
-
-    #[test]
-    fn waiver_on_same_or_previous_line() {
-        let same = "use std::collections::HashMap; // lint: allow(default-hasher)\n";
-        assert!(scan(same, false).is_empty());
-        let prev = "// lint: allow(no-unwrap)\nlet v = x.unwrap();\n";
-        assert!(scan(prev, false).is_empty());
-        let wrong = "// lint: allow(no-print)\nlet v = x.unwrap();\n";
-        assert_eq!(scan(wrong, false), vec![(2, Rule::NoUnwrap)]);
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_fire() {
-        assert!(scan("let s = \"std::collections::HashMap\";\n", false).is_empty());
-        assert!(scan("// std::collections::HashMap\n", false).is_empty());
-        assert!(scan("/* x.unwrap() */\n", false).is_empty());
-        assert!(scan("let s = r#\"println!(\"hi\")\"#;\n", false).is_empty());
-        let multiline = "/*\nuse std::time::Instant;\n*/\nfn ok() {}\n";
-        assert!(scan(multiline, false).is_empty());
-    }
-
-    #[test]
-    fn doc_comments_do_not_fire() {
-        assert!(scan("/// call `.unwrap()` to explode\nfn f() {}\n", false).is_empty());
-        assert!(scan("//! println! is forbidden here\n", false).is_empty());
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes_survive_stripping() {
-        let mut b = false;
-        assert_eq!(
-            strip_noise("let c = '\"'; x.unwrap()", &mut b),
-            "let c = ; x.unwrap()"
-        );
-        let mut b = false;
-        assert_eq!(
-            strip_noise("fn f<'a>(x: &'a str) {}", &mut b),
-            "fn f<'a>(x: &'a str) {}"
-        );
-    }
-
-    #[test]
-    fn hot_path_alloc_fires_only_in_hot_path_files() {
-        let text = "fn f() { let v: Vec<u32> = Vec::new(); let w = vec![1, 2]; }\n";
-        let mut violations = Vec::new();
-        scan_file(
-            Path::new("crates/emmc/src/device.rs"),
-            text,
-            false,
-            &mut violations,
-        );
-        assert_eq!(
-            violations.iter().map(|v| v.rule).collect::<Vec<_>>(),
-            vec![Rule::HotPathAlloc]
-        );
-        assert!(scan(text, false).is_empty(), "other files are exempt");
-    }
-
-    #[test]
-    fn hot_path_alloc_respects_waivers_and_test_code() {
-        let waived =
-            "fn f() { let v = Vec::new(); } // lint: allow(hot-path-alloc) -- cold wrapper\n";
-        let mut violations = Vec::new();
-        scan_file(
-            Path::new("crates/ftl/src/ftl.rs"),
-            waived,
-            false,
-            &mut violations,
-        );
-        assert!(violations.is_empty());
-        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![1]; }\n}\n";
-        let mut violations = Vec::new();
-        scan_file(
-            Path::new("crates/ftl/src/gc.rs"),
-            test_only,
-            false,
-            &mut violations,
-        );
-        assert!(violations.is_empty(), "test regions stay exempt");
-    }
-
-    #[test]
-    fn flags_discarded_fault_api_results() {
-        for line in [
-            "let _ = ftl.recover();\n",
-            "let _ = dev.arm_crash(10);\n",
-            "let _ = ftl.write_chunk(0, k4, &lpns, k4);\n",
-            "let _ = pool.retire_and_replace(victim);\n",
-            "let _= device.recover();\n",
-        ] {
-            assert_eq!(
-                scan(line, false),
-                vec![(1, Rule::ErrorPath)],
-                "must flag: {line}"
-            );
-            assert_eq!(
-                scan(line, true),
-                vec![(1, Rule::ErrorPath)],
-                "binaries are NOT exempt: {line}"
-            );
-        }
-    }
-
-    #[test]
-    fn handled_fault_api_results_pass() {
-        assert!(scan("let report = ftl.recover()?;\n", false).is_empty());
-        assert!(scan("dev.arm_crash(10)?;\n", false).is_empty());
-        assert!(scan("match ftl.write_chunk(0, k4, &l, k4) {\n", false).is_empty());
-        // Unrelated `let _ =` discards are not the rule's business.
-        assert!(scan("let _ = map.insert(k, v);\n", false).is_empty());
-        // A method merely *named similarly* does not fire without the call.
-        assert!(scan("let _ = self.recovery_count;\n", false).is_empty());
-    }
-
-    #[test]
-    fn error_path_waiver_and_test_region_work() {
-        let waived = "let _ = ftl.recover(); // lint: allow(error-path) -- best-effort drill\n";
-        assert!(scan(waived, false).is_empty());
-        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = ftl.recover(); }\n}\n";
-        assert!(
-            scan(test_only, false).is_empty(),
-            "test regions stay exempt"
-        );
-    }
-
-    #[test]
-    fn flags_busy_until_arrays_outside_timeline() {
-        for line in [
-            "    channel_free: Vec<SimTime>,\n",
-            "let free = vec![SimTime::ZERO; geometry.channels];\n",
-            "let mut horizons = [SimTime::ZERO; 8];\n",
-        ] {
-            assert_eq!(
-                scan(line, false),
-                vec![(1, Rule::BusyUntil)],
-                "must flag: {line}"
-            );
-        }
-        // Scalar SimTime state is not the rule's business.
-        assert!(scan("let t = SimTime::ZERO;\n", false).is_empty());
-        assert!(scan("busy_until: SimTime,\n", false).is_empty());
-    }
-
-    #[test]
-    fn busy_until_exempts_timeline_owner_and_waivers() {
-        let text = "    free_at: Vec<SimTime>,\n";
-        let mut violations = Vec::new();
-        scan_file(
-            Path::new("crates/core/src/event.rs"),
-            text,
-            false,
-            &mut violations,
-        );
-        assert!(violations.is_empty(), "the timeline module owns its arrays");
-        let waived = "    die_free: Vec<SimTime>, // lint: allow(busy-until) reference model\n";
-        assert!(scan(waived, false).is_empty());
-        let test_only =
-            "#[cfg(test)]\nmod tests {\n    fn t() { let v: Vec<SimTime> = naive(); }\n}\n";
-        assert!(
-            scan(test_only, false).is_empty(),
-            "test regions stay exempt"
-        );
-    }
-
-    #[test]
-    fn expect_err_is_not_expect() {
-        assert!(scan("let e = r.expect_err(\"must fail\");\n", false).is_empty());
-        assert_eq!(
-            scan("let v = r.expect(\"must work\");\n", false),
-            vec![(1, Rule::NoUnwrap)]
-        );
-    }
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
 }

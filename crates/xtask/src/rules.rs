@@ -1,0 +1,844 @@
+//! The lint rules, evaluated over the token stream and scope tree.
+//!
+//! Nine rules are ports of the old line-regex pass (with `phase-timer`
+//! subsumed by the scope-aware `guard-balance`); four are new and only
+//! expressible on tokens + scopes:
+//!
+//! * `nondet-iter` — iteration over hash-ordered collections whose order
+//!   can leak into output, unless the same statement canonicalizes
+//!   (sorts, collects into a `BTreeMap`/`BTreeSet`, or reduces
+//!   order-insensitively).
+//! * `float-accum` — order-dependent floating-point reductions outside
+//!   the modules that already canonicalize accumulation order.
+//! * `clock-domain` — literal-argument `SimTime`/`SimDuration`
+//!   constructors outside the timing-table modules and `const`/`static`
+//!   initializers: magic durations belong in named constants.
+//! * `guard-balance` — profiler span guards must live exactly as long as
+//!   the scope they account: no zero-width guards, no leaked guards.
+//!
+//! `dead-waiver` is evaluated by the engine after all other rules ran.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{FileMap, ScopeKind};
+use std::collections::BTreeSet;
+
+/// Stable rule identifiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// std HashMap/HashSet with the randomly seeded default hasher.
+    DefaultHasher,
+    /// `.unwrap()` / `.expect(...)` in library code.
+    NoUnwrap,
+    /// `println!` / `eprintln!` in library code.
+    NoPrint,
+    /// `std::time::{SystemTime, Instant}` in simulation code.
+    WallClock,
+    /// Crate roots that must carry `#![deny(missing_docs)]`.
+    MissingDocs,
+    /// Heap allocation in the replay hot-path modules.
+    HotPathAlloc,
+    /// Discarded `Result` of a fault-handling/recovery API.
+    ErrorPath,
+    /// Hand-rolled per-resource busy-until arrays outside the event wheel.
+    BusyUntil,
+    /// Zero-width or leaked profiler span guards.
+    GuardBalance,
+    /// Hash-order iteration that can reach output.
+    NondetIter,
+    /// Order-dependent float accumulation.
+    FloatAccum,
+    /// Magic-number durations outside timing tables.
+    ClockDomain,
+    /// A waiver that suppresses nothing.
+    DeadWaiver,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::DefaultHasher,
+    Rule::NoUnwrap,
+    Rule::NoPrint,
+    Rule::WallClock,
+    Rule::MissingDocs,
+    Rule::HotPathAlloc,
+    Rule::ErrorPath,
+    Rule::BusyUntil,
+    Rule::GuardBalance,
+    Rule::NondetIter,
+    Rule::FloatAccum,
+    Rule::ClockDomain,
+    Rule::DeadWaiver,
+];
+
+impl Rule {
+    /// The stable id used in reports and `lint: allow(...)` waivers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DefaultHasher => "default-hasher",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoPrint => "no-print",
+            Rule::WallClock => "wall-clock",
+            Rule::MissingDocs => "missing-docs",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::ErrorPath => "error-path",
+            Rule::BusyUntil => "busy-until",
+            Rule::GuardBalance => "guard-balance",
+            Rule::NondetIter => "nondet-iter",
+            Rule::FloatAccum => "float-accum",
+            Rule::ClockDomain => "clock-domain",
+            Rule::DeadWaiver => "dead-waiver",
+        }
+    }
+
+    /// Rule id → rule, for waiver validation.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line explanation shown with each violation.
+    pub fn message(self) -> &'static str {
+        match self {
+            Rule::DefaultHasher => {
+                "std HashMap/HashSet default hasher is nondeterministic; \
+                 use hps_core::hash::{FxHashMap, FxHashSet} or BTreeMap"
+            }
+            Rule::NoUnwrap => "unwrap()/expect() in library code; route through hps_core::Error",
+            Rule::NoPrint => {
+                "println!/eprintln! in library code; report through telemetry or return values"
+            }
+            Rule::WallClock => {
+                "std::time::{SystemTime, Instant} in a simulation crate; use SimTime"
+            }
+            Rule::MissingDocs => "lib.rs must carry #![deny(missing_docs)]",
+            Rule::HotPathAlloc => {
+                "Vec::new()/vec![] in a replay hot-path module; reuse \
+                 ReplayScratch/GcScratch buffers or the *_into APIs"
+            }
+            Rule::ErrorPath => {
+                "discarded Result from a fault-handling/recovery API \
+                 (recover/arm_crash/write_chunk/retire_and_replace); a \
+                 swallowed PowerLoss or ReadOnly is silent data loss"
+            }
+            Rule::BusyUntil => {
+                "per-resource busy-until time array outside hps_core::event; \
+                 schedule through ResourceTimeline so availability stays on \
+                 the calendar-queue wheel"
+            }
+            Rule::GuardBalance => {
+                "profiler span guard does not span its scope: a bare or \
+                 `let _ =` guard drops immediately and measures nothing, a \
+                 forgotten guard never closes its phase; bind it \
+                 (`let _prof = ...`) for the region it accounts"
+            }
+            Rule::NondetIter => {
+                "iteration over a hash-ordered collection; the visit order \
+                 is arbitrary and can leak into replay output or scheduling \
+                 decisions — sort the keys, collect into a BTreeMap/BTreeSet \
+                 in the same statement, or reduce order-insensitively"
+            }
+            Rule::FloatAccum => {
+                "order-dependent float accumulation; float addition does not \
+                 commute, so a reordered iterator changes the result — \
+                 accumulate integers, canonicalize the order first, or waive \
+                 with a proof that the source order is fixed"
+            }
+            Rule::ClockDomain => {
+                "integer-literal SimTime/SimDuration constructor outside a \
+                 timing table; magic durations belong in named const timing \
+                 parameters (hps_nand::timing, hps_core::event) so the clock \
+                 domain stays auditable"
+            }
+            Rule::DeadWaiver => {
+                "this `lint: allow` suppresses nothing — the violation it \
+                 covered is gone; delete the waiver"
+            }
+        }
+    }
+}
+
+/// How a file participates in the build, which decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/`.
+    Lib,
+    /// `src/main.rs` or `src/bin/*`.
+    Binary,
+    /// Integration tests under `tests/`.
+    Test,
+    /// `examples/*`.
+    Example,
+    /// `benches/*`.
+    Bench,
+}
+
+impl FileKind {
+    /// Binary-style targets where stdout and panics are the interface.
+    fn binary_like(self) -> bool {
+        !matches!(self, FileKind::Lib)
+    }
+}
+
+/// Replay hot-path modules where steady-state heap allocation is banned.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/emmc/src/device.rs",
+    "crates/emmc/src/distributor.rs",
+    "crates/ftl/src/ftl.rs",
+    "crates/ftl/src/gc.rs",
+];
+
+/// The one module allowed to own per-resource time arrays.
+const TIMELINE_OWNER: &str = "crates/core/src/event.rs";
+
+/// Modules allowed to construct literal-valued simulated times: the NAND
+/// timing tables (Table V parameters), the event wheel's bucket geometry,
+/// and the time type's own definition.
+const CLOCK_OWNERS: &[&str] = &[
+    "crates/nand/src/timing.rs",
+    "crates/core/src/event.rs",
+    "crates/core/src/time.rs",
+];
+
+/// Modules whose job *is* float accumulation and that already canonicalize
+/// the order (fixed bucket arrays, sorted merges).
+const FLOAT_EXEMPT: &[&str] = &["crates/core/src/stats.rs", "crates/obs/src/registry.rs"];
+
+/// Fault-handling / recovery APIs whose `Result` must never be discarded.
+const ERROR_PATH_APIS: &[&str] = &["recover", "arm_crash", "retire_and_replace"];
+
+/// Hash-ordered collection type names (std and the vendored Fx shims).
+const HASH_TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+
+/// Methods that iterate a collection in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Markers that make a hash iteration order-safe when they appear in the
+/// same statement: explicit sorts, ordered collection targets, and
+/// order-insensitive reductions.
+const ORDER_SAFE_MARKERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "count",
+    "len",
+    "is_empty",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "any",
+    "all",
+    "contains",
+    "contains_key",
+    "fold_commutative", // escape hatch name used nowhere yet
+];
+
+/// Integer turbofish targets that make `.sum::<T>()` order-insensitive.
+const INT_SUM_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// One raw rule hit, before waiver filtering.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Hit {
+    /// 1-based source line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Scope the offending token lives in.
+    pub scope: usize,
+}
+
+/// Everything the matchers need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: &'a str,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Lexed tokens (comments included).
+    pub tokens: &'a [Token<'a>],
+    /// Comment-free tokens with joined operators; second element is the
+    /// index into `tokens` (for scope lookup).
+    pub code: &'a [(Token<'a>, usize)],
+    /// Scope tree.
+    pub map: &'a FileMap,
+}
+
+impl<'a> FileCtx<'a> {
+    fn txt(&self, i: usize) -> &'a str {
+        self.code.get(i).map(|(t, _)| t.text).unwrap_or("")
+    }
+
+    fn kind_at(&self, i: usize) -> Option<TokenKind> {
+        self.code.get(i).map(|(t, _)| t.kind)
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.code.get(i).map(|(t, _)| t.line).unwrap_or(0)
+    }
+
+    fn scope(&self, i: usize) -> usize {
+        self.code
+            .get(i)
+            .and_then(|(_, orig)| self.map.token_scope.get(*orig))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn in_test(&self, i: usize) -> bool {
+        self.kind == FileKind::Test || self.map.in_test(self.scope(i))
+    }
+
+    fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|(t, _)| t.kind == TokenKind::Ident && t.text == text)
+    }
+}
+
+/// Runs every token rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Hit> {
+    let mut hits = BTreeSet::new();
+    path_rules(ctx, &mut hits);
+    call_rules(ctx, &mut hits);
+    error_path(ctx, &mut hits);
+    busy_until(ctx, &mut hits);
+    guard_balance(ctx, &mut hits);
+    nondet_iter(ctx, &mut hits);
+    float_accum(ctx, &mut hits);
+    clock_domain(ctx, &mut hits);
+    hits.into_iter().collect()
+}
+
+fn push(hits: &mut BTreeSet<Hit>, ctx: &FileCtx<'_>, i: usize, rule: Rule) {
+    hits.insert(Hit {
+        line: ctx.line(i),
+        rule,
+        scope: ctx.scope(i),
+    });
+}
+
+/// `default-hasher` and `wall-clock`: path-based rules. Matches the
+/// `collections::`/`time::` segment and scans the use-tree extent after
+/// it, so grouped imports (`use std::{collections::HashMap, ...}`) are
+/// caught too.
+fn path_rules(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    for i in 0..ctx.code.len() {
+        if ctx.txt(i + 1) != "::" || ctx.kind_at(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let (targets, rule): (&[&str], Rule) = match ctx.txt(i) {
+            "collections" => (&["HashMap", "HashSet"], Rule::DefaultHasher),
+            "time" => (&["SystemTime", "Instant"], Rule::WallClock),
+            _ => continue,
+        };
+        // default-hasher stays enforced in test code (flaky iteration
+        // order makes flaky tests); so does wall-clock.
+        for j in path_extent_targets(ctx, i + 2, targets) {
+            push(hits, ctx, j, rule);
+        }
+    }
+}
+
+/// Indices of target idents reachable in the path/use-tree starting at
+/// `start` (the token after `module::`).
+fn path_extent_targets(ctx: &FileCtx<'_>, start: usize, targets: &[&str]) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < ctx.code.len() {
+        match (ctx.kind_at(j), ctx.txt(j)) {
+            (Some(TokenKind::Ident), text) => {
+                if targets.contains(&text) {
+                    found.push(j);
+                }
+            }
+            (_, "::") | (_, ",") | (_, "*") => {}
+            (_, "{") => depth += 1,
+            (_, "}") => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => break,
+        }
+        j += 1;
+    }
+    found
+}
+
+/// `no-unwrap`, `no-print`, `hot-path-alloc`: simple call-shaped rules.
+fn call_rules(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    let hot_path = HOT_PATH_FILES.contains(&ctx.rel);
+    for i in 0..ctx.code.len() {
+        if !ctx.kind.binary_like() && !ctx.in_test(i) {
+            // `.unwrap()` / `.expect(...)` — but not `.expect_err(...)`.
+            if ctx.txt(i) == "."
+                && matches!(ctx.txt(i + 1), "unwrap" | "expect")
+                && ctx.txt(i + 2) == "("
+            {
+                push(hits, ctx, i + 1, Rule::NoUnwrap);
+            }
+            if matches!(ctx.txt(i), "println" | "eprintln")
+                && ctx.kind_at(i) == Some(TokenKind::Ident)
+                && ctx.txt(i + 1) == "!"
+            {
+                push(hits, ctx, i, Rule::NoPrint);
+            }
+        }
+        if hot_path && !ctx.in_test(i) {
+            if ctx.is_ident(i, "Vec") && ctx.txt(i + 1) == "::" && ctx.txt(i + 2) == "new" {
+                push(hits, ctx, i, Rule::HotPathAlloc);
+            }
+            if ctx.is_ident(i, "vec") && ctx.txt(i + 1) == "!" {
+                push(hits, ctx, i, Rule::HotPathAlloc);
+            }
+        }
+    }
+}
+
+/// `error-path`: `let _ = <expr calling a fault API>;` discards a Result
+/// that encodes injected-fault outcomes. Multi-line statements are
+/// handled, which the line regex could not.
+fn error_path(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    for i in 0..ctx.code.len() {
+        if !(ctx.is_ident(i, "let") && ctx.txt(i + 1) == "_" && ctx.txt(i + 2) == "=") {
+            continue;
+        }
+        let mut j = i + 3;
+        while j < ctx.code.len() && ctx.txt(j) != ";" {
+            if ctx.txt(j) == "."
+                && ctx.txt(j + 2) == "("
+                && (ERROR_PATH_APIS.contains(&ctx.txt(j + 1))
+                    || ctx.txt(j + 1).starts_with("write_chunk"))
+            {
+                push(hits, ctx, i, Rule::ErrorPath);
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// `busy-until`: hand-rolled time-horizon arrays outside the event wheel.
+fn busy_until(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    if ctx.rel == TIMELINE_OWNER || matches!(ctx.kind, FileKind::Test | FileKind::Bench) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // Vec<SimTime>
+        if ctx.is_ident(i, "Vec")
+            && ctx.txt(i + 1) == "<"
+            && ctx.txt(i + 2) == "SimTime"
+            && ctx.txt(i + 3) == ">"
+        {
+            push(hits, ctx, i, Rule::BusyUntil);
+        }
+        // vec![SimTime::ZERO; …]
+        if ctx.is_ident(i, "vec")
+            && ctx.txt(i + 1) == "!"
+            && ctx.txt(i + 2) == "["
+            && ctx.txt(i + 3) == "SimTime"
+            && ctx.txt(i + 4) == "::"
+            && ctx.txt(i + 5) == "ZERO"
+        {
+            push(hits, ctx, i, Rule::BusyUntil);
+        }
+        // [SimTime::ZERO; N]
+        if ctx.txt(i) == "["
+            && ctx.txt(i + 1) == "SimTime"
+            && ctx.txt(i + 2) == "::"
+            && ctx.txt(i + 3) == "ZERO"
+            && ctx.txt(i + 4) == ";"
+        {
+            push(hits, ctx, i, Rule::BusyUntil);
+        }
+    }
+}
+
+/// `guard-balance`: profiler guards (`profile::phase(..)`,
+/// `profile::request()`) must be bound for the scope they account.
+/// Flags zero-width guards (`let _ =`, bare statement) and guards leaked
+/// through `mem::forget`.
+fn guard_balance(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    for i in 0..ctx.code.len() {
+        if !(ctx.is_ident(i, "profile") && ctx.txt(i + 1) == "::") {
+            continue;
+        }
+        let is_phase = ctx.txt(i + 2) == "phase" && ctx.txt(i + 3) == "(";
+        let is_request =
+            ctx.txt(i + 2) == "request" && ctx.txt(i + 3) == "(" && ctx.txt(i + 4) == ")";
+        if !is_phase && !is_request {
+            continue;
+        }
+        // Walk back over a path prefix (hps_obs::profile, crate::profile).
+        let mut s = i;
+        while s >= 2 && ctx.txt(s - 1) == "::" && ctx.kind_at(s - 2) == Some(TokenKind::Ident) {
+            s -= 2;
+        }
+        let prev = if s == 0 { "" } else { ctx.txt(s - 1) };
+        if prev == "=" && s >= 3 && ctx.txt(s - 2) == "_" && ctx.is_ident(s - 3, "let") {
+            // `let _ = profile::phase(..)` — dropped before the region runs.
+            push(hits, ctx, i, Rule::GuardBalance);
+            continue;
+        }
+        if prev == "="
+            && s >= 3
+            && ctx.kind_at(s - 2) == Some(TokenKind::Ident)
+            && ctx.is_ident(s - 3, "let")
+        {
+            // Bound guard: check it is not leaked with mem::forget(name).
+            let name = ctx.txt(s - 2);
+            for j in i..ctx.code.len() {
+                if ctx.is_ident(j, "forget") && ctx.txt(j + 1) == "(" && ctx.txt(j + 2) == name {
+                    push(hits, ctx, j, Rule::GuardBalance);
+                    break;
+                }
+            }
+            continue;
+        }
+        // Statement position: `profile::phase(..);` — zero-width scope.
+        if prev.is_empty() || matches!(prev, ";" | "{" | "}") {
+            if let Some(close) = matching_paren(ctx, i + 3) {
+                if ctx.txt(close + 1) == ";" {
+                    push(hits, ctx, i, Rule::GuardBalance);
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(ctx: &FileCtx<'_>, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in open..ctx.code.len() {
+        match ctx.txt(j) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects names declared with a hash-ordered collection type in this
+/// file: struct fields, `let` ascriptions, fn params
+/// (`name: FxHashMap<..>`), and `let name = FxHashMap::default()` forms.
+fn hash_typed_names<'a>(ctx: &FileCtx<'a>) -> BTreeSet<&'a str> {
+    let mut names = BTreeSet::new();
+    for i in 0..ctx.code.len() {
+        if ctx.kind_at(i) != Some(TokenKind::Ident) || !HASH_TYPES.contains(&ctx.txt(i)) {
+            continue;
+        }
+        // `name: [&][mut] [path::]FxHashMap<..>` — walk back to the colon.
+        let mut j = i;
+        while j >= 2 && ctx.txt(j - 1) == "::" && ctx.kind_at(j - 2) == Some(TokenKind::Ident) {
+            j -= 2;
+        }
+        let mut k = j;
+        while k >= 1 && matches!(ctx.txt(k - 1), "&" | "mut") {
+            k -= 1;
+        }
+        if k >= 2 && ctx.txt(k - 1) == ":" && ctx.kind_at(k - 2) == Some(TokenKind::Ident) {
+            names.insert(ctx.txt(k - 2));
+        }
+        // `let [mut] name = FxHashMap::default()` / `HashMap::new()` …
+        if j >= 2 && ctx.txt(j - 1) == "=" {
+            let mut k = j - 2;
+            if ctx.kind_at(k) == Some(TokenKind::Ident) {
+                let name = ctx.txt(k);
+                if k >= 1 && ctx.txt(k - 1) == "mut" {
+                    k -= 1;
+                }
+                if k >= 1 && ctx.is_ident(k - 1, "let") {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// `nondet-iter`: iteration over hash-ordered collections without a
+/// same-statement canonicalization.
+fn nondet_iter(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    if matches!(ctx.kind, FileKind::Test | FileKind::Bench) {
+        return;
+    }
+    let names = hash_typed_names(ctx);
+    if names.is_empty() {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // Form 1: `for pat in [&][mut] [self.]name[.iter()…] {`
+        if ctx.is_ident(i, "for") {
+            if let Some((in_idx, body)) = for_loop_header(ctx, i) {
+                if span_has_order_safe_marker(ctx, in_idx + 1, body) {
+                    continue;
+                }
+                for j in in_idx + 1..body {
+                    if ctx.kind_at(j) != Some(TokenKind::Ident) || !names.contains(&ctx.txt(j)) {
+                        continue;
+                    }
+                    let next = ctx.txt(j + 1);
+                    let method = ctx.txt(j + 2);
+                    let iterates = next == "{"
+                        || j + 1 == body
+                        || (next == "." && ITER_METHODS.contains(&method));
+                    if iterates {
+                        push(hits, ctx, j, Rule::NondetIter);
+                    }
+                }
+            }
+            continue;
+        }
+        // Form 2: `[self.]name.iter()…` chains in expression position.
+        if ctx.txt(i) == "."
+            && ITER_METHODS.contains(&ctx.txt(i + 1))
+            && ctx.txt(i + 2) == "("
+            && ctx.kind_at(i.wrapping_sub(1)) == Some(TokenKind::Ident)
+            && names.contains(&ctx.txt(i - 1))
+        {
+            let end = statement_end(ctx, i);
+            let start = statement_start(ctx, i);
+            if !span_has_order_safe_marker(ctx, start, end) && !int_sum_terminal(ctx, i, end) {
+                push(hits, ctx, i - 1, Rule::NondetIter);
+            }
+        }
+    }
+}
+
+/// For a `for` at index `i`: the index of its `in` keyword and of the `{`
+/// opening the loop body.
+fn for_loop_header(ctx: &FileCtx<'_>, i: usize) -> Option<(usize, usize)> {
+    let mut in_idx = None;
+    let mut depth = 0i32;
+    for j in i + 1..ctx.code.len().min(i + 200) {
+        match ctx.txt(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && in_idx.is_none() && ctx.kind_at(j) == Some(TokenKind::Ident) => {
+                in_idx = Some(j)
+            }
+            "{" if depth == 0 => return in_idx.map(|k| (k, j)),
+            ";" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// First index after `i` that ends the enclosing statement: a `;` at
+/// bracket depth 0 or a block `{` at depth 0.
+fn statement_end(ctx: &FileCtx<'_>, i: usize) -> usize {
+    let mut depth = 0i32;
+    for j in i..ctx.code.len() {
+        match ctx.txt(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            ";" | "," if depth == 0 => return j,
+            "{" | "}" if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    ctx.code.len()
+}
+
+/// First index at or before `i` that begins the enclosing statement.
+fn statement_start(ctx: &FileCtx<'_>, i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        if matches!(ctx.txt(j - 1), ";" | "{" | "}") {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// `true` when the token span contains a canonicalization marker.
+fn span_has_order_safe_marker(ctx: &FileCtx<'_>, start: usize, end: usize) -> bool {
+    (start..end.min(ctx.code.len())).any(|j| {
+        ctx.kind_at(j) == Some(TokenKind::Ident) && ORDER_SAFE_MARKERS.contains(&ctx.txt(j))
+    })
+}
+
+/// `true` when the chain ends in an integer-typed `.sum::<T>()`.
+fn int_sum_terminal(ctx: &FileCtx<'_>, start: usize, end: usize) -> bool {
+    (start..end.min(ctx.code.len())).any(|j| {
+        ctx.txt(j) == "sum"
+            && ctx.txt(j + 1) == "::"
+            && ctx.txt(j + 2) == "<"
+            && INT_SUM_TYPES.contains(&ctx.txt(j + 3))
+    })
+}
+
+/// `float-accum`: order-dependent floating-point reductions.
+fn float_accum(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    if FLOAT_EXEMPT.contains(&ctx.rel)
+        || matches!(
+            ctx.kind,
+            FileKind::Test | FileKind::Bench | FileKind::Example
+        )
+    {
+        return;
+    }
+    // Names declared as f64/f32 in this file (fields, params, ascriptions).
+    let mut float_names: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..ctx.code.len() {
+        if matches!(ctx.txt(i), "f64" | "f32")
+            && i >= 2
+            && ctx.txt(i - 1) == ":"
+            && ctx.kind_at(i - 2) == Some(TokenKind::Ident)
+        {
+            float_names.insert(ctx.txt(i - 2));
+        }
+        if ctx.is_ident(i, "let") && ctx.txt(i + 1) == "mut" {
+            let init = ctx.txt(i + 4);
+            if ctx.txt(i + 3) == "="
+                && ctx.kind_at(i + 4) == Some(TokenKind::Num)
+                && (init.contains('.') || init.ends_with("f64") || init.ends_with("f32"))
+            {
+                float_names.insert(ctx.txt(i + 2));
+            }
+        }
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `.sum::<f64>()` / `.product::<f64>()`
+        if ctx.txt(i) == "."
+            && matches!(ctx.txt(i + 1), "sum" | "product")
+            && ctx.txt(i + 2) == "::"
+            && ctx.txt(i + 3) == "<"
+            && matches!(ctx.txt(i + 4), "f64" | "f32")
+        {
+            push(hits, ctx, i + 1, Rule::FloatAccum);
+        }
+        // `.fold(0.0, …)` with a float seed
+        if ctx.txt(i) == "."
+            && ctx.is_ident(i + 1, "fold")
+            && ctx.txt(i + 2) == "("
+            && ctx.kind_at(i + 3) == Some(TokenKind::Num)
+            && (ctx.txt(i + 3).contains('.')
+                || ctx.txt(i + 3).contains("f_")
+                || ctx.txt(i + 3).ends_with("f64")
+                || ctx.txt(i + 3).ends_with("f32"))
+        {
+            push(hits, ctx, i + 1, Rule::FloatAccum);
+        }
+        // `let s: f64 = ….sum();` — untyped sum with a float ascription
+        if ctx.is_ident(i, "let") {
+            let end = ctx
+                .code
+                .iter()
+                .skip(i)
+                .position(|(t, _)| t.text == ";")
+                .map(|off| i + off)
+                .unwrap_or(ctx.code.len());
+            let has_float_ascription =
+                (i..end).any(|j| ctx.txt(j) == ":" && matches!(ctx.txt(j + 1), "f64" | "f32"));
+            let has_bare_sum = (i..end).any(|j| {
+                ctx.txt(j) == "."
+                    && matches!(ctx.txt(j + 1), "sum" | "product")
+                    && ctx.txt(j + 2) == "("
+            });
+            if has_float_ascription && has_bare_sum {
+                push(hits, ctx, i, Rule::FloatAccum);
+            }
+        }
+        // `acc += …` on an f64 name inside a loop
+        if ctx.kind_at(i) == Some(TokenKind::Ident)
+            && float_names.contains(&ctx.txt(i))
+            && ctx.txt(i + 1) == "+="
+            && ctx.map.within_kind(ctx.scope(i), ScopeKind::Loop)
+        {
+            push(hits, ctx, i, Rule::FloatAccum);
+        }
+    }
+}
+
+/// `clock-domain`: literal-argument SimTime/SimDuration constructors
+/// outside timing tables and const initializers.
+fn clock_domain(ctx: &FileCtx<'_>, hits: &mut BTreeSet<Hit>) {
+    if CLOCK_OWNERS.contains(&ctx.rel)
+        || matches!(
+            ctx.kind,
+            FileKind::Test | FileKind::Bench | FileKind::Example
+        )
+    {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if !matches!(ctx.txt(i), "SimTime" | "SimDuration") {
+            continue;
+        }
+        if ctx.txt(i + 1) != "::"
+            || !ctx.txt(i + 2).starts_with("from_")
+            || ctx.txt(i + 3) != "("
+            || ctx.kind_at(i + 4) != Some(TokenKind::Num)
+            || ctx.txt(i + 5) != ")"
+        {
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        // Zero is not a magic number: `from_ns(0)` etc. are just ZERO.
+        let lit = ctx.txt(i + 4);
+        if lit.trim_end_matches(|c: char| c.is_ascii_alphabetic()) == "0" {
+            continue;
+        }
+        // Named constants are the sanctioned home for literal durations.
+        if ctx.map.within_kind(ctx.scope(i), ScopeKind::Const) || const_statement(ctx, i) {
+            continue;
+        }
+        push(hits, ctx, i, Rule::ClockDomain);
+    }
+}
+
+/// `true` when the statement containing index `i` is a `const`/`static`
+/// item (covers braceless initializers: `const D: SimDuration = …;`).
+fn const_statement(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let start = statement_start(ctx, i);
+    let mut j = start;
+    while matches!(ctx.txt(j), "pub" | "(" | "crate" | "super" | "in" | ")") {
+        j += 1;
+    }
+    matches!(ctx.txt(j), "const" | "static")
+}

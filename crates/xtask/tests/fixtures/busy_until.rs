@@ -1,0 +1,6 @@
+//! Seeded violation: hand-rolled per-resource time-horizon array.
+
+/// Duplicates the event wheel's job with plain vectors.
+pub struct Horizons {
+    free: Vec<SimTime>,
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: magic integer duration outside a timing table.
+
+/// A literal 7 ms with no named home.
+pub fn delay() -> SimDuration {
+    SimDuration::from_ms(7)
+}

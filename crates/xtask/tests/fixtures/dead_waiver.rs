@@ -1,0 +1,7 @@
+//! Seeded violation: a waiver that suppresses nothing.
+
+/// Nothing below the waiver violates `no-print`.
+pub fn quiet() -> u32 {
+    // lint: allow(no-print)
+    41 + 1
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: std HashMap with the nondeterministic default hasher.
+
+use std::collections::HashMap;
+
+/// Builds an empty map (hasher seeded per-process: not reproducible).
+pub fn make() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: discarded Result from a recovery API.
+
+/// Swallows a recovery failure.
+pub fn careless(dev: &mut Device) {
+    let _ = dev.recover();
+}

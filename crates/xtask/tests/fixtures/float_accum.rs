@@ -1,0 +1,6 @@
+//! Seeded violation: order-dependent f64 reduction.
+
+/// Float addition does not commute; a reordered source changes the sum.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,7 @@
+//! Seeded violation: profiler guard dropped before its region runs.
+
+/// The span closes immediately; the phase is never timed.
+pub fn mistimed() {
+    let _ = profile::phase(Phase::Split);
+    expensive_work();
+}

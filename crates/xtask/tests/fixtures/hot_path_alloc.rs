@@ -1,0 +1,9 @@
+//! Seeded violation: allocation on the per-request replay path.
+//! (Linted under a hot-path file name.)
+
+/// Allocates a fresh Vec per call.
+pub fn ops() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

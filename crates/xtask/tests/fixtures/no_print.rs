@@ -1,0 +1,6 @@
+//! Seeded violation: stdout print in library code.
+
+/// Writes to stdout, corrupting machine-read reports.
+pub fn announce(n: u32) {
+    println!("n = {n}");
+}

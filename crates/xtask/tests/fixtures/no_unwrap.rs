@@ -1,0 +1,6 @@
+//! Seeded violation: `.unwrap()` in library code.
+
+/// Panics on `None` without context.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

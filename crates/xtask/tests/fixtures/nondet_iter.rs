@@ -1,0 +1,8 @@
+//! Seeded violation: hash-map iteration order leaking into output.
+
+/// Pushes keys in arbitrary hash order.
+pub fn export(map: &FxHashMap<u64, u64>, out: &mut Vec<u64>) {
+    for (k, _) in map.iter() {
+        out.push(*k);
+    }
+}

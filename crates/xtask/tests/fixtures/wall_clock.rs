@@ -1,0 +1,6 @@
+//! Seeded violation: host wall-clock time in a simulation crate.
+
+/// Reads the host clock; results differ per machine.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
