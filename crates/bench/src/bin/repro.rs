@@ -6,6 +6,7 @@
 //!                  [--trace-out FILE] [--metrics-out FILE] [--jsonl-out FILE]
 //! repro profile <table4|workload> [--scale N] [--profile-stride N]
 //!                                 [--profile-out FILE]
+//! repro fleet [--devices N] [--jobs N] [--out DIR] [--metrics-out FILE]
 //! repro diff <a.summary|a.json> <b.summary|b.json> [--tolerance F]
 //!
 //! experiments:
@@ -44,6 +45,17 @@
 //! adjusts sampling (default 64; 1 = every request); `--profile-out`
 //! writes flamegraph-compatible folded stacks (`stack<space>ns` lines,
 //! feed to inferno/flamegraph.pl).
+//!
+//! `repro fleet` simulates a whole population of devices — `--devices N`
+//! of them (default 256), each with its own seed-derived workload,
+//! mapping scheme, flash geometry, utilization, and pre-existing wear —
+//! fanned out over the worker pool and streamed into one fixed-size
+//! aggregate, so `--devices 100000` runs at the same resident memory as
+//! `--devices 100`. The report (written to `DIR/fleet.txt`) carries
+//! cross-device percentiles-of-percentiles, a scheme × geometry
+//! breakdown, and an endurance fast-forward; it is byte-identical at any
+//! `--jobs`. `--metrics-out` writes the tree-merged metrics summary of
+//! every device, diffable with `repro diff`.
 //!
 //! `--progress` (streaming replays) prints a throttled heartbeat line to
 //! stderr while the replay runs: requests/sec, resident memory, ETA from
@@ -121,6 +133,7 @@ fn main() {
     let mut progress = false;
     let mut profile_out: Option<String> = None;
     let mut profile_stride: u32 = 64;
+    let mut devices: u64 = 256;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -191,6 +204,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--devices" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => devices = n,
+                _ => {
+                    eprintln!("--devices requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--jsonl-out" => match iter.next() {
                 Some(path) => jsonl_out = Some(path),
                 None => {
@@ -228,6 +248,17 @@ fn main() {
             _ => {
                 eprintln!(
                     "usage: repro profile <table4|workload> [--scale N] [--profile-stride N] [--profile-out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if targets.first().map(String::as_str) == Some("fleet") {
+        match &targets[1..] {
+            [] => std::process::exit(fleet_cmd(devices, &out_dir, metrics_out.as_deref())),
+            _ => {
+                eprintln!(
+                    "usage: repro fleet [--devices N] [--jobs N] [--out DIR] [--metrics-out FILE]"
                 );
                 std::process::exit(2);
             }
@@ -664,6 +695,62 @@ fn rss_display() -> String {
     }
 }
 
+/// `repro fleet`: simulates a `--devices`-sized population drawn from the
+/// standard fleet distribution and prints/writes the deterministic fleet
+/// report. Throughput and peak RSS go to stderr only — the report itself
+/// must be byte-identical at any `--jobs`, so nothing host-dependent is
+/// allowed into it.
+fn fleet_cmd(devices: u64, out_dir: &str, metrics_out: Option<&str>) -> i32 {
+    let spec = hps_fleet::FleetSpec::default_with(devices, hps_bench::MASTER_SEED);
+    eprintln!(
+        "[repro] fleet: {} device(s) over {} worker(s)",
+        devices,
+        hps_core::par::jobs()
+    );
+    let started = Instant::now();
+    let outcome = hps_fleet::run_fleet(&spec);
+    let wall = started.elapsed().as_secs_f64();
+    let report = hps_fleet::render_fleet_report(&spec, &outcome);
+    print!("{report}");
+    eprintln!(
+        "[repro] fleet done in {wall:.2}s ({:.0} devices/s, peak rss {})",
+        devices as f64 / wall,
+        peak_rss_display()
+    );
+    if let Some(path) = metrics_out {
+        let summary = render_summary(outcome.snapshot.registry());
+        if let Err(e) = std::fs::write(path, summary) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return 1;
+        }
+        eprintln!("[repro] fleet metrics written to {path}");
+    }
+    if let Err(e) = write_output(out_dir, "fleet", &report) {
+        eprintln!("warning: could not write {out_dir}/fleet.txt: {e}");
+    }
+    0
+}
+
+/// Peak resident set size (`VmHWM` from `/proc/self/status`), formatted
+/// for the fleet summary line; "?" where procfs is unavailable.
+fn peak_rss_display() -> String {
+    let hwm_kib = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))?
+                .split_whitespace()
+                .nth(1)?
+                .parse::<f64>()
+                .ok()
+        });
+    match hwm_kib {
+        Some(kib) => format!("{:.1} MiB", kib / 1024.0),
+        None => "?".to_string(),
+    }
+}
+
 /// `repro diff a b`: dispatches on file extension — both `.json` compares
 /// numeric JSON leaves, otherwise metric summaries.
 fn diff_cmd(path_a: &str, path_b: &str, tolerance: f64) -> i32 {
@@ -817,6 +904,7 @@ fn print_usage() {
     eprintln!(
         "       repro profile <table4|workload> [--scale N] [--profile-stride N] [--profile-out FILE]"
     );
+    eprintln!("       repro fleet [--devices N] [--jobs N] [--out DIR] [--metrics-out FILE]");
     eprintln!("       repro diff <a.summary|a.json> <b.summary|b.json> [--tolerance F]");
     eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
     eprintln!("workloads:   any name from `trace-tool list` (e.g. CameraVideo, WebBrowsing)");

@@ -51,7 +51,7 @@ pub use error::{Error, Result};
 pub use event::{EventWheel, ResourceTimeline};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use request::{Direction, IoRequest, RequestId};
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use scratch::{InlineVec, ReplayScratch};
 pub use stats::{Histogram, RunningStats};
 pub use time::{SimDuration, SimTime};

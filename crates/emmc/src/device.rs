@@ -275,6 +275,17 @@ impl EmmcDevice {
         self.busy_until
     }
 
+    /// Pre-ages the flash array from a wear distribution so the device
+    /// starts mid-life; see [`Ftl::inject_wear`]. Call right after
+    /// construction, before the first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block has already been programmed or erased.
+    pub fn inject_wear(&mut self, profile: &hps_nand::WearProfile) {
+        self.ftl.inject_wear(profile);
+    }
+
     /// Arms a sudden-power-off: after `after_ops` further flash mutations
     /// (program attempts or erases) the device fails every request with
     /// [`hps_core::Error::PowerLoss`] until [`EmmcDevice::recover`] runs.

@@ -1,0 +1,421 @@
+//! Compact per-device results and the streaming fleet accumulator.
+//!
+//! The whole memory story of fleet simulation lives here. A replayed
+//! device produces a [`DeviceRecord`]: a *fixed-size* digest — key `u64`
+//! counters, a handful of pre-reduced `f64` statistics, and one
+//! [`LogHistogram`] of response times (66 buckets) — on the order of
+//! hundreds of bytes, with **no per-request samples**. Records are folded
+//! into a [`FleetAccum`] as soon as they are produced and dropped;
+//! nothing per-device survives the fold, so a 100 000-device run
+//! aggregates at the same RSS as a 100-device run.
+//!
+//! Cross-device distributions are log-histograms of per-device
+//! statistics: `per_p99` is "the histogram of every device's p99", whose
+//! own quantiles are the report's percentiles-of-percentiles ("p99.9 of
+//! per-device p99 response time"). All reductions are order-insensitive
+//! (`u64` adds, exact histogram-bucket adds, `BTreeMap`-keyed groups);
+//! the only floats are inside [`LogHistogram`]s, whose bucket counts
+//! merge exactly.
+
+use std::collections::BTreeMap;
+
+use hps_emmc::{EmmcDevice, ReplayMetrics, SchemeKind};
+use hps_obs::LogHistogram;
+
+use crate::spec::{DeviceSetup, FleetSpec};
+
+/// Ceiling for the endurance fast-forward, in days (~100 years): a device
+/// that never erases projects "forever", which a log-histogram cannot
+/// hold, so lifetimes clamp here.
+pub const LIFE_DAYS_CAP: f64 = 36_500.0;
+
+/// Fixed-size digest of one simulated device. Everything the fleet
+/// report needs, nothing that grows with the request count.
+#[derive(Clone, Debug)]
+pub struct DeviceRecord {
+    /// Position in the fleet.
+    pub index: u64,
+    /// Mapping scheme the device ran.
+    pub scheme: SchemeKind,
+    /// Geometry-class label.
+    pub geometry: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Requests served.
+    pub requests: u64,
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Requests that waited on no prior work.
+    pub nowait: u64,
+    /// Pages programmed for host writes.
+    pub host_programs: u64,
+    /// Pages programmed by GC migration.
+    pub gc_programs: u64,
+    /// Blocks erased during the replay.
+    pub erases: u64,
+    /// GC victim collections.
+    pub gc_runs: u64,
+    /// Mean response time (ms).
+    pub mean_ms: f64,
+    /// Median response time (ms).
+    pub p50_ms: f64,
+    /// Tail response time (ms).
+    pub p99_ms: f64,
+    /// Worst response time (ms).
+    pub max_ms: f64,
+    /// Write amplification ((host+gc) programs / host programs).
+    pub write_amp: f64,
+    /// Highest per-block erase count at end of replay (includes any
+    /// injected pre-age).
+    pub wear_max: u64,
+    /// Total erase count across all blocks at end of replay.
+    pub wear_total: u64,
+    /// Blocks in the device.
+    pub wear_blocks: u64,
+    /// Simulated span of the replay in nanoseconds (device busy horizon).
+    pub sim_span_ns: u64,
+    /// Full response-time distribution (log-bucketed, fixed 66 buckets).
+    pub response: LogHistogram,
+}
+
+impl DeviceRecord {
+    /// Digests one replayed device. `metrics` is consumed conceptually —
+    /// only the fixed-size pieces survive into the record.
+    pub fn digest(setup: &DeviceSetup, device: &EmmcDevice, metrics: &ReplayMetrics) -> Self {
+        let wear = device.ftl().wear();
+        DeviceRecord {
+            index: setup.index,
+            scheme: setup.scheme,
+            geometry: setup.geometry.label,
+            workload: setup.workload,
+            requests: metrics.total_requests,
+            reads: metrics.reads,
+            writes: metrics.writes,
+            nowait: metrics.nowait_requests,
+            host_programs: metrics.ftl.host_programs,
+            gc_programs: metrics.ftl.gc_programs,
+            erases: metrics.ftl.erases,
+            gc_runs: metrics.ftl.gc_runs,
+            mean_ms: metrics.mean_response_ms(),
+            p50_ms: metrics.p50_response_ms(),
+            p99_ms: metrics.p99_response_ms(),
+            max_ms: metrics.response_histogram().max().unwrap_or(0.0),
+            write_amp: metrics.ftl.write_amplification(),
+            wear_max: wear.max(),
+            wear_total: wear.total(),
+            wear_blocks: wear.blocks(),
+            sim_span_ns: device.busy_until().as_ns(),
+            response: metrics.response_histogram().clone(),
+        }
+    }
+
+    /// Endurance fast-forward: at the replay's per-block erase rate, how
+    /// many days until the worst block exhausts `cycle_budget` rated
+    /// cycles? Clamped to [`LIFE_DAYS_CAP`]; a device that erased nothing
+    /// (or has already exceeded the budget by pre-age alone with no
+    /// activity) projects the cap or zero respectively.
+    pub fn projected_life_days(&self, cycle_budget: u64) -> f64 {
+        if self.wear_max >= cycle_budget {
+            return 0.0;
+        }
+        let span_days = self.sim_span_ns as f64 / 86_400e9;
+        if self.erases == 0 || span_days <= 0.0 || self.wear_blocks == 0 {
+            return LIFE_DAYS_CAP;
+        }
+        // Worst-block burn rate, approximated by the replay's mean
+        // per-block rate scaled by the observed wear skew.
+        let per_block_rate = self.erases as f64 / self.wear_blocks as f64 / span_days;
+        let headroom = (cycle_budget - self.wear_max) as f64;
+        (headroom / per_block_rate).min(LIFE_DAYS_CAP)
+    }
+}
+
+/// Per-`(scheme, geometry)` slice of the fleet accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct GroupAccum {
+    /// Devices in this cell.
+    pub devices: u64,
+    /// Devices in this cell that wedged (exhausted capacity mid-replay).
+    pub wedged: u64,
+    /// Requests served by this cell.
+    pub requests: u64,
+    /// Erases across the cell.
+    pub erases: u64,
+    /// Cross-device distribution of per-device p99 response (ms).
+    pub per_p99: LogHistogram,
+    /// Cross-device distribution of per-device write amplification.
+    pub per_wamp: LogHistogram,
+    /// Cross-device distribution of projected lifetimes (days).
+    pub per_life: LogHistogram,
+}
+
+impl GroupAccum {
+    fn observe(&mut self, rec: &DeviceRecord, life_days: f64) {
+        self.devices += 1;
+        self.requests += rec.requests;
+        self.erases += rec.erases;
+        self.per_p99.observe(rec.p99_ms);
+        self.per_wamp.observe(rec.write_amp);
+        self.per_life.observe(life_days);
+    }
+
+    fn merge(&mut self, other: &GroupAccum) {
+        self.devices += other.devices;
+        self.wedged += other.wedged;
+        self.requests += other.requests;
+        self.erases += other.erases;
+        self.per_p99.merge(&other.per_p99);
+        self.per_wamp.merge(&other.per_wamp);
+        self.per_life.merge(&other.per_life);
+    }
+}
+
+/// The streaming fleet aggregate: flat-size regardless of device count.
+///
+/// Records fold in via [`observe`](FleetAccum::observe); shard
+/// accumulators fold together via [`merge`](FleetAccum::merge). Both are
+/// order-insensitive on everything the fleet report prints, so any
+/// sharding of the fleet produces the identical report.
+#[derive(Clone, Debug, Default)]
+pub struct FleetAccum {
+    /// Devices that completed their replay.
+    pub devices: u64,
+    /// Devices that wedged: their folded span exhausted the scheme's
+    /// physical capacity mid-replay, so no response statistics survive.
+    /// Deterministic — which devices wedge is a pure function of the
+    /// spec — and broken out per scheme × geometry in `groups`.
+    pub wedged: u64,
+    /// Total requests served.
+    pub requests: u64,
+    /// Total reads.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Requests that waited on no prior work.
+    pub nowait: u64,
+    /// Total host page programs.
+    pub host_programs: u64,
+    /// Total GC page programs.
+    pub gc_programs: u64,
+    /// Total erases.
+    pub erases: u64,
+    /// Total GC runs.
+    pub gc_runs: u64,
+    /// Total blocks across the fleet.
+    pub blocks: u64,
+    /// Worst per-block erase count anywhere in the fleet.
+    pub wear_max: u64,
+    /// Total erase count across every block of every device.
+    pub wear_total: u64,
+    /// Pooled response distribution (every request of every device).
+    pub pooled_response: LogHistogram,
+    /// Cross-device distribution of per-device mean response (ms).
+    pub per_mean: LogHistogram,
+    /// Cross-device distribution of per-device p50 response (ms).
+    pub per_p50: LogHistogram,
+    /// Cross-device distribution of per-device p99 response (ms).
+    pub per_p99: LogHistogram,
+    /// Cross-device distribution of per-device max response (ms).
+    pub per_max: LogHistogram,
+    /// Cross-device distribution of per-device write amplification.
+    pub per_wamp: LogHistogram,
+    /// Cross-device distribution of per-device worst-block wear.
+    pub per_wear_max: LogHistogram,
+    /// Cross-device distribution of projected lifetimes (days).
+    pub per_life: LogHistogram,
+    /// Scheme × geometry breakdown, keyed by labels so iteration order is
+    /// deterministic (sorted) without any post-pass.
+    pub groups: BTreeMap<(&'static str, &'static str), GroupAccum>,
+}
+
+impl FleetAccum {
+    /// An empty accumulator (the identity of [`merge`](FleetAccum::merge)).
+    pub fn new() -> Self {
+        FleetAccum::default()
+    }
+
+    /// Folds one device in; the record can be dropped afterwards.
+    pub fn observe(&mut self, spec: &FleetSpec, rec: &DeviceRecord) {
+        let life_days = rec.projected_life_days(spec.cycle_budget);
+        self.devices += 1;
+        self.requests += rec.requests;
+        self.reads += rec.reads;
+        self.writes += rec.writes;
+        self.nowait += rec.nowait;
+        self.host_programs += rec.host_programs;
+        self.gc_programs += rec.gc_programs;
+        self.erases += rec.erases;
+        self.gc_runs += rec.gc_runs;
+        self.blocks += rec.wear_blocks;
+        self.wear_max = self.wear_max.max(rec.wear_max);
+        self.wear_total += rec.wear_total;
+        self.pooled_response.merge(&rec.response);
+        self.per_mean.observe(rec.mean_ms);
+        self.per_p50.observe(rec.p50_ms);
+        self.per_p99.observe(rec.p99_ms);
+        self.per_max.observe(rec.max_ms);
+        self.per_wamp.observe(rec.write_amp);
+        self.per_wear_max.observe(rec.wear_max as f64);
+        self.per_life.observe(life_days);
+        self.groups
+            .entry((rec.scheme.label(), rec.geometry))
+            .or_default()
+            .observe(rec, life_days);
+    }
+
+    /// Counts a wedged device: only its population cell is recorded —
+    /// there are no response statistics to fold.
+    pub fn observe_wedged(&mut self, setup: &DeviceSetup) {
+        self.wedged += 1;
+        self.groups
+            .entry((setup.scheme.label(), setup.geometry.label))
+            .or_default()
+            .wedged += 1;
+    }
+
+    /// Folds another accumulator in (shard reduction).
+    pub fn merge(&mut self, other: &FleetAccum) {
+        self.devices += other.devices;
+        self.wedged += other.wedged;
+        self.requests += other.requests;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.nowait += other.nowait;
+        self.host_programs += other.host_programs;
+        self.gc_programs += other.gc_programs;
+        self.erases += other.erases;
+        self.gc_runs += other.gc_runs;
+        self.blocks += other.blocks;
+        self.wear_max = self.wear_max.max(other.wear_max);
+        self.wear_total += other.wear_total;
+        self.pooled_response.merge(&other.pooled_response);
+        self.per_mean.merge(&other.per_mean);
+        self.per_p50.merge(&other.per_p50);
+        self.per_p99.merge(&other.per_p99);
+        self.per_max.merge(&other.per_max);
+        self.per_wamp.merge(&other.per_wamp);
+        self.per_wear_max.merge(&other.per_wear_max);
+        self.per_life.merge(&other.per_life);
+        for (key, group) in &other.groups {
+            self.groups.entry(*key).or_default().merge(group);
+        }
+    }
+
+    /// Aggregate write amplification over the whole fleet.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_programs == 0 {
+            1.0
+        } else {
+            (self.host_programs + self.gc_programs) as f64 / self.host_programs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_record(i: u64) -> DeviceRecord {
+        let mut response = LogHistogram::default();
+        for k in 0..10 {
+            response.observe(0.1 + (i + k) as f64 * 0.01);
+        }
+        DeviceRecord {
+            index: i,
+            scheme: SchemeKind::Hps,
+            geometry: "G64x16",
+            workload: "Twitter",
+            requests: 10,
+            reads: 4,
+            writes: 6,
+            nowait: 8,
+            host_programs: 6,
+            gc_programs: 2,
+            erases: 1 + i % 3,
+            gc_runs: 1,
+            mean_ms: 0.2,
+            p50_ms: 0.15,
+            p99_ms: 0.4 + i as f64 * 0.01,
+            max_ms: 1.0,
+            write_amp: 8.0 / 6.0,
+            wear_max: 10 + i,
+            wear_total: 100,
+            wear_blocks: 16,
+            sim_span_ns: 60_000_000_000,
+            response,
+        }
+    }
+
+    fn spec() -> FleetSpec {
+        FleetSpec::default_with(10, 1)
+    }
+
+    #[test]
+    fn sharded_fold_matches_sequential_fold() {
+        let records: Vec<DeviceRecord> = (0..30).map(fake_record).collect();
+        let s = spec();
+        let mut sequential = FleetAccum::new();
+        for r in &records {
+            sequential.observe(&s, r);
+        }
+        for split in [1usize, 3, 7, 15, 30] {
+            let mut folded = FleetAccum::new();
+            for chunk in records.chunks(split) {
+                let mut shard = FleetAccum::new();
+                for r in chunk {
+                    shard.observe(&s, r);
+                }
+                folded.merge(&shard);
+            }
+            assert_eq!(folded.devices, sequential.devices);
+            assert_eq!(folded.requests, sequential.requests);
+            assert_eq!(folded.wear_max, sequential.wear_max);
+            assert_eq!(
+                folded.pooled_response.bucket_counts(),
+                sequential.pooled_response.bucket_counts()
+            );
+            assert_eq!(
+                folded.per_p99.bucket_counts(),
+                sequential.per_p99.bucket_counts()
+            );
+            assert_eq!(folded.groups.len(), sequential.groups.len());
+        }
+    }
+
+    #[test]
+    fn life_projection_clamps_sanely() {
+        let mut rec = fake_record(0);
+        // Worn past the budget: dead now.
+        rec.wear_max = 5_000;
+        assert_eq!(rec.projected_life_days(3_000), 0.0);
+        // No erase activity: capped lifetime.
+        rec.wear_max = 10;
+        rec.erases = 0;
+        assert_eq!(rec.projected_life_days(3_000), LIFE_DAYS_CAP);
+        // Normal case: finite, positive, below the cap.
+        rec.erases = 16;
+        let d = rec.projected_life_days(3_000);
+        assert!(d > 0.0 && d < LIFE_DAYS_CAP, "life {d}");
+    }
+
+    #[test]
+    fn groups_key_by_scheme_and_geometry() {
+        let s = spec();
+        let mut acc = FleetAccum::new();
+        let mut a = fake_record(0);
+        a.scheme = SchemeKind::Ps4;
+        let mut b = fake_record(1);
+        b.geometry = "G128x16";
+        acc.observe(&s, &a);
+        acc.observe(&s, &b);
+        acc.observe(&s, &fake_record(2));
+        let keys: Vec<_> = acc.groups.keys().copied().collect();
+        assert_eq!(
+            keys,
+            vec![("4PS", "G64x16"), ("HPS", "G128x16"), ("HPS", "G64x16"),],
+            "BTreeMap keys iterate sorted"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic plain-text rendering of a fleet run.
+//!
+//! The report is a pure function of ([`FleetSpec`], [`FleetOutcome`]):
+//! it never mentions the job count, wall-clock time, or anything else
+//! that varies between byte-identical runs, so the rendered text itself
+//! is the artifact CI diffs against a golden.
+
+use hps_obs::{LogHistogram, TextTable};
+
+use crate::record::{FleetAccum, GroupAccum};
+use crate::run::FleetOutcome;
+use crate::spec::FleetSpec;
+
+/// Quantiles of the cross-device distributions, as (header, q) pairs.
+const SPREAD_COLS: [(&str, f64); 5] = [
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p99.9", 0.999),
+    ("max", 1.0),
+];
+
+fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn quantile_or_zero(h: &LogHistogram, q: f64) -> f64 {
+    if q >= 1.0 {
+        h.max().unwrap_or(0.0)
+    } else {
+        h.quantile(q).unwrap_or(0.0)
+    }
+}
+
+/// One row of a cross-device spread table: min + [`SPREAD_COLS`].
+fn spread_row(label: &str, h: &LogHistogram, fmt: fn(f64) -> String) -> Vec<String> {
+    let mut row = vec![label.to_string(), fmt(h.min().unwrap_or(0.0))];
+    for (_, q) in SPREAD_COLS {
+        row.push(fmt(quantile_or_zero(h, q)));
+    }
+    row
+}
+
+fn spread_header(first: &str) -> Vec<&str> {
+    let mut cols = vec![first, "min"];
+    for (name, _) in SPREAD_COLS {
+        cols.push(name);
+    }
+    cols
+}
+
+fn population_section(out: &mut String, spec: &FleetSpec) {
+    out.push_str("== population ==\n");
+    out.push_str(&format!(
+        "devices {}  seed {}  requests/device {}\n",
+        spec.devices, spec.seed, spec.requests_per_device
+    ));
+    let schemes: Vec<&str> = spec.schemes.iter().map(|s| s.label()).collect();
+    let geoms: Vec<&str> = spec.geometries.iter().map(|g| g.label).collect();
+    out.push_str(&format!(
+        "schemes {}  geometries {}\n",
+        schemes.join("/"),
+        geoms.join("/")
+    ));
+    out.push_str(&format!(
+        "workloads {} x {} variants  utilization {:.2}-{:.2}\n",
+        spec.mix.len(),
+        spec.variants_per_workload.max(1),
+        spec.utilization.0,
+        spec.utilization.1
+    ));
+    match spec.wear {
+        Some(band) => out.push_str(&format!(
+            "wear band {}±{} erases  cycle budget {}\n",
+            band.mean_erases, band.spread, spec.cycle_budget
+        )),
+        None => out.push_str(&format!(
+            "wear band none (factory fresh)  cycle budget {}\n",
+            spec.cycle_budget
+        )),
+    }
+}
+
+fn totals_section(out: &mut String, a: &FleetAccum) {
+    out.push_str("\n== fleet totals ==\n");
+    out.push_str(&format!(
+        "completed {}  wedged {} (capacity exhausted mid-replay)\n",
+        a.devices, a.wedged
+    ));
+    out.push_str(&format!(
+        "requests {}  reads {}  writes {}  nowait {}\n",
+        a.requests, a.reads, a.writes, a.nowait
+    ));
+    out.push_str(&format!(
+        "host programs {}  gc programs {}  erases {}  gc runs {}\n",
+        a.host_programs, a.gc_programs, a.erases, a.gc_runs
+    ));
+    out.push_str(&format!(
+        "write amplification {:.3}\n",
+        a.write_amplification()
+    ));
+    out.push_str(&format!(
+        "pooled response ms: mean {:.3}  p50 {:.3}  p90 {:.3}  p99 {:.3}  p99.9 {:.3}  max {:.3}\n",
+        a.pooled_response.mean(),
+        quantile_or_zero(&a.pooled_response, 0.50),
+        quantile_or_zero(&a.pooled_response, 0.90),
+        quantile_or_zero(&a.pooled_response, 0.99),
+        quantile_or_zero(&a.pooled_response, 0.999),
+        a.pooled_response.max().unwrap_or(0.0),
+    ));
+}
+
+fn spread_section(out: &mut String, a: &FleetAccum) {
+    out.push_str("\n== cross-device spread (percentiles of per-device statistics) ==\n");
+    let mut table = TextTable::new(&spread_header("per-device stat"));
+    table.row(spread_row("mean resp ms", &a.per_mean, fmt3));
+    table.row(spread_row("p50 resp ms", &a.per_p50, fmt3));
+    table.row(spread_row("p99 resp ms", &a.per_p99, fmt3));
+    table.row(spread_row("max resp ms", &a.per_max, fmt3));
+    table.row(spread_row("write amp", &a.per_wamp, fmt3));
+    table.row(spread_row("worst wear", &a.per_wear_max, fmt2));
+    table.row(spread_row("life days", &a.per_life, fmt2));
+    out.push_str(&table.render());
+}
+
+fn group_section(out: &mut String, a: &FleetAccum) {
+    out.push_str("\n== scheme x geometry breakdown ==\n");
+    let mut table = TextTable::new(&[
+        "scheme",
+        "geometry",
+        "devices",
+        "wedged",
+        "requests",
+        "erases",
+        "p99of p99",
+        "p50 wamp",
+        "p50 life",
+    ]);
+    for ((scheme, geometry), g) in &a.groups {
+        table.row(group_row(scheme, geometry, g));
+    }
+    out.push_str(&table.render());
+}
+
+fn group_row(scheme: &str, geometry: &str, g: &GroupAccum) -> Vec<String> {
+    vec![
+        scheme.to_string(),
+        geometry.to_string(),
+        g.devices.to_string(),
+        g.wedged.to_string(),
+        g.requests.to_string(),
+        g.erases.to_string(),
+        fmt3(quantile_or_zero(&g.per_p99, 0.99)),
+        fmt3(quantile_or_zero(&g.per_wamp, 0.50)),
+        fmt2(quantile_or_zero(&g.per_life, 0.50)),
+    ]
+}
+
+fn wear_section(out: &mut String, spec: &FleetSpec, a: &FleetAccum) {
+    out.push_str("\n== wear and endurance fast-forward ==\n");
+    let mean_wear = if a.blocks == 0 {
+        0.0
+    } else {
+        a.wear_total as f64 / a.blocks as f64
+    };
+    out.push_str(&format!(
+        "blocks {}  mean wear {:.2}  worst block {} / {} budget\n",
+        a.blocks, mean_wear, a.wear_max, spec.cycle_budget
+    ));
+    out.push_str(&format!(
+        "projected life days: p1 {:.2}  p10 {:.2}  p50 {:.2}  (worst device {:.2})\n",
+        quantile_or_zero(&a.per_life, 0.01),
+        quantile_or_zero(&a.per_life, 0.10),
+        quantile_or_zero(&a.per_life, 0.50),
+        a.per_life.min().unwrap_or(0.0),
+    ));
+}
+
+/// Renders the full fleet report. Byte-identical for byte-identical
+/// outcomes; safe to diff against a golden.
+pub fn render_fleet_report(spec: &FleetSpec, outcome: &FleetOutcome) -> String {
+    let a = &outcome.accum;
+    let mut out = String::new();
+    out.push_str("fleet simulation report\n");
+    out.push_str("=======================\n");
+    population_section(&mut out, spec);
+    totals_section(&mut out, a);
+    spread_section(&mut out, a);
+    group_section(&mut out, a);
+    wear_section(&mut out, spec, a);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_fleet_jobs;
+
+    #[test]
+    fn report_is_deterministic_and_structured() {
+        let mut spec = FleetSpec::default_with(24, 7);
+        spec.requests_per_device = 50;
+        let a = render_fleet_report(&spec, &run_fleet_jobs(2, &spec));
+        let b = render_fleet_report(&spec, &run_fleet_jobs(4, &spec));
+        assert_eq!(a, b, "report must not depend on the job count");
+        for heading in [
+            "== population ==",
+            "== fleet totals ==",
+            "== cross-device spread",
+            "== scheme x geometry breakdown ==",
+            "== wear and endurance fast-forward ==",
+        ] {
+            assert!(a.contains(heading), "missing section {heading}");
+        }
+        assert!(a.contains("devices 24"));
+    }
+
+    #[test]
+    fn fresh_fleet_renders_the_no_wear_line() {
+        let mut spec = FleetSpec::default_with(4, 3);
+        spec.requests_per_device = 20;
+        spec.wear = None;
+        let text = render_fleet_report(&spec, &run_fleet_jobs(1, &spec));
+        assert!(text.contains("wear band none (factory fresh)"));
+    }
+}

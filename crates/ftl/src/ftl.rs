@@ -18,7 +18,7 @@ use crate::pool::Pool;
 use crate::recovery::FaultRuntime;
 use crate::space::SpaceAccounting;
 use hps_core::{Bytes, Error, FxHashSet, Result};
-use hps_nand::{BlockId, FaultConfig, Geometry, PageAddr, Plane, WearStats};
+use hps_nand::{BlockId, FaultConfig, Geometry, PageAddr, Plane, WearProfile, WearStats};
 
 #[cfg(any(debug_assertions, feature = "sanitize"))]
 use hps_core::audit::{enforce, ShadowFlash};
@@ -283,6 +283,29 @@ impl Ftl {
     /// Erase-count statistics across every block.
     pub fn wear(&self) -> WearStats {
         WearStats::from_planes(self.planes.iter())
+    }
+
+    /// Pre-ages every block from a [`WearProfile`]: each block is credited
+    /// `profile.draw(plane, block)` prior erase cycles, so the device
+    /// starts mid-life and the fault model's wear-slope term conditions on
+    /// realistic erase counts from the first request. Draws are pure
+    /// hashes of the coordinates — injecting wear consumes no RNG stream
+    /// and is byte-identical at any job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block has already been programmed or erased
+    /// (pre-aging models history *before* the simulation; inject wear
+    /// right after construction, before the first request).
+    pub fn inject_wear(&mut self, profile: &WearProfile) {
+        for (plane_idx, plane) in self.planes.iter_mut().enumerate() {
+            for block_idx in 0..plane.blocks_total() {
+                let erases = profile.draw(plane_idx, block_idx);
+                if erases > 0 {
+                    plane.block_mut(BlockId(block_idx)).preage(erases);
+                }
+            }
+        }
     }
 
     /// Number of currently mapped LPNs.
@@ -1103,11 +1126,13 @@ impl Ftl {
 /// Runs the ECC/read-retry state machine for one distinct physical page
 /// read. Bit errors are drawn from the configured RBER model (wear- and
 /// disturb-conditioned); when they exceed the page's correction threshold,
-/// each retry re-reads at a reduced effective RBER and pushes one extra
-/// flash read so the latency cost lands in simulated time. A read that
-/// exhausts the retry budget is recorded as an uncorrectable-ECC event —
-/// the simulator still completes it, since payload contents are not
-/// modeled.
+/// each retry re-reads at a reduced effective RBER and schedules one
+/// ladder step on the runtime's [`hps_nand::RetrySequencer`]. The
+/// sequencer's event wheel (step costs precomputed from the timing table)
+/// then drains the ladder in time order, emitting one extra flash read per
+/// step so the latency cost lands in simulated time. A read that exhausts
+/// the retry budget is recorded as an uncorrectable-ECC event — the
+/// simulator still completes it, since payload contents are not modeled.
 fn ecc_read_retry(
     f: &mut FaultRuntime,
     ppn: Ppn,
@@ -1115,7 +1140,7 @@ fn ecc_read_retry(
     erase_epoch: u64,
     ops: &mut Vec<FlashOp>,
 ) {
-    let cfg = &f.cfg;
+    let cfg = f.cfg;
     if cfg.rber_base == 0.0 && cfg.rber_wear_slope == 0.0 && cfg.read_disturb_rber == 0.0 {
         return;
     }
@@ -1141,8 +1166,11 @@ fn ecc_read_retry(
             break false;
         }
         retries += 1;
-        ops.push(FlashOp::read(ppn.plane, page_size));
+        f.retries.schedule(ppn.plane, page_size, retries);
     };
+    f.retries.drain(|step| {
+        ops.push(FlashOp::read(step.plane, step.page_size));
+    });
     f.stats.record_read(retries, corrected);
 }
 

@@ -222,6 +222,24 @@ impl Block {
         self.erase_count
     }
 
+    /// Credits `erases` prior erase cycles to a factory-fresh block —
+    /// fleet runs use this to start devices mid-life, so the wear-slope
+    /// term of the fault model conditions on realistic erase counts from
+    /// the first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block has ever been programmed or erased: pre-aging
+    /// models *history before the simulation*, not a mid-run reset, so it
+    /// is only legal on a pristine block.
+    pub fn preage(&mut self, erases: u64) {
+        assert!(
+            self.is_erased() && self.erase_count == 0,
+            "pre-aging is only legal on a factory-fresh block"
+        );
+        self.erase_count = erases;
+    }
+
     /// Recounts the page-state array against the cached `valid` counter and
     /// write pointer; any divergence means the block state machine itself is
     /// corrupt.
@@ -392,5 +410,25 @@ mod tests {
         b.program_next();
         b.invalidate(0);
         b.invalidate(0);
+    }
+
+    #[test]
+    fn preage_credits_history_without_touching_pages() {
+        let mut b = block4(2);
+        b.preage(500);
+        assert_eq!(b.erase_count(), 500);
+        assert!(b.is_erased());
+        b.program_next();
+        b.invalidate(0);
+        b.erase();
+        assert_eq!(b.erase_count(), 501, "live erases stack on the credit");
+    }
+
+    #[test]
+    #[should_panic(expected = "factory-fresh")]
+    fn preage_after_use_panics() {
+        let mut b = block4(2);
+        b.program_next();
+        b.preage(10);
     }
 }

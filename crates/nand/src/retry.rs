@@ -1,0 +1,207 @@
+//! ECC read-retry ladder sequencing on the core event wheel.
+//!
+//! Before this module existed, the FTL's read-retry loop priced each
+//! re-read ad hoc: every attempt re-derived its delay at the point where
+//! the retry `FlashOp` was emitted, and nothing modeled the *ladder* — the
+//! strictly ordered sequence of sense-voltage shifts a real controller
+//! steps through after an ECC failure. [`RetrySequencer`] replaces that
+//! with the calendar-queue scheduler every other timed subsystem already
+//! uses ([`hps_core::event::EventWheel`]):
+//!
+//! * the per-page-size retry cost (cell read + channel transfer) is
+//!   computed **once** from a [`NandTiming`] at construction, never inside
+//!   the retry loop;
+//! * each failed attempt schedules a [`RetryAttempt`] on the wheel at
+//!   `now + attempt × cost(page_size)`, so ladder steps carry strictly
+//!   increasing timestamps and drain in exactly the order a controller
+//!   would issue them (the wheel is FIFO at equal times, and ladder times
+//!   are never equal);
+//! * [`RetrySequencer::drain`] pops the scheduled attempts in time order
+//!   for the caller to translate into flash operations.
+//!
+//! The wheel clock here is an FTL-internal *ordering* clock: the
+//! authoritative latency of each retry read is still charged by the device
+//! resource schedule when it prices the emitted `FlashOp`s, which is what
+//! keeps `repro faults` byte-identical across this refactor. The sequencer
+//! additionally accounts the modeled ladder time (the sum of scheduled
+//! retry costs) so reliability reports can cite how much simulated time
+//! the retry ladders themselves consumed.
+
+use crate::timing::NandTiming;
+use hps_core::event::EventWheel;
+use hps_core::{Bytes, SimDuration};
+
+/// One scheduled step of a read-retry ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryAttempt {
+    /// Plane the retried page lives on.
+    pub plane: usize,
+    /// Page size of the retried read (4 KiB or 8 KiB).
+    pub page_size: Bytes,
+    /// 1-based position within the ladder (first retry = 1).
+    pub attempt: u32,
+}
+
+/// Event-wheel-backed scheduler for ECC read-retry ladders.
+///
+/// # Example
+///
+/// ```
+/// use hps_core::Bytes;
+/// use hps_nand::{NandTiming, RetrySequencer};
+///
+/// let mut seq = RetrySequencer::new(&NandTiming::TABLE_V);
+/// seq.schedule(3, Bytes::kib(4), 1);
+/// seq.schedule(3, Bytes::kib(4), 2);
+/// let mut planes = Vec::new();
+/// seq.drain(|a| planes.push((a.attempt, a.plane)));
+/// assert_eq!(planes, vec![(1, 3), (2, 3)]);
+/// assert_eq!(seq.retries_scheduled(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RetrySequencer {
+    wheel: EventWheel<RetryAttempt>,
+    /// Ladder step cost per page size, precomputed from the timing table.
+    cost_4k: SimDuration,
+    cost_8k: SimDuration,
+    retries_scheduled: u64,
+    modeled: SimDuration,
+}
+
+impl RetrySequencer {
+    /// Builds a sequencer whose ladder spacing comes from `timing`.
+    ///
+    /// The per-class costs (cell read plus channel transfer) are resolved
+    /// here, once per device, so the retry hot loop never touches the
+    /// timing table again.
+    pub fn new(timing: &NandTiming) -> Self {
+        RetrySequencer {
+            wheel: EventWheel::with_defaults(),
+            cost_4k: timing.read_total(Bytes::kib(4)),
+            cost_8k: timing.read_total(Bytes::kib(8)),
+            retries_scheduled: 0,
+            modeled: SimDuration::ZERO,
+        }
+    }
+
+    /// The precomputed ladder step cost for `page_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is neither 4 KiB nor 8 KiB, mirroring
+    /// [`NandTiming::page_timing`].
+    pub fn step_cost(&self, page_size: Bytes) -> SimDuration {
+        if page_size == Bytes::kib(4) {
+            self.cost_4k
+        } else if page_size == Bytes::kib(8) {
+            self.cost_8k
+        } else {
+            panic!("unsupported page size {page_size}; only 4 KiB and 8 KiB are modeled")
+        }
+    }
+
+    /// Schedules the `attempt`-th ladder step for a failed read on
+    /// `plane`. Steps of one ladder land at strictly increasing wheel
+    /// times (`now + attempt × cost`), so a subsequent [`drain`] replays
+    /// them in issue order.
+    ///
+    /// [`drain`]: RetrySequencer::drain
+    pub fn schedule(&mut self, plane: usize, page_size: Bytes, attempt: u32) {
+        let cost = self.step_cost(page_size);
+        let at = self.wheel.now() + cost * u64::from(attempt);
+        self.wheel.push(
+            at,
+            RetryAttempt {
+                plane,
+                page_size,
+                attempt,
+            },
+        );
+        self.retries_scheduled += 1;
+        self.modeled += cost;
+    }
+
+    /// Pops every scheduled attempt in time order (equivalently: issue
+    /// order), advancing the wheel clock past the ladder.
+    pub fn drain(&mut self, mut f: impl FnMut(RetryAttempt)) {
+        self.wheel.drain(|_, attempt| f(attempt));
+    }
+
+    /// Total retry steps scheduled over the sequencer's lifetime.
+    pub fn retries_scheduled(&self) -> u64 {
+        self.retries_scheduled
+    }
+
+    /// Total modeled ladder time: the sum of every scheduled step's cost.
+    pub fn modeled_time(&self) -> SimDuration {
+        self.modeled
+    }
+
+    /// True when no scheduled attempt is awaiting a [`drain`].
+    ///
+    /// [`drain`]: RetrySequencer::drain
+    pub fn is_drained(&self) -> bool {
+        self.wheel.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_come_from_the_timing_table() {
+        let t = NandTiming::TABLE_V;
+        let seq = RetrySequencer::new(&t);
+        assert_eq!(seq.step_cost(Bytes::kib(4)), t.read_total(Bytes::kib(4)));
+        assert_eq!(seq.step_cost(Bytes::kib(8)), t.read_total(Bytes::kib(8)));
+    }
+
+    #[test]
+    fn drain_preserves_ladder_order() {
+        let mut seq = RetrySequencer::new(&NandTiming::TABLE_V);
+        for attempt in 1..=5 {
+            seq.schedule(7, Bytes::kib(8), attempt);
+        }
+        let mut order = Vec::new();
+        seq.drain(|a| order.push(a.attempt));
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+        assert!(seq.is_drained());
+    }
+
+    #[test]
+    fn interleaved_ladders_drain_in_time_order() {
+        // Two pages fail on different planes; the 4 KiB ladder's steps are
+        // cheaper, so its early attempts sort before the 8 KiB ones.
+        let mut seq = RetrySequencer::new(&NandTiming::TABLE_V);
+        seq.schedule(0, Bytes::kib(8), 1);
+        seq.schedule(1, Bytes::kib(4), 1);
+        let mut order = Vec::new();
+        seq.drain(|a| order.push(a.plane));
+        assert_eq!(order, vec![1, 0], "cheaper 4 KiB step drains first");
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let t = NandTiming::TABLE_V;
+        let mut seq = RetrySequencer::new(&t);
+        seq.schedule(0, Bytes::kib(4), 1);
+        seq.schedule(0, Bytes::kib(4), 2);
+        seq.schedule(0, Bytes::kib(8), 1);
+        assert_eq!(seq.retries_scheduled(), 3);
+        assert_eq!(
+            seq.modeled_time(),
+            t.read_total(Bytes::kib(4)) * 2 + t.read_total(Bytes::kib(8))
+        );
+        seq.drain(|_| {});
+        // Draining consumes the queue but not the lifetime accounting.
+        assert_eq!(seq.retries_scheduled(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported page size")]
+    fn odd_page_size_panics() {
+        let seq = RetrySequencer::new(&NandTiming::TABLE_V);
+        let _ = seq.step_cost(Bytes::kib(16));
+    }
+}

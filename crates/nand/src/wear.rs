@@ -1,4 +1,4 @@
-//! Wear statistics.
+//! Wear statistics and wear-state distributions.
 //!
 //! Implication 4 of the paper argues that the weak localities of smartphone
 //! workloads make a *simple* wear-leveling strategy sufficient. To evaluate
@@ -6,6 +6,13 @@
 //! summarizes them into the metrics the ablation benches report: max/mean
 //! erase count and the max/mean ratio (a common wear-evenness indicator —
 //! 1.0 is perfectly even).
+//!
+//! Fleet simulation additionally needs the *inverse* direction: start a
+//! device mid-life instead of factory-fresh. [`WearProfile`] describes a
+//! per-block pre-aging distribution whose draws are pure hashes of
+//! `(seed, plane, block)` — no RNG stream is consumed, so injecting wear
+//! is order-independent and byte-identical at any job count, the same
+//! discipline as [`crate::faults`].
 
 use crate::plane::Plane;
 use core::fmt;
@@ -110,6 +117,61 @@ impl WearStats {
     }
 }
 
+/// A deterministic per-block pre-aging distribution: each block starts
+/// with `mean_erases ± spread` prior erase cycles, drawn by hashing
+/// `(seed, plane, block)` so the wear pattern is a pure function of
+/// coordinates (no shared RNG stream, no ordering sensitivity).
+///
+/// # Example
+///
+/// ```
+/// use hps_nand::wear::WearProfile;
+///
+/// let w = WearProfile { seed: 9, mean_erases: 500, spread: 100 };
+/// let a = w.draw(0, 3);
+/// assert_eq!(a, w.draw(0, 3), "draws are pure functions of coordinates");
+/// assert!((400..=600).contains(&a));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WearProfile {
+    /// Seed decorrelating this device's wear pattern from its neighbors'.
+    pub seed: u64,
+    /// Center of the per-block prior-erase distribution.
+    pub mean_erases: u64,
+    /// Half-width of the uniform band around the mean; draws land in
+    /// `[mean - spread, mean + spread]` (clamped at zero below).
+    pub spread: u64,
+}
+
+impl WearProfile {
+    /// A factory-fresh profile: every block draws zero prior erases.
+    pub const FRESH: WearProfile = WearProfile {
+        seed: 0,
+        mean_erases: 0,
+        spread: 0,
+    };
+
+    /// Prior erase count for the block at `(plane, block)`.
+    pub fn draw(&self, plane: usize, block: usize) -> u64 {
+        if self.mean_erases == 0 && self.spread == 0 {
+            return 0;
+        }
+        let lo = self.mean_erases.saturating_sub(self.spread);
+        let width = (self.mean_erases + self.spread) - lo + 1;
+        // splitmix64 finalizer over the packed coordinates: the same
+        // pure-hash discipline as the fault model's draws.
+        let x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((plane as u64) << 32 | block as u64);
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        lo + z % width
+    }
+}
+
 impl fmt::Display for WearStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -144,6 +206,37 @@ mod tests {
         assert_eq!(s.evenness(), 1.0);
         assert_eq!(s.min(), 7);
         assert_eq!(s.max(), 7);
+    }
+
+    #[test]
+    fn wear_profile_draws_stay_in_band_and_vary() {
+        let w = WearProfile {
+            seed: 42,
+            mean_erases: 1_000,
+            spread: 250,
+        };
+        let mut distinct = std::collections::BTreeSet::new();
+        for plane in 0..4 {
+            for block in 0..64 {
+                let d = w.draw(plane, block);
+                assert!((750..=1250).contains(&d), "draw {d} out of band");
+                distinct.insert(d);
+            }
+        }
+        assert!(distinct.len() > 50, "draws should spread across the band");
+        assert_eq!(WearProfile::FRESH.draw(3, 9), 0);
+    }
+
+    #[test]
+    fn wear_profile_is_seed_sensitive() {
+        let a = WearProfile {
+            seed: 1,
+            mean_erases: 100,
+            spread: 100,
+        };
+        let b = WearProfile { seed: 2, ..a };
+        let diverges = (0..32).any(|blk| a.draw(0, blk) != b.draw(0, blk));
+        assert!(diverges, "different seeds must produce different patterns");
     }
 
     #[test]

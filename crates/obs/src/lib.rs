@@ -26,6 +26,8 @@
 //!   through a `BufWriter` as events are emitted, so long replays never
 //!   buffer their event stream in memory;
 //! * [`summary`] — a plain-text registry report;
+//! * [`table`] — deterministic fixed-width text tables, the renderer the
+//!   fleet engine's cross-device reports are built from;
 //! * [`json`] — the dependency-free JSON writer/parser behind the
 //!   exporters (the build environment has no serde).
 //!
@@ -46,6 +48,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod stream;
 pub mod summary;
+pub mod table;
 
 pub use chrome::write_chrome_trace;
 pub use diff::{diff_summaries, parse_summary, SummaryDiff, SummaryValue};
@@ -54,6 +57,7 @@ pub use jsonl::{write_jsonl, write_jsonl_event};
 pub use profile::{Phase, PhaseTimer, ProfileReport, RequestTimer};
 pub use registry::{CounterId, HistogramId, LogHistogram, Metric, MetricsRegistry};
 pub use sink::{NullSink, Sink, Telemetry, VecSink};
-pub use snapshot::MetricsSnapshot;
+pub use snapshot::{merge_all, MetricsSnapshot, SnapshotTreeMerger};
 pub use stream::{JsonlStreamSink, StreamStats};
 pub use summary::render_summary;
+pub use table::TextTable;

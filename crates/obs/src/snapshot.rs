@@ -97,6 +97,104 @@ impl MetricsSnapshot {
     }
 }
 
+/// A streaming K-way tree merge of [`MetricsSnapshot`]s.
+///
+/// Feeding 100 000 per-device snapshots through a plain left fold works,
+/// but every merge then touches an accumulator that has already absorbed
+/// the whole fleet — the cost of merge *i* grows with the union of metric
+/// names seen so far. The tree merger instead keeps one pending snapshot
+/// per power-of-two level (a binary carry chain, like a binomial heap):
+/// pushing snapshot `n` performs exactly as many merges as trailing one
+/// bits in `n`, so the amortized merge depth is O(log n) and memory stays
+/// flat at O(log n) snapshots regardless of fleet size.
+///
+/// Because [`MetricsSnapshot::merge`] is associative and commutative on
+/// everything the canonical encoding covers, the tree shape is
+/// unobservable: [`finish`](SnapshotTreeMerger::finish) is byte-identical
+/// to a sequential fold in push order (pinned by proptest).
+///
+/// # Example
+///
+/// ```
+/// use hps_obs::{MetricsRegistry, MetricsSnapshot, SnapshotTreeMerger};
+///
+/// let mut tree = SnapshotTreeMerger::new();
+/// let mut seq = MetricsSnapshot::new();
+/// for v in 1..=5u64 {
+///     let mut reg = MetricsRegistry::new();
+///     reg.add("reqs", v);
+///     let snap = MetricsSnapshot::capture(&reg);
+///     seq.merge(&snap);
+///     tree.push(snap);
+/// }
+/// assert_eq!(tree.finish().canonical_bytes(), seq.canonical_bytes());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotTreeMerger {
+    /// `levels[i]`, when present, aggregates exactly 2^i pushed snapshots.
+    levels: Vec<Option<MetricsSnapshot>>,
+    pushed: u64,
+}
+
+impl SnapshotTreeMerger {
+    /// An empty merger.
+    pub fn new() -> Self {
+        SnapshotTreeMerger::default()
+    }
+
+    /// Number of snapshots pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Absorbs one snapshot, carry-merging equal-weight partials.
+    pub fn push(&mut self, snapshot: MetricsSnapshot) {
+        let mut carry = snapshot;
+        for level in self.levels.iter_mut() {
+            match level.take() {
+                None => {
+                    *level = Some(carry);
+                    self.pushed += 1;
+                    return;
+                }
+                Some(mut resident) => {
+                    // Merge into the older (resident) partial so the fold
+                    // order matches a sequential left fold exactly.
+                    resident.merge(&carry);
+                    carry = resident;
+                }
+            }
+        }
+        self.levels.push(Some(carry));
+        self.pushed += 1;
+    }
+
+    /// Merges the remaining partials (oldest last, preserving left-fold
+    /// order) into the final aggregate.
+    pub fn finish(self) -> MetricsSnapshot {
+        let mut acc: Option<MetricsSnapshot> = None;
+        // Highest level holds the oldest pushes; fold downward so the
+        // result is the same left fold a sequential merge would produce.
+        for level in self.levels.into_iter().rev().flatten() {
+            match acc.as_mut() {
+                None => acc = Some(level),
+                Some(a) => a.merge(&level),
+            }
+        }
+        acc.unwrap_or_default()
+    }
+}
+
+/// Tree-merges any number of snapshots; byte-identical to folding them
+/// sequentially in iteration order. See [`SnapshotTreeMerger`].
+pub fn merge_all(shards: impl IntoIterator<Item = MetricsSnapshot>) -> MetricsSnapshot {
+    let mut tree = SnapshotTreeMerger::new();
+    for shard in shards {
+        tree.push(shard);
+    }
+    tree.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +245,53 @@ mod tests {
         let before = a.canonical_bytes();
         a.merge(&MetricsSnapshot::new());
         assert_eq!(a.canonical_bytes(), before);
+    }
+
+    fn numbered(i: u64) -> MetricsSnapshot {
+        shard(
+            &[("reqs", i + 1), ("gc", i % 3)],
+            &[("lat", (i % 17) as f64 + 0.5)],
+        )
+    }
+
+    #[test]
+    fn tree_merge_matches_sequential_fold() {
+        for n in [0u64, 1, 2, 3, 7, 8, 31, 100] {
+            let mut tree = SnapshotTreeMerger::new();
+            let mut seq = MetricsSnapshot::new();
+            for i in 0..n {
+                seq.merge(&numbered(i));
+                tree.push(numbered(i));
+            }
+            assert_eq!(tree.pushed(), n);
+            assert_eq!(
+                tree.finish().canonical_bytes(),
+                seq.canonical_bytes(),
+                "tree merge diverged at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_merge_memory_is_logarithmic() {
+        let mut tree = SnapshotTreeMerger::new();
+        for i in 0..1024u64 {
+            tree.push(numbered(i));
+        }
+        assert!(
+            tree.levels.len() <= 11,
+            "1024 pushes must hold at most ~log2(n)+1 partials, got {}",
+            tree.levels.len()
+        );
+    }
+
+    #[test]
+    fn merge_all_helper_agrees() {
+        let snaps: Vec<MetricsSnapshot> = (0..13).map(numbered).collect();
+        let mut seq = MetricsSnapshot::new();
+        for s in &snaps {
+            seq.merge(s);
+        }
+        assert_eq!(merge_all(snaps).canonical_bytes(), seq.canonical_bytes());
     }
 }

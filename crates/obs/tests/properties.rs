@@ -6,6 +6,7 @@ use hps_core::{SimDuration, SimTime};
 use hps_obs::json::{parse, Value};
 use hps_obs::{
     write_chrome_trace, Event, EventKind, LogHistogram, MetricsRegistry, MetricsSnapshot, OpClass,
+    SnapshotTreeMerger,
 };
 use proptest::prelude::*;
 
@@ -210,6 +211,36 @@ proptest! {
         }
         let single_snap = MetricsSnapshot::capture(&single);
         prop_assert_eq!(merged.canonical_bytes(), single_snap.canonical_bytes());
+    }
+
+    #[test]
+    fn tree_merge_matches_sequential_merge_for_any_partition(
+        ops in prop::collection::vec(op_strategy(), 0..400),
+        shards in 1usize..9,
+        assignment in prop::collection::vec(0usize..9, 0..400),
+    ) {
+        // Partition the op stream over K shard registries any way at all,
+        // then reduce the shard snapshots two ways: a plain left fold and
+        // the fleet engine's O(log n) binary-carry tree. The tree must be
+        // indistinguishable from the fold — same canonical bytes — or a
+        // parallel fleet run would depend on its shard count.
+        let mut shard_regs: Vec<MetricsRegistry> =
+            (0..shards).map(|_| MetricsRegistry::new()).collect();
+        for (i, op) in ops.iter().enumerate() {
+            let shard = assignment.get(i).copied().unwrap_or(0) % shards;
+            apply(&mut shard_regs[shard], op);
+        }
+        let snaps: Vec<MetricsSnapshot> =
+            shard_regs.iter().map(MetricsSnapshot::capture).collect();
+        let mut sequential = MetricsSnapshot::new();
+        for s in &snaps {
+            sequential.merge(s);
+        }
+        let mut tree = SnapshotTreeMerger::new();
+        for s in snaps {
+            tree.push(s);
+        }
+        prop_assert_eq!(tree.finish().canonical_bytes(), sequential.canonical_bytes());
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! * [`stream`] — the same request sequence as a streaming
 //!   [`hps_trace::TraceSource`], with trace length scaled by a runtime
 //!   knob instead of bounded by memory;
-//! * [`combo`] — merges two applications into a combo trace (Fig. 7).
+//! * [`combo`] — merges two applications into a combo trace (Fig. 7);
+//! * [`mix`] — weighted per-device workload sampling for fleet runs.
 //!
 //! Everything is deterministic: the same seed regenerates the same trace
 //! byte-for-byte.
@@ -30,6 +31,7 @@ pub mod address;
 pub mod arrival;
 pub mod combo;
 pub mod generator;
+pub mod mix;
 pub mod profile;
 pub mod profiles;
 pub mod size;
@@ -37,6 +39,7 @@ pub mod stream;
 
 pub use combo::{generate_combo, ComboProfile};
 pub use generator::generate;
+pub use mix::WorkloadMix;
 pub use profile::AppProfile;
 pub use profiles::{all_combos, all_individual, by_name, COMBO_NAMES, INDIVIDUAL_NAMES};
 pub use stream::{stream, TraceStream};
